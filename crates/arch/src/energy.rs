@@ -1,0 +1,234 @@
+//! Chip-level energy accounting.
+//!
+//! Follows the paper's methodology (§IV-A1): crossbar write energy from
+//! the 16 nm SRAM-CIM prototype, MVM energy from ADC + wordline-scaled
+//! array power, per-core component powers from Table I, and DRAM energy
+//! from the memory interface model (detailed timing in `pim-dram`).
+
+use crate::chip::ChipSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Energy totals in nanojoules, broken down by source.
+///
+/// The categories mirror Fig. 9 of the paper (MVMUL vs weight write vs
+/// weight load) plus the remaining contributors needed for Fig. 8's
+/// total-energy and EDP results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct PowerBreakdown {
+    /// Matrix-vector multiplications in the crossbars.
+    pub mvm_nj: f64,
+    /// Crossbar cell writes during weight replacement.
+    pub weight_write_nj: f64,
+    /// DRAM reads streaming weights in (weight load).
+    pub weight_load_nj: f64,
+    /// DRAM traffic for intermediate activations (partition entry
+    /// loads and exit stores).
+    pub activation_dram_nj: f64,
+    /// On-chip bus transfers (inter-core send/recv).
+    pub interconnect_nj: f64,
+    /// VFU vector operations.
+    pub vfu_nj: f64,
+    /// Static/background energy (chip power × makespan).
+    pub static_nj: f64,
+}
+
+impl PowerBreakdown {
+    /// Creates an all-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.mvm_nj
+            + self.weight_write_nj
+            + self.weight_load_nj
+            + self.activation_dram_nj
+            + self.interconnect_nj
+            + self.vfu_nj
+            + self.static_nj
+    }
+
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.total_nj() / 1000.0
+    }
+
+    /// Weight replacement overhead (write + load) relative to MVM
+    /// energy — the y-axis of the paper's Fig. 9 is
+    /// `1 + replacement_ratio` (total of MVM + write + load, normalized
+    /// to MVM).
+    pub fn replacement_ratio(&self) -> f64 {
+        if self.mvm_nj == 0.0 {
+            return 0.0;
+        }
+        (self.weight_write_nj + self.weight_load_nj) / self.mvm_nj
+    }
+}
+
+impl Add for PowerBreakdown {
+    type Output = PowerBreakdown;
+
+    fn add(self, rhs: PowerBreakdown) -> PowerBreakdown {
+        PowerBreakdown {
+            mvm_nj: self.mvm_nj + rhs.mvm_nj,
+            weight_write_nj: self.weight_write_nj + rhs.weight_write_nj,
+            weight_load_nj: self.weight_load_nj + rhs.weight_load_nj,
+            activation_dram_nj: self.activation_dram_nj + rhs.activation_dram_nj,
+            interconnect_nj: self.interconnect_nj + rhs.interconnect_nj,
+            vfu_nj: self.vfu_nj + rhs.vfu_nj,
+            static_nj: self.static_nj + rhs.static_nj,
+        }
+    }
+}
+
+impl AddAssign for PowerBreakdown {
+    fn add_assign(&mut self, rhs: PowerBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mvm {:.1} nJ, wr {:.1} nJ, ld {:.1} nJ, act {:.1} nJ, bus {:.1} nJ, vfu {:.1} nJ, static {:.1} nJ (total {:.2} uJ)",
+            self.mvm_nj,
+            self.weight_write_nj,
+            self.weight_load_nj,
+            self.activation_dram_nj,
+            self.interconnect_nj,
+            self.vfu_nj,
+            self.static_nj,
+            self.total_uj()
+        )
+    }
+}
+
+/// Converts event counts into energies for a given chip.
+///
+/// # Example
+///
+/// ```
+/// use pim_arch::{ChipSpec, EnergyModel};
+///
+/// let chip = ChipSpec::chip_s();
+/// let model = EnergyModel::new(&chip);
+/// // 1000 crossbar MVM activations at 420 pJ = 420 nJ.
+/// assert!((model.mvm_energy_nj(1000) - 420.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    mvm_pj_per_activation: f64,
+    write_pj_per_bit: f64,
+    dram_pj_per_bit: f64,
+    bus_pj_per_byte: f64,
+    vfu_pj_per_op: f64,
+    chip_power_w: f64,
+}
+
+impl EnergyModel {
+    /// Derives an energy model from a chip specification.
+    pub fn new(chip: &ChipSpec) -> Self {
+        Self {
+            mvm_pj_per_activation: chip.crossbar.mvm_energy_pj,
+            write_pj_per_bit: chip.crossbar.cell_write_energy_pj,
+            dram_pj_per_bit: chip.memory.energy_pj_per_bit,
+            bus_pj_per_byte: chip.interconnect.energy_pj_per_byte,
+            // One VFU ALU op at 16 nm: ~0.2 pJ.
+            vfu_pj_per_op: 0.2,
+            chip_power_w: chip.chip_power_w,
+        }
+    }
+
+    /// Energy of `activations` crossbar MVM activations, nJ.
+    pub fn mvm_energy_nj(&self, activations: usize) -> f64 {
+        activations as f64 * self.mvm_pj_per_activation / 1000.0
+    }
+
+    /// Energy to write `bits` crossbar cells, nJ.
+    pub fn weight_write_energy_nj(&self, bits: usize) -> f64 {
+        bits as f64 * self.write_pj_per_bit / 1000.0
+    }
+
+    /// Energy to move `bits` through DRAM (read or write), nJ.
+    pub fn dram_energy_nj(&self, bits: usize) -> f64 {
+        bits as f64 * self.dram_pj_per_bit / 1000.0
+    }
+
+    /// Energy to move `bytes` across the on-chip bus, nJ.
+    pub fn bus_energy_nj(&self, bytes: usize) -> f64 {
+        bytes as f64 * self.bus_pj_per_byte / 1000.0
+    }
+
+    /// Energy of `ops` VFU element operations, nJ.
+    pub fn vfu_energy_nj(&self, ops: usize) -> f64 {
+        ops as f64 * self.vfu_pj_per_op / 1000.0
+    }
+
+    /// Static/background energy over a `ns` makespan, nJ.
+    pub fn static_energy_nj(&self, ns: f64) -> f64 {
+        // P[W] x t[ns] = energy in nJ directly.
+        self.chip_power_w * ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::new(&ChipSpec::chip_s())
+    }
+
+    #[test]
+    fn mvm_energy_scales() {
+        let m = model();
+        // 10 activations x 420 pJ = 4.2 nJ.
+        assert!((m.mvm_energy_nj(10) - 4.2).abs() < 1e-12);
+        assert_eq!(m.mvm_energy_nj(0), 0.0);
+    }
+
+    #[test]
+    fn write_and_dram_energy() {
+        let m = model();
+        // 1e6 bits * 0.5 pJ = 500 nJ.
+        assert!((m.weight_write_energy_nj(1_000_000) - 500.0).abs() < 1e-9);
+        // 1e6 bits * 2 pJ = 2000 nJ.
+        assert!((m.dram_energy_nj(1_000_000) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_energy_is_power_times_time() {
+        let m = model();
+        // 1.57 W x 1000 ns = 1570 nJ.
+        assert!((m.static_energy_nj(1000.0) - 1570.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_totals_and_ratio() {
+        let b = PowerBreakdown {
+            mvm_nj: 100.0,
+            weight_write_nj: 50.0,
+            weight_load_nj: 250.0,
+            activation_dram_nj: 10.0,
+            interconnect_nj: 5.0,
+            vfu_nj: 5.0,
+            static_nj: 80.0,
+        };
+        assert!((b.total_nj() - 500.0).abs() < 1e-12);
+        assert!((b.replacement_ratio() - 3.0).abs() < 1e-12);
+        let sum = b + b;
+        assert!((sum.total_nj() - 1000.0).abs() < 1e-12);
+        let mut acc = PowerBreakdown::new();
+        acc += b;
+        assert_eq!(acc, b);
+    }
+
+    #[test]
+    fn zero_mvm_ratio_is_zero() {
+        assert_eq!(PowerBreakdown::new().replacement_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Configuration validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A hardware configuration failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfigError {
+    detail: String,
+}
+
+impl InvalidConfigError {
+    /// Creates an error with a human-readable description.
+    pub fn new(detail: impl Into<String>) -> Self {
+        Self { detail: detail.into() }
+    }
+
+    /// The description of what failed validation.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for InvalidConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid hardware configuration: {}", self.detail)
+    }
+}
+
+impl Error for InvalidConfigError {}

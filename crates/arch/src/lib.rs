@@ -1,0 +1,45 @@
+//! # pim-arch — crossbar/core/chip hardware model for PIM accelerators
+//!
+//! Implements the abstract in-memory DNN accelerator template of the
+//! COMPASS paper (§II, Fig. 1): a chip of PIM cores on a shared bus with
+//! a global memory; each core holds a matrix unit of crossbar CIM
+//! macros, vector functional units (VFUs), local memory, and a control
+//! unit. The chip presets reproduce Table I of the paper exactly
+//! (Chip-S/M/L capacities of 1.125 / 2.0 / 4.5 MiB).
+//!
+//! The energy model follows the paper's §IV-A1 methodology: crossbar
+//! write energy taken from the 16 nm SRAM-CIM prototype (Jia et al.,
+//! ISSCC'21), MVM (inference) energy dominated by ADC conversions and
+//! scaled with activated wordlines, component powers from PIMCOMP
+//! scaled to 16 nm, and DRAM energy delegated to the `pim-dram` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use pim_arch::{ChipSpec, WeightPrecision};
+//!
+//! let chip = ChipSpec::chip_s();
+//! assert_eq!(chip.cores, 16);
+//! assert!((chip.capacity_mib() - 1.125).abs() < 1e-9);
+//! // One 256x256 crossbar holds 256 x 64 4-bit weights.
+//! assert_eq!(chip.crossbar.weight_cols(WeightPrecision::Int4), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chip;
+pub mod crossbar;
+pub mod energy;
+pub mod mapping;
+
+mod error;
+
+pub use chip::{ChipClass, ChipSpec, CoreSpec, InterconnectSpec, MemorySpec};
+pub use crossbar::{CellTechnology, CrossbarSpec};
+pub use energy::{EnergyModel, PowerBreakdown};
+pub use error::InvalidConfigError;
+pub use mapping::{crossbars_for_matrix, MatrixFootprint};
+
+/// Re-export of the weight precision type shared with `pim-model`.
+pub use pim_model::Precision as WeightPrecision;

@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks for the compiler stack: decomposition,
+//! validity-map construction, plan building + replication, full
+//! fitness evaluation, GA generations, and instruction scheduling.
+
+use compass::fitness::{FitnessContext, FitnessKind};
+use compass::plan::GroupPlan;
+use compass::replication::optimize_group;
+use compass::scheduler::{schedule_group, SchedulerOptions};
+use compass::{baselines, decompose, ga, GaParams, PartitionGroup, ValidityMap};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_arch::ChipSpec;
+use pim_model::zoo;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_decompose(c: &mut Criterion) {
+    let chip = ChipSpec::chip_s();
+    let mut group = c.benchmark_group("decompose");
+    for (name, net) in
+        [("squeezenet", zoo::squeezenet()), ("resnet18", zoo::resnet18()), ("vgg16", zoo::vgg16())]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &net, |b, net| {
+            b.iter(|| decompose(black_box(net), black_box(&chip)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_validity_map(c: &mut Criterion) {
+    let chip = ChipSpec::chip_s();
+    let mut group = c.benchmark_group("validity_map");
+    for (name, net) in [("resnet18", zoo::resnet18()), ("vgg16", zoo::vgg16())] {
+        let seq = decompose(&net, &chip);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &seq, |b, seq| {
+            b.iter(|| ValidityMap::build(black_box(seq), black_box(&chip)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_and_replicate(c: &mut Criterion) {
+    let chip = ChipSpec::chip_s();
+    let net = zoo::resnet18();
+    let seq = decompose(&net, &chip);
+    let validity = ValidityMap::build(&seq, &chip);
+    let mut rng = StdRng::seed_from_u64(1);
+    let group = PartitionGroup::random(&mut rng, &validity);
+    c.bench_function("plan_build_and_replication/resnet18-S", |b| {
+        b.iter(|| {
+            let mut plans = GroupPlan::build(black_box(&net), black_box(&seq), black_box(&group));
+            optimize_group(&mut plans, &chip);
+            plans
+        })
+    });
+}
+
+fn bench_fitness_evaluation(c: &mut Criterion) {
+    let chip = ChipSpec::chip_s();
+    let net = zoo::resnet18();
+    let seq = decompose(&net, &chip);
+    let validity = ValidityMap::build(&seq, &chip);
+    c.bench_function("fitness_eval_uncached/resnet18-S-8", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            // A fresh context per iteration measures the uncached path.
+            let mut ctx =
+                FitnessContext::new(&net, &seq, &validity, &chip, 8, FitnessKind::Latency);
+            let group = PartitionGroup::random(&mut rng, &validity);
+            ctx.evaluate(black_box(&group)).pgf
+        })
+    });
+}
+
+fn bench_ga_generation(c: &mut Criterion) {
+    let chip = ChipSpec::chip_s();
+    let net = zoo::resnet18();
+    let seq = decompose(&net, &chip);
+    let validity = ValidityMap::build(&seq, &chip);
+    c.bench_function("ga_run/resnet18-S-8 (pop 12, 3 gens)", |b| {
+        b.iter(|| {
+            let mut ctx =
+                FitnessContext::new(&net, &seq, &validity, &chip, 8, FitnessKind::Latency);
+            let params = GaParams {
+                population: 12,
+                generations: 3,
+                n_sel: 4,
+                n_mut: 8,
+                early_stop_patience: 0,
+                ..GaParams::fast()
+            };
+            let mut rng = StdRng::seed_from_u64(3);
+            ga::run(&mut ctx, &params, &mut rng).0.pgf
+        })
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let chip = ChipSpec::chip_s();
+    let net = zoo::vgg16();
+    let seq = decompose(&net, &chip);
+    let validity = ValidityMap::build(&seq, &chip);
+    c.bench_function("baseline_greedy/vgg16-S", |b| {
+        b.iter(|| baselines::greedy(black_box(&validity)))
+    });
+    c.bench_function("baseline_layerwise/vgg16-S", |b| {
+        b.iter(|| baselines::layerwise(black_box(&seq), black_box(&validity)))
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let chip = ChipSpec::chip_s();
+    let net = zoo::resnet18();
+    let seq = decompose(&net, &chip);
+    let validity = ValidityMap::build(&seq, &chip);
+    let group = baselines::greedy(&validity);
+    let mut plans = GroupPlan::build(&net, &seq, &group);
+    optimize_group(&mut plans, &chip);
+    let options = SchedulerOptions { batch: 8, chunks_per_sample: 4 };
+    c.bench_function("schedule_group/resnet18-S-8", |b| {
+        b.iter(|| schedule_group(black_box(&net), black_box(plans.plans()), &chip, &options))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_decompose,
+    bench_validity_map,
+    bench_plan_and_replicate,
+    bench_fitness_evaluation,
+    bench_ga_generation,
+    bench_baselines,
+    bench_scheduler,
+);
+criterion_main!(benches);

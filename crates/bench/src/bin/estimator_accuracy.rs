@@ -1,0 +1,88 @@
+//! **Extension**: estimator-vs-simulator fidelity check.
+//!
+//! The GA optimizes against the fast analytical estimator (as the
+//! paper optimizes against its enhanced PIMCOMP estimator); the
+//! figures come from the event-driven simulator. This binary
+//! quantifies whether the proxy is trustworthy: across many random
+//! partitionings it reports the estimate/simulation latency ratio and
+//! — the property the GA actually needs — the *rank correlation*
+//! between the two.
+
+use compass::plan::GroupPlan;
+use compass::replication::optimize_group;
+use compass::scheduler::{schedule_group, SchedulerOptions};
+use compass::{decompose, estimate::Estimator, PartitionGroup, ValidityMap};
+use compass_bench::network;
+use pim_arch::{ChipClass, ChipSpec};
+use pim_sim::ChipSimulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let chip = ChipSpec::preset(ChipClass::S);
+    let net = network("resnet18");
+    let batch = 8;
+    let samples = 40;
+    let seq = decompose(&net, &chip);
+    let validity = ValidityMap::build(&seq, &chip);
+    let estimator = Estimator::new(&chip);
+    let simulator = ChipSimulator::new(chip.clone()).with_dram_replay(false);
+    let mut rng = StdRng::seed_from_u64(99);
+
+    let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let group = PartitionGroup::random(&mut rng, &validity);
+        let mut plans = GroupPlan::build(&net, &seq, &group);
+        optimize_group(&mut plans, &chip);
+        let est = estimator.estimate_group(&plans, batch).batch_latency_ns;
+        let options = SchedulerOptions { batch, chunks_per_sample: 4 };
+        let programs = schedule_group(&net, plans.plans(), &chip, &options);
+        let sim = simulator.run(&programs, batch).expect("simulates").makespan_ns;
+        pairs.push((est, sim));
+    }
+
+    let ratios: Vec<f64> = pairs.iter().map(|(e, s)| s / e).collect();
+    let mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let spearman = rank_correlation(&pairs);
+    println!("estimator fidelity on ResNet18-S-{batch} over {samples} random partitionings:");
+    println!("  sim/estimate latency ratio: mean {:.2} (min {:.2}, max {:.2})",
+        mean_ratio,
+        ratios.iter().cloned().fold(f64::INFINITY, f64::min),
+        ratios.iter().cloned().fold(0.0, f64::max));
+    println!("  Spearman rank correlation: {spearman:.3}");
+    println!(
+        "\ninterpretation: the estimator may be biased in absolute terms (the GA does not\ncare) but must *rank* candidate partitionings like the simulator does — a rank\ncorrelation near 1.0 validates using it as the GA fitness proxy."
+    );
+    println!(
+        "\nknown gap: the estimator idealizes core pipelining; the simulator's in-order\ncores suffer head-of-line blocking when one core hosts distant pipeline stages,\nwhich random partitionings provoke far more than optimized ones. The decisive\ncheck is that the GA's winner beats both baselines under the *simulator*\n(tests/end_to_end.rs::compass_beats_baselines_in_simulation_resnet18_m_16)."
+    );
+    if spearman < 0.2 {
+        println!("WARNING: very weak correlation — the GA may be optimizing the wrong proxy");
+    }
+}
+
+/// Spearman rank correlation of (estimate, simulation) pairs.
+fn rank_correlation(pairs: &[(f64, f64)]) -> f64 {
+    let n = pairs.len();
+    let rank = |values: Vec<f64>| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+        let mut ranks = vec![0.0; n];
+        for (r, &i) in idx.iter().enumerate() {
+            ranks[i] = r as f64;
+        }
+        ranks
+    };
+    let ra = rank(pairs.iter().map(|p| p.0).collect());
+    let rb = rank(pairs.iter().map(|p| p.1).collect());
+    let mean = (n as f64 - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..n {
+        num += (ra[i] - mean) * (rb[i] - mean);
+        da += (ra[i] - mean).powi(2);
+        db += (rb[i] - mean).powi(2);
+    }
+    num / (da.sqrt() * db.sqrt()).max(1e-12)
+}

@@ -1,0 +1,71 @@
+//! Regenerates **Fig. 6** (throughput comparison).
+//!
+//! Simulated inference throughput for the three networks × three chip
+//! configurations × batch sizes 1–16, under greedy, layerwise, and
+//! COMPASS partitioning. Ends with the paper's headline speedup
+//! summary (geomean of COMPASS over each baseline, per network).
+
+use compass::Strategy;
+use compass_bench::{geomean, print_table, run_config, BenchMode, BATCHES, NETWORKS};
+use pim_arch::ChipClass;
+
+fn main() {
+    let mode = BenchMode::from_args();
+    let mut speedup_vs_greedy: Vec<(String, f64)> = Vec::new();
+    let mut speedup_vs_layerwise: Vec<(String, f64)> = Vec::new();
+
+    for name in NETWORKS {
+        for class in ChipClass::ALL {
+            let mut rows = Vec::new();
+            for batch in BATCHES {
+                let greedy = run_config(name, class, Strategy::Greedy, batch, mode);
+                let layerwise = run_config(name, class, Strategy::Layerwise, batch, mode);
+                let compass = run_config(name, class, Strategy::Compass, batch, mode);
+                speedup_vs_greedy
+                    .push((name.to_string(), compass.throughput() / greedy.throughput()));
+                speedup_vs_layerwise
+                    .push((name.to_string(), compass.throughput() / layerwise.throughput()));
+                rows.push(vec![
+                    batch.to_string(),
+                    format!("{:.1}", greedy.throughput()),
+                    format!("{:.1}", layerwise.throughput()),
+                    format!("{:.1}", compass.throughput()),
+                    format!("{:.2}x", compass.throughput() / greedy.throughput()),
+                    format!("{:.2}x", compass.throughput() / layerwise.throughput()),
+                ]);
+            }
+            print_table(
+                &format!("Fig. 6: {name} on Chip-{class} (inference/s)"),
+                &["Batch", "Greedy", "Layerwise", "COMPASS", "vs greedy", "vs layerwise"],
+                &rows,
+            );
+        }
+    }
+
+    println!("\n## Headline summary (geomean speedups)\n");
+    for name in NETWORKS {
+        let g: Vec<f64> = speedup_vs_greedy
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .collect();
+        let l: Vec<f64> = speedup_vs_layerwise
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .collect();
+        println!("{name}: COMPASS vs greedy {:.2}x, vs layerwise {:.2}x", geomean(&g), geomean(&l));
+    }
+    let all_g: Vec<f64> = speedup_vs_greedy.iter().map(|(_, s)| *s).collect();
+    let all_l: Vec<f64> = speedup_vs_layerwise.iter().map(|(_, s)| *s).collect();
+    let overall = geomean(&[geomean(&all_g), geomean(&all_l)]);
+    println!(
+        "overall: vs greedy {:.2}x, vs layerwise {:.2}x, vs both {:.2}x",
+        geomean(&all_g),
+        geomean(&all_l),
+        overall
+    );
+    println!(
+        "\npaper reference: 1.78x average over baselines (greedy: 1.80/1.71/2.24x, layerwise: 1.56/1.31/1.98x for VGG16/ResNet18/SqueezeNet)"
+    );
+}

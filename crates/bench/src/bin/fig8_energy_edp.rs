@@ -1,0 +1,48 @@
+//! Regenerates **Fig. 8** (inference energy and EDP per sample,
+//! "ResNet18-S" across batch sizes).
+
+use compass_bench::{print_table, run_config, BenchMode, BATCHES, STRATEGIES};
+use pim_arch::ChipClass;
+
+fn main() {
+    let mode = BenchMode::from_args();
+    let mut energy_rows = Vec::new();
+    let mut edp_rows = Vec::new();
+    let mut edp_ratio_greedy = Vec::new();
+    let mut edp_ratio_layerwise = Vec::new();
+
+    for batch in BATCHES {
+        let mut energies = vec![format!("ResNet18-S-{batch}")];
+        let mut edps = vec![format!("ResNet18-S-{batch}")];
+        let mut by_strategy = Vec::new();
+        for strategy in STRATEGIES {
+            let r = run_config("resnet18", ChipClass::S, strategy, batch, mode);
+            energies.push(format!("{:.1}", r.simulated.energy_per_inference_uj()));
+            edps.push(format!("{:.2}", r.simulated.edp_per_inference()));
+            by_strategy.push(r.simulated.edp_per_inference());
+        }
+        // STRATEGIES order: greedy, layerwise, compass.
+        edp_ratio_greedy.push(by_strategy[0] / by_strategy[2]);
+        edp_ratio_layerwise.push(by_strategy[1] / by_strategy[2]);
+        energy_rows.push(energies);
+        edp_rows.push(edps);
+    }
+
+    print_table(
+        "Fig. 8 (left): inference energy per sample (uJ)",
+        &["Config", "Greedy", "Layerwise", "COMPASS"],
+        &energy_rows,
+    );
+    print_table(
+        "Fig. 8 (right): EDP per sample (uJ x ms)",
+        &["Config", "Greedy", "Layerwise", "COMPASS"],
+        &edp_rows,
+    );
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\nCOMPASS EDP advantage: {:.2}x vs greedy, {:.2}x vs layerwise (average over batches)",
+        avg(&edp_ratio_greedy),
+        avg(&edp_ratio_layerwise)
+    );
+    println!("paper reference: 1.28x vs greedy, 2.08x vs layerwise on average");
+}

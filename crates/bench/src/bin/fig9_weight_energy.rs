@@ -1,0 +1,38 @@
+//! Regenerates **Fig. 9** (energy of weight writes and loads relative
+//! to MVMUL, ResNet18 across chips and batch sizes).
+//!
+//! Plots `(MVMUL + weight write + weight load) / MVMUL` per
+//! configuration, matching the paper's normalization: MVMUL alone is
+//! 1.0, batch 1 sits near 4x, batch 16 amortizes toward ~1.2x, and
+//! bigger chips (more replication) sit slightly higher.
+
+use compass::Strategy;
+use compass_bench::{print_table, run_config, BenchMode, BATCHES};
+use pim_arch::ChipClass;
+
+fn main() {
+    let mode = BenchMode::from_args();
+    let mut rows = Vec::new();
+    for batch in BATCHES {
+        for class in [ChipClass::L, ChipClass::M, ChipClass::S] {
+            let r = run_config("resnet18", class, Strategy::Compass, batch, mode);
+            let e = &r.simulated.energy;
+            let total_rel = 1.0 + e.replacement_ratio();
+            rows.push(vec![
+                format!("{class}-{batch}"),
+                format!("{:.1}", e.mvm_nj / 1000.0),
+                format!("{:.1}", e.weight_write_nj / 1000.0),
+                format!("{:.1}", e.weight_load_nj / 1000.0),
+                format!("x{:.2}", total_rel),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 9: weight write/load energy relative to MVMUL (ResNet18, COMPASS)",
+        &["Config", "MVMUL (uJ)", "Write (uJ)", "Load (uJ)", "Total rel. MVMUL"],
+        &rows,
+    );
+    println!(
+        "\npaper reference: L-1 x4.03 ... S-1 x3.65 down to L-16 x1.18 ... S-16 x1.18; batch 16 sufficiently amortizes replacement"
+    );
+}

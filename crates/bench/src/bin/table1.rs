@@ -1,0 +1,43 @@
+//! Regenerates **Table I** (hardware configuration).
+
+use compass_bench::print_table;
+use pim_arch::{ChipClass, ChipSpec};
+
+fn main() {
+    let core = pim_arch::CoreSpec::paper();
+    print_table(
+        "Table I (a): per-core components",
+        &["Component", "Parameters", "Specification", "Power (mW)"],
+        &[
+            vec!["VFU".into(), "# per core".into(), format!("{}", core.vfu_count), format!("{}", core.vfu_power_mw)],
+            vec![
+                "Local Memory".into(),
+                "# per core".into(),
+                format!("{} kB", core.local_memory_bytes / 1024),
+                format!("{}", core.local_memory_power_mw),
+            ],
+            vec!["Control Unit".into(), "# per core".into(), "-".into(), format!("{}", core.control_power_mw)],
+            vec!["DRAM config.".into(), "LPDDR3 8GB".into(), "trace-based".into(), "(pim-dram)".into()],
+        ],
+    );
+
+    let rows: Vec<Vec<String>> = ChipClass::ALL
+        .iter()
+        .map(|&class| {
+            let chip = ChipSpec::preset(class);
+            vec![
+                chip.name.clone(),
+                chip.cores.to_string(),
+                chip.crossbars_per_core.to_string(),
+                format!("{:.3}", chip.capacity_mib()),
+                format!("{:.2}", chip.chip_power_w),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table I (b): chip configurations",
+        &["Chip", "# Cores", "# Crossbar/Core", "Capacity (MiB)", "Power (W)"],
+        &rows,
+    );
+    println!("\npaper reference: S = 1.125 MiB / 1.57 W, M = 2.0 / 2.80, L = 4.5 / 6.30");
+}

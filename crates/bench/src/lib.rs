@@ -1,0 +1,186 @@
+//! # compass-bench — harness regenerating the COMPASS paper's tables and figures
+//!
+//! Each binary in `src/bin/` regenerates one table or figure:
+//!
+//! | Binary | Reproduces |
+//! |--------|------------|
+//! | `table1` | Table I (hardware configurations) |
+//! | `table2` | Table II (model sizes & compiler support) |
+//! | `fig5_validity` | Fig. 5 (partition validity maps) |
+//! | `fig6_throughput` | Fig. 6 (throughput vs batch/chip/scheme) |
+//! | `fig7_latency_breakdown` | Fig. 7 (per-partition latency) |
+//! | `fig8_energy_edp` | Fig. 8 (energy & EDP vs batch) |
+//! | `fig9_weight_energy` | Fig. 9 (replacement energy vs MVM) |
+//! | `fig10_convergence` | Fig. 10 (GA fitness evolution) |
+//! | `ablation_mutation` | extension: mutation-operator ablation |
+//! | `technology_sweep` | extension: SRAM/ReRAM/MRAM write-cost sweep |
+//!
+//! All binaries run in *fast* GA mode by default so the full suite
+//! completes in minutes; pass `--paper` for the paper's GA
+//! hyper-parameters (population 100, 30 generations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use compass::{CompileOptions, CompiledModel, Compiler, GaParams, Strategy};
+use pim_arch::{ChipClass, ChipSpec};
+use pim_model::{zoo, Network};
+use pim_sim::{ChipSimulator, SimReport};
+
+/// The paper's three benchmark networks.
+pub const NETWORKS: [&str; 3] = ["vgg16", "resnet18", "squeezenet"];
+
+/// The paper's batch-size sweep.
+pub const BATCHES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// The three partitioning schemes compared throughout the evaluation.
+pub const STRATEGIES: [Strategy; 3] =
+    [Strategy::Greedy, Strategy::Layerwise, Strategy::Compass];
+
+/// Looks up a zoo network by name.
+///
+/// # Panics
+///
+/// Panics on unknown names (bench binaries hard-code valid ones).
+pub fn network(name: &str) -> Network {
+    match name {
+        "vgg16" => zoo::vgg16(),
+        "resnet18" => zoo::resnet18(),
+        "squeezenet" => zoo::squeezenet(),
+        "tiny_cnn" => zoo::tiny_cnn(),
+        "tiny_resnet" => zoo::tiny_resnet(),
+        other => panic!("unknown network {other}"),
+    }
+}
+
+/// Bench execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchMode {
+    /// Reduced GA (default): fast enough for CI and iteration.
+    Fast,
+    /// The paper's GA parameters (§IV-A3).
+    Paper,
+}
+
+impl BenchMode {
+    /// Parses `--paper` from the process arguments.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--paper") {
+            BenchMode::Paper
+        } else {
+            BenchMode::Fast
+        }
+    }
+
+    /// GA parameters for this mode.
+    pub fn ga_params(self) -> GaParams {
+        match self {
+            BenchMode::Fast => GaParams::fast(),
+            BenchMode::Paper => GaParams::paper(),
+        }
+    }
+}
+
+/// One measured configuration ("Network-ChipConfig-BatchSize" in the
+/// paper's labeling, plus the scheme).
+#[derive(Debug, Clone)]
+pub struct ConfigResult {
+    /// e.g. `"resnet18-S-4"`.
+    pub label: String,
+    /// The scheme that produced it.
+    pub strategy: Strategy,
+    /// Compiler output.
+    pub compiled: CompiledModel,
+    /// Simulator output.
+    pub simulated: SimReport,
+}
+
+impl ConfigResult {
+    /// Simulated throughput, inferences/s.
+    pub fn throughput(&self) -> f64 {
+        self.simulated.throughput_ips()
+    }
+}
+
+/// Compiles and simulates one configuration.
+pub fn run_config(
+    net_name: &str,
+    class: ChipClass,
+    strategy: Strategy,
+    batch: usize,
+    mode: BenchMode,
+) -> ConfigResult {
+    let net = network(net_name);
+    let chip = ChipSpec::preset(class);
+    let compiled = Compiler::new(chip.clone())
+        .compile(
+            &net,
+            &CompileOptions::new()
+                .with_batch_size(batch)
+                .with_strategy(strategy)
+                .with_ga(mode.ga_params())
+                .with_seed(2025),
+        )
+        .unwrap_or_else(|e| panic!("{net_name}-{class}-{batch} ({strategy}): {e}"));
+    let simulated = ChipSimulator::new(chip)
+        .run(compiled.programs(), batch)
+        .unwrap_or_else(|e| panic!("{net_name}-{class}-{batch} ({strategy}) sim: {e}"));
+    ConfigResult {
+        label: format!("{net_name}-{class}-{batch}"),
+        strategy,
+        compiled,
+        simulated,
+    }
+}
+
+/// Prints a markdown-style table: headers then rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Geometric mean of a slice (used for the paper's "1.78X average"
+/// style summaries).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_lookup() {
+        assert_eq!(network("resnet18").name(), "resnet18");
+        assert_eq!(network("vgg16").name(), "vgg16");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown network")]
+    fn unknown_network_panics() {
+        let _ = network("alexnet");
+    }
+
+    #[test]
+    fn run_config_end_to_end_smoke() {
+        let result =
+            run_config("squeezenet", ChipClass::S, Strategy::Greedy, 2, BenchMode::Fast);
+        assert!(result.throughput() > 0.0);
+        assert_eq!(result.label, "squeezenet-S-2");
+    }
+}

@@ -1,0 +1,155 @@
+//! Baseline partitioning schemes (paper §IV-A2).
+//!
+//! * **Greedy** packs as many consecutive partition units as possible
+//!   into each partition, tracking the remaining chip footprint.
+//! * **Layerwise** maps one Conv/Linear layer per partition (the
+//!   trailing non-crossbar nodes ride along with their producer, as in
+//!   all schemes); layers exceeding the chip are chopped at the widest
+//!   valid span.
+
+use crate::decompose::UnitSequence;
+use crate::partition::PartitionGroup;
+use crate::validity::ValidityMap;
+
+/// Greedy partitioning: each partition takes the maximal valid span
+/// from its start position.
+///
+/// # Example
+///
+/// ```
+/// use compass::{baselines, decompose, ValidityMap};
+/// use pim_arch::ChipSpec;
+/// use pim_model::zoo;
+///
+/// let chip = ChipSpec::chip_s();
+/// let seq = decompose(&zoo::resnet18(), &chip);
+/// let map = ValidityMap::build(&seq, &chip);
+/// let group = baselines::greedy(&map);
+/// assert!(group.partition_count() >= 2); // ResNet18 > Chip-S capacity
+/// ```
+pub fn greedy(validity: &ValidityMap) -> PartitionGroup {
+    let m = validity.len();
+    assert!(m > 0, "cannot partition an empty unit sequence");
+    let mut cuts = Vec::new();
+    let mut start = 0usize;
+    while start < m {
+        let end = validity.max_end(start);
+        if end < m {
+            cuts.push(end);
+        }
+        start = end;
+    }
+    PartitionGroup::from_cuts(cuts, validity)
+        .expect("greedy spans are maximal valid spans")
+}
+
+/// Layerwise partitioning: one weighted layer per partition; oversized
+/// layers split into maximal valid sub-spans.
+pub fn layerwise(seq: &UnitSequence, validity: &ValidityMap) -> PartitionGroup {
+    let m = validity.len();
+    assert!(m > 0, "cannot partition an empty unit sequence");
+    let mut cuts = Vec::new();
+    for (_, range) in seq.node_ranges() {
+        let mut start = range.start;
+        while start < range.end {
+            let end = validity.max_end(start).min(range.end);
+            if end < m {
+                cuts.push(end);
+            }
+            start = end;
+        }
+    }
+    // The loop appends each layer's final boundary; the last layer's
+    // boundary equals M and is excluded above. Dedup guards against
+    // node ranges that already ended on a previous cut.
+    cuts.dedup();
+    PartitionGroup::from_cuts(cuts, validity)
+        .expect("layerwise spans are within single valid spans")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::decompose;
+    use pim_arch::ChipSpec;
+    use pim_model::zoo;
+
+    fn setup(chip: &ChipSpec, net: &pim_model::Network) -> (UnitSequence, ValidityMap) {
+        let seq = decompose(net, chip);
+        let validity = ValidityMap::build(&seq, chip);
+        (seq, validity)
+    }
+
+    #[test]
+    fn greedy_partitions_are_maximal() {
+        let chip = ChipSpec::chip_s();
+        let (_, validity) = setup(&chip, &zoo::vgg16());
+        let group = greedy(&validity);
+        for p in group.partitions() {
+            // Each greedy span reaches its max_end (except possibly at
+            // M where it just ends).
+            let max = validity.max_end(p.start);
+            assert!(p.end == max || p.end == validity.len());
+        }
+    }
+
+    #[test]
+    fn greedy_single_partition_when_model_fits() {
+        let chip = ChipSpec::chip_s();
+        let (_, validity) = setup(&chip, &zoo::squeezenet());
+        let group = greedy(&validity);
+        assert_eq!(group.partition_count(), 1, "SqueezeNet fits Chip-S entirely");
+    }
+
+    #[test]
+    fn layerwise_has_one_partition_per_layer_when_layers_fit() {
+        let chip = ChipSpec::chip_m();
+        let net = zoo::squeezenet();
+        let (seq, validity) = setup(&chip, &net);
+        let group = layerwise(&seq, &validity);
+        // Every SqueezeNet conv fits Chip-M individually: partitions =
+        // weighted layers = 26.
+        assert_eq!(group.partition_count(), 26);
+        // Each partition covers exactly one node's units.
+        for p in group.partitions() {
+            let nodes = seq.nodes_in_span(p.range());
+            assert_eq!(nodes.len(), 1, "partition {p} spans {nodes:?}");
+        }
+    }
+
+    #[test]
+    fn layerwise_splits_oversized_layers() {
+        let chip = ChipSpec::chip_s();
+        let net = zoo::vgg16();
+        let (seq, validity) = setup(&chip, &net);
+        let group = layerwise(&seq, &validity);
+        let weighted_layers = seq.node_ranges().count();
+        assert!(
+            group.partition_count() > weighted_layers,
+            "fc6 alone needs several partitions: {} vs {} layers",
+            group.partition_count(),
+            weighted_layers
+        );
+    }
+
+    #[test]
+    fn layerwise_never_mixes_two_layers() {
+        let chip = ChipSpec::chip_s();
+        let net = zoo::resnet18();
+        let (seq, validity) = setup(&chip, &net);
+        let group = layerwise(&seq, &validity);
+        for p in group.partitions() {
+            assert_eq!(seq.nodes_in_span(p.range()).len(), 1);
+        }
+    }
+
+    #[test]
+    fn greedy_has_fewer_partitions_than_layerwise() {
+        let chip = ChipSpec::chip_m();
+        let net = zoo::resnet18();
+        let (seq, validity) = setup(&chip, &net);
+        let g = greedy(&validity).partition_count();
+        let l = layerwise(&seq, &validity).partition_count();
+        assert!(g < l, "greedy {g} should be coarser than layerwise {l}");
+    }
+}

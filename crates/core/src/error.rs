@@ -1,0 +1,39 @@
+//! Compiler errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Compilation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The chip configuration is invalid.
+    InvalidChip(String),
+    /// The network has no crossbar-mappable (Conv/Linear) layers.
+    NoWeightedLayers,
+    /// A single partition unit cannot fit the chip (one core cannot
+    /// hold even a minimal slice — the chip is too small for this
+    /// network at this precision).
+    UnitTooLarge {
+        /// The offending layer's name.
+        layer: String,
+    },
+    /// Options are inconsistent (e.g. zero batch size).
+    InvalidOptions(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidChip(detail) => write!(f, "invalid chip configuration: {detail}"),
+            CompileError::NoWeightedLayers => {
+                write!(f, "network has no conv/linear layers to map onto crossbars")
+            }
+            CompileError::UnitTooLarge { layer } => {
+                write!(f, "layer {layer} cannot be decomposed to fit a single core")
+            }
+            CompileError::InvalidOptions(detail) => write!(f, "invalid options: {detail}"),
+        }
+    }
+}
+
+impl Error for CompileError {}

@@ -1,0 +1,295 @@
+//! Partition-group fitness and partition scores (paper §III-C1/C2).
+
+use crate::decompose::UnitSequence;
+use crate::estimate::{Estimator, GroupEstimate};
+use crate::partition::PartitionGroup;
+use crate::plan::GroupPlan;
+use crate::replication::optimize_group;
+use crate::validity::ValidityMap;
+use pim_arch::ChipSpec;
+use pim_model::Network;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What the GA optimizes (the user-selectable fitness of §III-C1).
+/// Lower is better in both modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum FitnessKind {
+    /// Partition latency (throughput optimization) — the paper's main
+    /// operating mode.
+    #[default]
+    Latency,
+    /// Partition latency × partition energy (EDP optimization).
+    Edp,
+}
+
+/// A fully evaluated partition group: plans, estimate, and the fitness
+/// values the GA consumes.
+#[derive(Debug, Clone)]
+pub struct EvaluatedGroup {
+    /// The chromosome.
+    pub group: PartitionGroup,
+    /// Resolved and replication-optimized plans.
+    pub plans: GroupPlan,
+    /// Analytical estimate at the GA's batch size.
+    pub estimate: GroupEstimate,
+    /// Per-partition fitness `f(Pₖ)` (lower is better).
+    pub partition_fitness: Vec<f64>,
+    /// Partition group fitness `PGF = Σₖ f(Pₖ)`.
+    pub pgf: f64,
+}
+
+/// Evaluation context shared across a GA run; memoizes evaluations by
+/// cut vector, since selected individuals survive across generations.
+pub struct FitnessContext<'a> {
+    network: &'a Network,
+    seq: &'a UnitSequence,
+    validity: &'a ValidityMap,
+    chip: &'a ChipSpec,
+    batch: usize,
+    kind: FitnessKind,
+    cache: HashMap<Vec<usize>, EvaluatedGroup>,
+}
+
+impl<'a> FitnessContext<'a> {
+    /// Creates a context.
+    pub fn new(
+        network: &'a Network,
+        seq: &'a UnitSequence,
+        validity: &'a ValidityMap,
+        chip: &'a ChipSpec,
+        batch: usize,
+        kind: FitnessKind,
+    ) -> Self {
+        Self { network, seq, validity, chip, batch, kind, cache: HashMap::new() }
+    }
+
+    /// The validity map (used by mutation operators).
+    pub fn validity(&self) -> &ValidityMap {
+        self.validity
+    }
+
+    /// The unit sequence.
+    pub fn seq(&self) -> &UnitSequence {
+        self.seq
+    }
+
+    /// Evaluates (or recalls) a group.
+    pub fn evaluate(&mut self, group: &PartitionGroup) -> EvaluatedGroup {
+        if let Some(hit) = self.cache.get(group.cuts()) {
+            return hit.clone();
+        }
+        let mut plans = GroupPlan::build(self.network, self.seq, group);
+        optimize_group(&mut plans, self.chip);
+        let estimate = Estimator::new(self.chip).estimate_group(&plans, self.batch);
+        let partition_fitness: Vec<f64> = estimate
+            .partitions
+            .iter()
+            .map(|p| match self.kind {
+                FitnessKind::Latency => p.latency_ns,
+                // µs × µJ keeps EDP fitness numerically tame.
+                FitnessKind::Edp => (p.latency_ns * 1e-3) * (p.energy.total_nj() * 1e-3),
+            })
+            .collect();
+        let pgf = partition_fitness.iter().sum();
+        let eval = EvaluatedGroup {
+            group: group.clone(),
+            plans,
+            estimate,
+            partition_fitness,
+            pgf,
+        };
+        self.cache.insert(group.cuts().to_vec(), eval.clone());
+        eval
+    }
+
+    /// Number of memoized evaluations.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// Mean per-unit fitness `E[m(xᵢ)]` over a population (§III-C2):
+/// `m(xᵢ) = f(P)/|P|` where `P` is the partition containing `xᵢ` in a
+/// given individual; the expectation averages over the population.
+pub fn mean_unit_fitness(population: &[EvaluatedGroup], unit_count: usize) -> Vec<f64> {
+    let mut sums = vec![0.0; unit_count];
+    if population.is_empty() {
+        return sums;
+    }
+    for eval in population {
+        for (k, part) in eval.group.partitions().iter().enumerate() {
+            let m = eval.partition_fitness[k] / part.len() as f64;
+            for i in part.range() {
+                sums[i] += m;
+            }
+        }
+    }
+    let n = population.len() as f64;
+    for s in &mut sums {
+        *s /= n;
+    }
+    sums
+}
+
+/// Partition scores `Rₖ = f(Pₖ) / F[a,b]` for one individual, where
+/// `F[a,b] = Σ_{i∈[a,b)} E[m(xᵢ)]` (§III-C2). A score above 1 means
+/// the partition performs worse than the population expectation over
+/// the same unit span — such partitions are selected for mutation.
+pub fn partition_scores(eval: &EvaluatedGroup, mean_m: &[f64]) -> Vec<f64> {
+    eval.group
+        .partitions()
+        .iter()
+        .zip(&eval.partition_fitness)
+        .map(|(part, &f)| {
+            let expected: f64 = mean_m[part.range()].iter().sum();
+            if expected > 0.0 {
+                f / expected
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::decompose;
+    use pim_model::zoo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        network: Network,
+        seq: UnitSequence,
+        validity: ValidityMap,
+        chip: ChipSpec,
+    }
+
+    fn fixture() -> Fixture {
+        let chip = ChipSpec::chip_s();
+        let network = zoo::resnet18();
+        let seq = decompose(&network, &chip);
+        let validity = ValidityMap::build(&seq, &chip);
+        Fixture { network, seq, validity, chip }
+    }
+
+    #[test]
+    fn pgf_is_sum_of_partition_fitness() {
+        let f = fixture();
+        let mut ctx = FitnessContext::new(
+            &f.network,
+            &f.seq,
+            &f.validity,
+            &f.chip,
+            4,
+            FitnessKind::Latency,
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let group = PartitionGroup::random(&mut rng, &f.validity);
+        let eval = ctx.evaluate(&group);
+        let sum: f64 = eval.partition_fitness.iter().sum();
+        assert!((sum - eval.pgf).abs() < 1e-6);
+        assert_eq!(eval.partition_fitness.len(), group.partition_count());
+    }
+
+    #[test]
+    fn evaluation_is_memoized() {
+        let f = fixture();
+        let mut ctx = FitnessContext::new(
+            &f.network,
+            &f.seq,
+            &f.validity,
+            &f.chip,
+            4,
+            FitnessKind::Latency,
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let group = PartitionGroup::random(&mut rng, &f.validity);
+        let a = ctx.evaluate(&group);
+        let b = ctx.evaluate(&group);
+        assert_eq!(ctx.cache_len(), 1);
+        assert_eq!(a.pgf, b.pgf);
+    }
+
+    #[test]
+    fn edp_fitness_differs_from_latency() {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(3);
+        let group = PartitionGroup::random(&mut rng, &f.validity);
+        let mut lat = FitnessContext::new(
+            &f.network,
+            &f.seq,
+            &f.validity,
+            &f.chip,
+            4,
+            FitnessKind::Latency,
+        );
+        let mut edp = FitnessContext::new(
+            &f.network,
+            &f.seq,
+            &f.validity,
+            &f.chip,
+            4,
+            FitnessKind::Edp,
+        );
+        let a = lat.evaluate(&group);
+        let b = edp.evaluate(&group);
+        assert_ne!(a.pgf, b.pgf);
+    }
+
+    #[test]
+    fn mean_unit_fitness_covers_all_units() {
+        let f = fixture();
+        let mut ctx = FitnessContext::new(
+            &f.network,
+            &f.seq,
+            &f.validity,
+            &f.chip,
+            4,
+            FitnessKind::Latency,
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let evals: Vec<EvaluatedGroup> = (0..5)
+            .map(|_| {
+                let g = PartitionGroup::random(&mut rng, &f.validity);
+                ctx.evaluate(&g)
+            })
+            .collect();
+        let mean = mean_unit_fitness(&evals, f.seq.len());
+        assert_eq!(mean.len(), f.seq.len());
+        assert!(mean.iter().all(|&m| m > 0.0), "every unit has positive mean fitness");
+    }
+
+    #[test]
+    fn partition_scores_centre_around_one() {
+        let f = fixture();
+        let mut ctx = FitnessContext::new(
+            &f.network,
+            &f.seq,
+            &f.validity,
+            &f.chip,
+            4,
+            FitnessKind::Latency,
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let evals: Vec<EvaluatedGroup> = (0..8)
+            .map(|_| {
+                let g = PartitionGroup::random(&mut rng, &f.validity);
+                ctx.evaluate(&g)
+            })
+            .collect();
+        let mean = mean_unit_fitness(&evals, f.seq.len());
+        // Average score across all partitions of all individuals
+        // should be near 1 (it is a ratio against the population
+        // expectation of the same spans).
+        let mut all = Vec::new();
+        for e in &evals {
+            all.extend(partition_scores(e, &mean));
+        }
+        let avg: f64 = all.iter().sum::<f64>() / all.len() as f64;
+        assert!((0.5..2.0).contains(&avg), "scores off-centre: {avg}");
+        assert!(all.iter().all(|s| s.is_finite() && *s > 0.0));
+    }
+}

@@ -1,0 +1,380 @@
+//! The four mutation schemes of the COMPASS GA (paper §III-C3).
+
+use crate::partition::PartitionGroup;
+use crate::validity::ValidityMap;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which mutation was applied (for tracing/ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MutationKind {
+    /// Merge two neighboring partitions (removes small, inefficient
+    /// partitions).
+    Merge,
+    /// Split one partition at a random point (removes ill-performing
+    /// partitions holding too many layers with low replication).
+    Split,
+    /// Move one unit across a partition boundary (fine-grained
+    /// adjustment of the cut position).
+    Move,
+    /// Keep the best partition, regenerate everything else randomly
+    /// (escapes local optima).
+    FixedRandom,
+}
+
+impl MutationKind {
+    /// All schemes, selected with equal probability (paper §IV-A3).
+    pub const ALL: [MutationKind; 4] =
+        [MutationKind::Merge, MutationKind::Split, MutationKind::Move, MutationKind::FixedRandom];
+}
+
+/// Merges the consecutive partition pair `(k, k+1)` whose combined
+/// partition score is worst. `scores[k]` are the per-partition scores;
+/// returns `None` if no adjacent pair can legally merge.
+pub fn merge(
+    group: &PartitionGroup,
+    scores: &[f64],
+    validity: &ValidityMap,
+) -> Option<PartitionGroup> {
+    let cuts = group.cuts();
+    if cuts.is_empty() {
+        return None;
+    }
+    // Rank cut indices by combined score of the two partitions they
+    // separate, worst (largest) first.
+    let mut order: Vec<usize> = (0..cuts.len()).collect();
+    order.sort_by(|&a, &b| {
+        let sa = scores[a] + scores[a + 1];
+        let sb = scores[b] + scores[b + 1];
+        sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for k in order {
+        let mut new_cuts = cuts.to_vec();
+        new_cuts.remove(k);
+        if let Some(merged) = PartitionGroup::from_cuts(new_cuts, validity) {
+            return Some(merged);
+        }
+    }
+    None
+}
+
+/// Splits partition `k` at a uniformly random interior point. Any
+/// interior split of a valid span is itself valid (packing is monotone
+/// under item removal), so this only fails for single-unit partitions.
+pub fn split<R: Rng + ?Sized>(
+    group: &PartitionGroup,
+    k: usize,
+    rng: &mut R,
+    validity: &ValidityMap,
+) -> Option<PartitionGroup> {
+    let part = group.partition(k);
+    if part.len() < 2 {
+        return None;
+    }
+    let cut = rng.gen_range((part.start + 1)..part.end);
+    let mut cuts = group.cuts().to_vec();
+    let pos = cuts.partition_point(|&c| c < cut);
+    cuts.insert(pos, cut);
+    PartitionGroup::from_cuts(cuts, validity)
+}
+
+/// Moves one unit across the boundary between partition `k` and a
+/// random neighbor (shifts a cut by ±1), searching for an optimal
+/// partitioning position. Returns `None` when no legal shift exists.
+pub fn move_unit<R: Rng + ?Sized>(
+    group: &PartitionGroup,
+    k: usize,
+    rng: &mut R,
+    validity: &ValidityMap,
+) -> Option<PartitionGroup> {
+    let cuts = group.cuts();
+    if cuts.is_empty() {
+        return None;
+    }
+    // Candidate cut indices adjacent to partition k: cut k-1 (left
+    // boundary) and cut k (right boundary).
+    let mut candidates: Vec<usize> = Vec::new();
+    if k > 0 {
+        candidates.push(k - 1);
+    }
+    if k < cuts.len() {
+        candidates.push(k);
+    }
+    // Try both shift directions per candidate in random order.
+    let mut attempts: Vec<(usize, isize)> = candidates
+        .iter()
+        .flat_map(|&c| [(c, 1isize), (c, -1isize)])
+        .collect();
+    for i in (1..attempts.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        attempts.swap(i, j);
+    }
+    for (c, delta) in attempts {
+        let new_cut = cuts[c] as isize + delta;
+        if new_cut <= 0 || new_cut as usize >= group.unit_count() {
+            continue;
+        }
+        let mut new_cuts = cuts.to_vec();
+        new_cuts[c] = new_cut as usize;
+        // Shifting may collide with a neighboring cut; skip those.
+        if c > 0 && new_cuts[c] <= new_cuts[c - 1] {
+            continue;
+        }
+        if c + 1 < new_cuts.len() && new_cuts[c] >= new_cuts[c + 1] {
+            continue;
+        }
+        if let Some(moved) = PartitionGroup::from_cuts(new_cuts, validity) {
+            return Some(moved);
+        }
+    }
+    None
+}
+
+/// Keeps the best-fitness partition (index `best`) fixed and
+/// regenerates all cuts before and after it randomly.
+pub fn fixed_random<R: Rng + ?Sized>(
+    group: &PartitionGroup,
+    best: usize,
+    rng: &mut R,
+    validity: &ValidityMap,
+) -> Option<PartitionGroup> {
+    let part = group.partition(best);
+    let m = group.unit_count();
+    let mut cuts = Vec::new();
+    // Random walk from 0 forced to land exactly on part.start.
+    let mut pos = 0usize;
+    while pos < part.start {
+        let max_end = validity.max_end(pos).min(part.start);
+        let end = rng.gen_range((pos + 1)..=max_end);
+        cuts.push(end);
+        pos = end;
+    }
+    if part.start > 0 && *cuts.last().unwrap() != part.start {
+        // Unreachable by construction, but stay defensive.
+        return None;
+    }
+    if part.end < m {
+        cuts.push(part.end);
+        let mut pos = part.end;
+        while pos < m {
+            let max_end = validity.max_end(pos);
+            let end = rng.gen_range((pos + 1)..=max_end);
+            if end < m {
+                cuts.push(end);
+            }
+            pos = end;
+        }
+    }
+    PartitionGroup::from_cuts(cuts, validity)
+}
+
+/// One-point crossover (extension beyond the paper's Algorithm 1):
+/// the child takes `a`'s cuts before a random point and `b`'s cuts
+/// after it. If the bridging span is too large, a repair cut at the
+/// crossover point is inserted — the repaired child is always valid
+/// because every resulting span is a subset of a valid parent span.
+pub fn crossover<R: Rng + ?Sized>(
+    a: &PartitionGroup,
+    b: &PartitionGroup,
+    rng: &mut R,
+    validity: &ValidityMap,
+) -> Option<PartitionGroup> {
+    let m = a.unit_count();
+    if m < 2 || b.unit_count() != m {
+        return None;
+    }
+    let point = rng.gen_range(1..m);
+    let head: Vec<usize> = a.cuts().iter().copied().filter(|&c| c < point).collect();
+    let tail: Vec<usize> = b.cuts().iter().copied().filter(|&c| c > point).collect();
+    let mut joined = head.clone();
+    joined.extend(&tail);
+    if let Some(child) = PartitionGroup::from_cuts(joined, validity) {
+        return Some(child);
+    }
+    let mut repaired = head;
+    repaired.push(point);
+    repaired.extend(&tail);
+    PartitionGroup::from_cuts(repaired, validity)
+}
+
+/// Applies `kind` to `group`, mutating the worst-scoring partition
+/// (or pair, for merges). Falls back to `None` when the scheme cannot
+/// produce a legal offspring.
+pub fn apply<R: Rng + ?Sized>(
+    kind: MutationKind,
+    group: &PartitionGroup,
+    scores: &[f64],
+    rng: &mut R,
+    validity: &ValidityMap,
+) -> Option<PartitionGroup> {
+    let worst = scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(k, _)| k)
+        .unwrap_or(0);
+    let best = scores
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(k, _)| k)
+        .unwrap_or(0);
+    match kind {
+        MutationKind::Merge => merge(group, scores, validity),
+        MutationKind::Split => split(group, worst, rng, validity),
+        MutationKind::Move => move_unit(group, worst, rng, validity),
+        MutationKind::FixedRandom => fixed_random(group, best, rng, validity),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::decompose;
+    use pim_arch::ChipSpec;
+    use pim_model::zoo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ValidityMap, PartitionGroup) {
+        let chip = ChipSpec::chip_s();
+        let seq = decompose(&zoo::resnet18(), &chip);
+        let validity = ValidityMap::build(&seq, &chip);
+        let mut rng = StdRng::seed_from_u64(99);
+        let group = PartitionGroup::random(&mut rng, &validity);
+        (validity, group)
+    }
+
+    fn uniform_scores(group: &PartitionGroup) -> Vec<f64> {
+        vec![1.0; group.partition_count()]
+    }
+
+    #[test]
+    fn merge_reduces_partition_count_by_one() {
+        let (validity, group) = setup();
+        if let Some(merged) = merge(&group, &uniform_scores(&group), &validity) {
+            assert_eq!(merged.partition_count(), group.partition_count() - 1);
+            assert_eq!(merged.unit_count(), group.unit_count());
+        }
+        // (merge may legally fail when every adjacent union is too big
+        // — not for a random ResNet18 group in practice, but allowed.)
+    }
+
+    #[test]
+    fn split_increases_partition_count_by_one() {
+        let (validity, group) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Find a splittable partition.
+        let k = (0..group.partition_count())
+            .find(|&k| group.partition(k).len() >= 2)
+            .expect("some partition has >= 2 units");
+        let split_group = split(&group, k, &mut rng, &validity).expect("split is always valid");
+        assert_eq!(split_group.partition_count(), group.partition_count() + 1);
+    }
+
+    #[test]
+    fn split_single_unit_fails() {
+        let (validity, group) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        if let Some(k) = (0..group.partition_count()).find(|&k| group.partition(k).len() == 1) {
+            assert!(split(&group, k, &mut rng, &validity).is_none());
+        }
+    }
+
+    #[test]
+    fn move_preserves_partition_count() {
+        let (validity, group) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in 0..group.partition_count() {
+            if let Some(moved) = move_unit(&group, k, &mut rng, &validity) {
+                assert_eq!(moved.partition_count(), group.partition_count());
+                assert_ne!(moved, group);
+                return;
+            }
+        }
+        panic!("some move should succeed on a multi-partition group");
+    }
+
+    #[test]
+    fn fixed_random_keeps_best_partition_span() {
+        let (validity, group) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let best = 1.min(group.partition_count() - 1);
+        let regenerated = fixed_random(&group, best, &mut rng, &validity)
+            .expect("fixed-random regeneration succeeds");
+        let span = group.partition(best);
+        // The kept span must appear as a partition in the offspring.
+        let found = regenerated
+            .partitions()
+            .iter()
+            .any(|p| p.start == span.start && p.end == span.end);
+        assert!(found, "kept partition {span} missing from {regenerated}");
+    }
+
+    #[test]
+    fn apply_produces_valid_offspring_for_all_kinds() {
+        let (validity, group) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        let scores: Vec<f64> =
+            (0..group.partition_count()).map(|k| 1.0 + (k % 3) as f64).collect();
+        let mut successes = 0;
+        for kind in MutationKind::ALL {
+            if let Some(child) = apply(kind, &group, &scores, &mut rng, &validity) {
+                assert_eq!(child.unit_count(), group.unit_count());
+                successes += 1;
+            }
+        }
+        assert!(successes >= 3, "most mutation kinds should succeed: {successes}/4");
+    }
+
+    #[test]
+    fn crossover_produces_valid_children() {
+        let (validity, a) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let b = PartitionGroup::random(&mut rng, &validity);
+        let mut produced = 0;
+        for _ in 0..50 {
+            if let Some(child) = crossover(&a, &b, &mut rng, &validity) {
+                assert_eq!(child.unit_count(), a.unit_count());
+                assert!(PartitionGroup::from_cuts(child.cuts().to_vec(), &validity).is_some());
+                produced += 1;
+            }
+        }
+        assert!(produced >= 45, "repair makes crossover nearly always succeed: {produced}");
+    }
+
+    #[test]
+    fn crossover_mixes_parent_cuts() {
+        let (validity, a) = setup();
+        let mut rng = StdRng::seed_from_u64(8);
+        let b = PartitionGroup::random(&mut rng, &validity);
+        // Some child should differ from both parents.
+        let mut differs = false;
+        for _ in 0..20 {
+            if let Some(child) = crossover(&a, &b, &mut rng, &validity) {
+                if child != a && child != b {
+                    differs = true;
+                }
+            }
+        }
+        assert!(differs, "crossover should create novel children");
+    }
+
+    #[test]
+    fn mutations_always_yield_valid_groups_proptest_style() {
+        let (validity, mut group) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        // Chain 100 random mutations; every offspring must validate.
+        for i in 0..100 {
+            let kind = MutationKind::ALL[i % 4];
+            let scores = uniform_scores(&group);
+            if let Some(child) = apply(kind, &group, &scores, &mut rng, &validity) {
+                assert!(
+                    PartitionGroup::from_cuts(child.cuts().to_vec(), &validity).is_some(),
+                    "offspring of {kind:?} must be valid"
+                );
+                group = child;
+            }
+        }
+    }
+}

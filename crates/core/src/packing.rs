@@ -1,0 +1,152 @@
+//! First-fit-decreasing core packing.
+//!
+//! Partition units (and their replicas) are assigned to PIM cores by
+//! crossbar count. A unit never spans two cores (it is sized to fit
+//! one), but several small units may share a core — mirroring
+//! PIMCOMP-style core mapping.
+
+use serde::{Deserialize, Serialize};
+
+/// One item to pack: an opaque id plus its crossbar footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackItem {
+    /// Caller-defined identifier (e.g. unit index or replica id).
+    pub id: usize,
+    /// Crossbars required.
+    pub crossbars: usize,
+}
+
+/// Result of a successful packing: `assignment[i]` is the core index of
+/// the item with the same position in the *input* order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packing {
+    /// Core index per input item.
+    pub assignment: Vec<usize>,
+    /// Number of cores used.
+    pub cores_used: usize,
+    /// Free crossbars per used core.
+    pub slack: Vec<usize>,
+}
+
+/// Packs `items` into at most `cores` bins of `capacity` crossbars each
+/// using first-fit-decreasing. Returns `None` if the items do not fit
+/// (or an item exceeds the capacity outright).
+///
+/// FFD is monotone for our purposes: adding items never reduces the
+/// number of bins needed, which keeps the validity map's
+/// max-end-per-start structure well-defined.
+///
+/// # Example
+///
+/// ```
+/// use compass::packing::{pack_ffd, PackItem};
+///
+/// let items = vec![
+///     PackItem { id: 0, crossbars: 5 },
+///     PackItem { id: 1, crossbars: 4 },
+///     PackItem { id: 2, crossbars: 4 },
+/// ];
+/// let packing = pack_ffd(&items, 2, 9).expect("fits in two cores");
+/// assert_eq!(packing.cores_used, 2);
+/// ```
+pub fn pack_ffd(items: &[PackItem], cores: usize, capacity: usize) -> Option<Packing> {
+    if items.is_empty() {
+        return Some(Packing { assignment: Vec::new(), cores_used: 0, slack: Vec::new() });
+    }
+    // Sort indices by descending size (stable to keep determinism).
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| items[b].crossbars.cmp(&items[a].crossbars).then(a.cmp(&b)));
+
+    let mut free: Vec<usize> = Vec::new();
+    let mut assignment = vec![usize::MAX; items.len()];
+    for &idx in &order {
+        let need = items[idx].crossbars;
+        if need > capacity {
+            return None;
+        }
+        match free.iter().position(|&f| f >= need) {
+            Some(bin) => {
+                free[bin] -= need;
+                assignment[idx] = bin;
+            }
+            None => {
+                if free.len() == cores {
+                    return None;
+                }
+                free.push(capacity - need);
+                assignment[idx] = free.len() - 1;
+            }
+        }
+    }
+    Some(Packing { cores_used: free.len(), assignment, slack: free })
+}
+
+/// `true` if `items` fit into `cores` bins of `capacity`.
+pub fn fits(items: &[PackItem], cores: usize, capacity: usize) -> bool {
+    pack_ffd(items, cores, capacity).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(sizes: &[usize]) -> Vec<PackItem> {
+        sizes.iter().enumerate().map(|(id, &crossbars)| PackItem { id, crossbars }).collect()
+    }
+
+    #[test]
+    fn empty_input_uses_no_cores() {
+        let p = pack_ffd(&[], 4, 9).unwrap();
+        assert_eq!(p.cores_used, 0);
+    }
+
+    #[test]
+    fn exact_fill() {
+        let p = pack_ffd(&items(&[9, 9, 9]), 3, 9).unwrap();
+        assert_eq!(p.cores_used, 3);
+        assert!(p.slack.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn ffd_packs_mixed_sizes_tightly() {
+        // 6+3, 5+4 fit into two bins of 9; naive first-fit in input
+        // order (6,5,4,3) would also work; FFD guarantees it.
+        let p = pack_ffd(&items(&[3, 6, 4, 5]), 2, 9).unwrap();
+        assert_eq!(p.cores_used, 2);
+    }
+
+    #[test]
+    fn rejects_when_capacity_exceeded() {
+        assert!(pack_ffd(&items(&[10]), 4, 9).is_none());
+        assert!(pack_ffd(&items(&[9; 5]), 4, 9).is_none());
+    }
+
+    #[test]
+    fn assignment_indices_match_input_order() {
+        let input = items(&[2, 8, 3]);
+        let p = pack_ffd(&input, 2, 9).unwrap();
+        assert_eq!(p.assignment.len(), 3);
+        // Each assignment is a valid core id.
+        for &core in &p.assignment {
+            assert!(core < p.cores_used);
+        }
+        // Per-core load never exceeds capacity.
+        let mut load = vec![0usize; p.cores_used];
+        for (item, &core) in input.iter().zip(&p.assignment) {
+            load[core] += item.crossbars;
+        }
+        assert!(load.iter().all(|&l| l <= 9));
+    }
+
+    #[test]
+    fn monotone_in_items() {
+        // If a set fits, any prefix of it fits (using same bins).
+        let all = items(&[4, 4, 4, 4, 4, 4]);
+        assert!(fits(&all, 3, 9));
+        assert!(fits(&all[..3], 3, 9));
+        // Adding one more item no longer fits 3 cores of 9.
+        let mut more = all.clone();
+        more.push(PackItem { id: 6, crossbars: 4 });
+        assert!(!fits(&more, 3, 9));
+    }
+}

@@ -1,0 +1,234 @@
+//! Human- and machine-readable compilation reports.
+//!
+//! [`CompileReport`] summarizes what the compiler decided — per
+//! partition: layers, crossbar usage, replication, DRAM transfers —
+//! in a form suitable for logs, regression goldens, and JSON export
+//! (everything here derives `Serialize`).
+
+use crate::compiler::CompiledModel;
+use pim_arch::ChipSpec;
+use pim_model::Network;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One layer slice row in the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SliceReport {
+    /// Layer name (from the network).
+    pub layer: String,
+    /// Fraction of the layer mapped in this partition (1.0 = whole).
+    pub fraction: f64,
+    /// Crossbars at replication 1.
+    pub crossbars: usize,
+    /// Chosen replication count.
+    pub replication: usize,
+    /// MVM waves per sample after replication.
+    pub waves_per_sample: usize,
+}
+
+/// One partition's summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionReport {
+    /// Execution order index.
+    pub index: usize,
+    /// Layer slices mapped here.
+    pub slices: Vec<SliceReport>,
+    /// Names of attached non-crossbar layers.
+    pub attached: Vec<String>,
+    /// Crossbars used including replication.
+    pub crossbars_used: usize,
+    /// Fraction of the chip's crossbars occupied.
+    pub utilization: f64,
+    /// Weight bytes streamed from DRAM during replacement.
+    pub weight_load_bytes: usize,
+    /// Activation bytes loaded per sample (partition entries).
+    pub entry_bytes_per_sample: usize,
+    /// Activation bytes stored per sample (partition exits).
+    pub exit_bytes_per_sample: usize,
+    /// Estimated latency contribution in nanoseconds.
+    pub latency_ns: f64,
+}
+
+/// The full report for one compilation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileReport {
+    /// Network name.
+    pub network: String,
+    /// Chip name.
+    pub chip: String,
+    /// Strategy used (display form).
+    pub strategy: String,
+    /// Batch size compiled for.
+    pub batch: usize,
+    /// Decomposition size `M`.
+    pub unit_count: usize,
+    /// Per-partition details.
+    pub partitions: Vec<PartitionReport>,
+    /// Estimated throughput, inferences/s.
+    pub throughput_ips: f64,
+    /// Estimated energy per inference, µJ.
+    pub energy_per_inference_uj: f64,
+    /// Estimated EDP per inference, µJ·ms.
+    pub edp_per_inference: f64,
+    /// Total instructions across all partition programs.
+    pub total_instructions: usize,
+}
+
+impl CompileReport {
+    /// Builds a report from a compilation result.
+    pub fn new(network: &Network, chip: &ChipSpec, compiled: &CompiledModel) -> Self {
+        let estimate = compiled.estimate();
+        let partitions = compiled
+            .partitions()
+            .iter()
+            .zip(&estimate.partitions)
+            .map(|(plan, est)| PartitionReport {
+                index: plan.index,
+                slices: plan
+                    .slices
+                    .iter()
+                    .map(|s| SliceReport {
+                        layer: network.node(s.node).name.clone(),
+                        fraction: s.fraction,
+                        crossbars: s.crossbars,
+                        replication: s.replication,
+                        waves_per_sample: s.waves_per_sample(),
+                    })
+                    .collect(),
+                attached: plan
+                    .attached
+                    .iter()
+                    .map(|&id| network.node(id).name.clone())
+                    .collect(),
+                crossbars_used: plan.replicated_crossbars(),
+                utilization: plan.replicated_crossbars() as f64
+                    / chip.total_crossbars() as f64,
+                weight_load_bytes: plan.weight_load_bytes(),
+                entry_bytes_per_sample: plan.entry_bytes_per_sample(),
+                exit_bytes_per_sample: plan.exit_bytes_per_sample(),
+                latency_ns: est.latency_ns,
+            })
+            .collect();
+        Self {
+            network: network.name().to_string(),
+            chip: chip.name.clone(),
+            strategy: compiled.strategy().to_string(),
+            batch: estimate.batch,
+            unit_count: compiled.unit_count(),
+            partitions,
+            throughput_ips: estimate.throughput_ips(),
+            energy_per_inference_uj: estimate.energy_per_inference_uj(),
+            edp_per_inference: estimate.edp_per_inference(),
+            total_instructions: compiled
+                .programs()
+                .iter()
+                .map(|p| p.total_instructions())
+                .sum(),
+        }
+    }
+}
+
+impl fmt::Display for CompileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on Chip-{} ({}, batch {}): {} units -> {} partitions, {:.1} inf/s, {:.1} uJ/inf",
+            self.network,
+            self.chip,
+            self.strategy,
+            self.batch,
+            self.unit_count,
+            self.partitions.len(),
+            self.throughput_ips,
+            self.energy_per_inference_uj,
+        )?;
+        for p in &self.partitions {
+            writeln!(
+                f,
+                "  P{}: {:4.1}% chip, {:6.1} us, {} layers, {} B weights, IO {}+{} B/sample",
+                p.index,
+                p.utilization * 100.0,
+                p.latency_ns / 1000.0,
+                p.slices.len(),
+                p.weight_load_bytes,
+                p.entry_bytes_per_sample,
+                p.exit_bytes_per_sample,
+            )?;
+            for s in &p.slices {
+                writeln!(
+                    f,
+                    "      {:<20} x{:<3} {:3} xbars, {:5} waves/sample{}",
+                    s.layer,
+                    s.replication,
+                    s.crossbars,
+                    s.waves_per_sample,
+                    if s.fraction < 1.0 {
+                        format!(" ({:.0}% of layer)", s.fraction * 100.0)
+                    } else {
+                        String::new()
+                    },
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompileOptions, Compiler, GaParams, Strategy};
+    use pim_model::zoo;
+
+    fn report() -> CompileReport {
+        let chip = ChipSpec::chip_s();
+        let net = zoo::tiny_resnet();
+        let compiled = Compiler::new(chip.clone())
+            .compile(
+                &net,
+                &CompileOptions::new()
+                    .with_batch_size(4)
+                    .with_strategy(Strategy::Layerwise)
+                    .with_ga(GaParams::fast()),
+            )
+            .expect("compiles");
+        CompileReport::new(&net, &chip, &compiled)
+    }
+
+    #[test]
+    fn report_covers_all_partitions_and_layers() {
+        let r = report();
+        assert!(!r.partitions.is_empty());
+        let layer_rows: usize = r.partitions.iter().map(|p| p.slices.len()).sum();
+        // tiny_resnet has 8 weighted layers; layerwise maps 1/partition.
+        assert_eq!(layer_rows, 8);
+        assert_eq!(r.partitions.len(), 8);
+        for p in &r.partitions {
+            assert!(p.utilization > 0.0 && p.utilization <= 1.0);
+            assert!(p.latency_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let r = report();
+        assert!(r.throughput_ips > 0.0);
+        assert!(r.energy_per_inference_uj > 0.0);
+        assert!((r.edp_per_inference
+            - r.energy_per_inference_uj * (r.partitions.iter().map(|p| p.latency_ns).sum::<f64>() * 1e-6))
+            .abs()
+            < r.edp_per_inference * 0.01);
+        assert!(r.total_instructions > 0);
+    }
+
+    #[test]
+    fn display_mentions_every_layer() {
+        let r = report();
+        let text = r.to_string();
+        for p in &r.partitions {
+            for s in &p.slices {
+                assert!(text.contains(&s.layer), "missing {}", s.layer);
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Batch-size auto-tuning (the §II-B trade-off, automated).
+//!
+//! The paper: "the batch size should be kept relatively small to
+//! balance the throughput and the end-to-end inference latency."
+//! [`tune_batch`] sweeps candidate batch sizes, compiling at each
+//! (partitioning interacts with the batch, so each candidate gets its
+//! own compilation), and selects per a user [`TuneObjective`].
+
+use crate::compiler::{CompileOptions, CompiledModel, Compiler};
+use crate::error::CompileError;
+use pim_model::Network;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What the batch tuner optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TuneObjective {
+    /// Maximize throughput subject to an end-to-end latency budget
+    /// (milliseconds). Samples wait for their whole batch, so larger
+    /// batches trade latency for throughput.
+    ThroughputUnderLatencyMs(f64),
+    /// Minimize EDP per inference.
+    MinEdp,
+    /// Maximize throughput outright (will pick the largest batch).
+    MaxThroughput,
+}
+
+/// One evaluated batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchPoint {
+    /// Candidate batch size.
+    pub batch: usize,
+    /// Estimated throughput, inf/s.
+    pub throughput_ips: f64,
+    /// End-to-end latency, ms.
+    pub latency_ms: f64,
+    /// Energy per inference, µJ.
+    pub energy_per_inference_uj: f64,
+    /// EDP per inference, µJ·ms.
+    pub edp: f64,
+}
+
+/// Tuning outcome: the chosen compilation plus the whole sweep.
+pub struct TuneResult {
+    /// The winning batch size.
+    pub batch: usize,
+    /// The compilation at the winning batch.
+    pub compiled: CompiledModel,
+    /// All evaluated points in ascending batch order.
+    pub sweep: Vec<BatchPoint>,
+}
+
+impl fmt::Debug for TuneResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TuneResult")
+            .field("batch", &self.batch)
+            .field("sweep", &self.sweep)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Sweeps `candidates` (typically powers of two up to 16, as in the
+/// paper) and returns the best compilation under `objective`.
+///
+/// # Errors
+///
+/// Propagates the first [`CompileError`]; returns
+/// [`CompileError::InvalidOptions`] when `candidates` is empty or no
+/// candidate satisfies the objective's constraint.
+pub fn tune_batch(
+    compiler: &Compiler,
+    network: &Network,
+    base_options: &CompileOptions,
+    candidates: &[usize],
+    objective: TuneObjective,
+) -> Result<TuneResult, CompileError> {
+    if candidates.is_empty() {
+        return Err(CompileError::InvalidOptions("no batch candidates".into()));
+    }
+    let mut sweep = Vec::with_capacity(candidates.len());
+    let mut evaluated: Vec<(usize, CompiledModel)> = Vec::with_capacity(candidates.len());
+    for &batch in candidates {
+        let options = base_options.clone().with_batch_size(batch);
+        let compiled = compiler.compile(network, &options)?;
+        let est = compiled.estimate();
+        sweep.push(BatchPoint {
+            batch,
+            throughput_ips: est.throughput_ips(),
+            latency_ms: est.latency_ms(),
+            energy_per_inference_uj: est.energy_per_inference_uj(),
+            edp: est.edp_per_inference(),
+        });
+        evaluated.push((batch, compiled));
+    }
+
+    let winner = match objective {
+        TuneObjective::ThroughputUnderLatencyMs(budget) => sweep
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.latency_ms <= budget)
+            .max_by(|a, b| a.1.throughput_ips.total_cmp(&b.1.throughput_ips))
+            .map(|(i, _)| i),
+        TuneObjective::MinEdp => sweep
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.edp.total_cmp(&b.1.edp))
+            .map(|(i, _)| i),
+        TuneObjective::MaxThroughput => sweep
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.throughput_ips.total_cmp(&b.1.throughput_ips))
+            .map(|(i, _)| i),
+    };
+    let Some(idx) = winner else {
+        return Err(CompileError::InvalidOptions(format!(
+            "no batch size satisfies {objective:?} (latencies: {:?} ms)",
+            sweep.iter().map(|p| p.latency_ms).collect::<Vec<_>>()
+        )));
+    };
+    let (batch, compiled) = evaluated.swap_remove(idx);
+    Ok(TuneResult { batch, compiled, sweep })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GaParams, Strategy};
+    use pim_arch::ChipSpec;
+    use pim_model::zoo;
+
+    fn setup() -> (Compiler, Network, CompileOptions) {
+        let compiler = Compiler::new(ChipSpec::chip_s());
+        let net = zoo::resnet18();
+        let options = CompileOptions::new()
+            .with_strategy(Strategy::Greedy)
+            .with_ga(GaParams::fast())
+            .with_seed(1);
+        (compiler, net, options)
+    }
+
+    #[test]
+    fn max_throughput_picks_largest_batch() {
+        let (compiler, net, options) = setup();
+        let result = tune_batch(
+            &compiler,
+            &net,
+            &options,
+            &[1, 2, 4, 8, 16],
+            TuneObjective::MaxThroughput,
+        )
+        .expect("tunes");
+        assert_eq!(result.batch, 16, "throughput grows with batch");
+        assert_eq!(result.sweep.len(), 5);
+    }
+
+    #[test]
+    fn latency_budget_caps_the_batch() {
+        let (compiler, net, options) = setup();
+        // First find the batch-16 latency, then set a budget below it.
+        let unconstrained =
+            tune_batch(&compiler, &net, &options, &[1, 16], TuneObjective::MaxThroughput)
+                .expect("tunes");
+        let b16_latency =
+            unconstrained.sweep.iter().find(|p| p.batch == 16).unwrap().latency_ms;
+        let result = tune_batch(
+            &compiler,
+            &net,
+            &options,
+            &[1, 2, 4, 8, 16],
+            TuneObjective::ThroughputUnderLatencyMs(b16_latency * 0.9),
+        )
+        .expect("tunes");
+        assert!(result.batch < 16, "budget must exclude batch 16");
+        let chosen = result.sweep.iter().find(|p| p.batch == result.batch).unwrap();
+        assert!(chosen.latency_ms <= b16_latency * 0.9);
+    }
+
+    #[test]
+    fn impossible_budget_errors() {
+        let (compiler, net, options) = setup();
+        let err = tune_batch(
+            &compiler,
+            &net,
+            &options,
+            &[1, 2],
+            TuneObjective::ThroughputUnderLatencyMs(1e-9),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::InvalidOptions(_)));
+    }
+
+    #[test]
+    fn min_edp_is_an_interior_or_boundary_point() {
+        let (compiler, net, options) = setup();
+        let result =
+            tune_batch(&compiler, &net, &options, &[1, 2, 4, 8, 16], TuneObjective::MinEdp)
+                .expect("tunes");
+        let best = result.sweep.iter().find(|p| p.batch == result.batch).unwrap();
+        for p in &result.sweep {
+            assert!(best.edp <= p.edp + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_candidates_error() {
+        let (compiler, net, options) = setup();
+        assert!(matches!(
+            tune_batch(&compiler, &net, &options, &[], TuneObjective::MaxThroughput),
+            Err(CompileError::InvalidOptions(_))
+        ));
+    }
+}

@@ -1,0 +1,172 @@
+//! Per-bank row-buffer state machine.
+
+use crate::config::DramConfig;
+use serde::{Deserialize, Serialize};
+
+/// Outcome class of a column access, used for energy accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessClass {
+    /// Row buffer hit (no activate needed).
+    RowHit,
+    /// Row buffer miss on a closed bank (activate only).
+    RowClosed,
+    /// Row buffer conflict (precharge + activate).
+    RowConflict,
+}
+
+/// One DRAM bank with an open-page row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Bank {
+    /// Currently open row, if any.
+    open_row: Option<u64>,
+    /// Earliest time the bank can issue its next column command, ns.
+    ready_ns: f64,
+    /// Time the current row was activated (for tRAS), ns.
+    activated_ns: f64,
+}
+
+impl Bank {
+    /// Creates a closed, idle bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The currently open row.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Earliest time the bank can accept a new column command.
+    pub fn ready_ns(&self) -> f64 {
+        self.ready_ns
+    }
+
+    /// Classifies an access to `row` without mutating state.
+    pub fn classify(&self, row: u64) -> AccessClass {
+        match self.open_row {
+            Some(open) if open == row => AccessClass::RowHit,
+            Some(_) => AccessClass::RowConflict,
+            None => AccessClass::RowClosed,
+        }
+    }
+
+    /// Performs one burst access to `row` starting no earlier than
+    /// `now_ns`, returning `(data_ready_ns, class)`: the time the data
+    /// burst completes on the data bus and the row-buffer outcome.
+    ///
+    /// The bank becomes ready for its next column command `tCCD` after
+    /// the column command issues; the caller (controller) serializes
+    /// the shared data bus separately.
+    pub fn access(
+        &mut self,
+        cfg: &DramConfig,
+        now_ns: f64,
+        row: u64,
+        is_write: bool,
+    ) -> (f64, AccessClass) {
+        let cyc = cfg.cycle_ns();
+        let class = self.classify(row);
+        let mut t = now_ns.max(self.ready_ns);
+        match class {
+            AccessClass::RowHit => {}
+            AccessClass::RowClosed => {
+                t += cfg.t_rcd as f64 * cyc;
+                self.activated_ns = t;
+                self.open_row = Some(row);
+            }
+            AccessClass::RowConflict => {
+                // Respect tRAS from the previous activate, then
+                // precharge and activate the new row.
+                let ras_done = self.activated_ns + cfg.t_ras as f64 * cyc;
+                t = t.max(ras_done);
+                t += (cfg.t_rp + cfg.t_rcd) as f64 * cyc;
+                self.activated_ns = t;
+                self.open_row = Some(row);
+            }
+        }
+        let cas = if is_write { cfg.t_cwl } else { cfg.t_cl };
+        let data_ready = t + (cas + cfg.t_ccd) as f64 * cyc
+            + if is_write { cfg.t_wr as f64 * cyc } else { 0.0 };
+        // Next column command to this bank can issue tCCD after this one.
+        self.ready_ns = t + cfg.t_ccd as f64 * cyc;
+        (data_ready, class)
+    }
+
+    /// Applies a refresh completing at `end_ns`: all rows closed, bank
+    /// unavailable until then.
+    pub fn refresh_until(&mut self, end_ns: f64) {
+        self.open_row = None;
+        self.ready_ns = self.ready_ns.max(end_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig::lpddr3_1600()
+    }
+
+    #[test]
+    fn first_access_activates() {
+        let cfg = cfg();
+        let mut bank = Bank::new();
+        let (done, class) = bank.access(&cfg, 0.0, 7, false);
+        assert_eq!(class, AccessClass::RowClosed);
+        // tRCD + tCL + tCCD cycles.
+        let expect = (cfg.t_rcd + cfg.t_cl + cfg.t_ccd) as f64 * cfg.cycle_ns();
+        assert!((done - expect).abs() < 1e-9, "{done} vs {expect}");
+        assert_eq!(bank.open_row(), Some(7));
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_conflict() {
+        let cfg = cfg();
+        let mut bank = Bank::new();
+        let (t0, _) = bank.access(&cfg, 0.0, 1, false);
+        let (t_hit, c_hit) = bank.access(&cfg, t0, 1, false);
+        assert_eq!(c_hit, AccessClass::RowHit);
+
+        let mut bank2 = Bank::new();
+        let (s0, _) = bank2.access(&cfg, 0.0, 1, false);
+        let (t_conf, c_conf) = bank2.access(&cfg, s0, 2, false);
+        assert_eq!(c_conf, AccessClass::RowConflict);
+        assert!(t_conf - s0 > t_hit - t0, "conflict {t_conf} hit {t_hit}");
+    }
+
+    #[test]
+    fn conflict_respects_tras() {
+        let cfg = cfg();
+        let mut bank = Bank::new();
+        bank.access(&cfg, 0.0, 1, false);
+        // Immediately conflict: precharge cannot begin before
+        // activate + tRAS.
+        let (done, _) = bank.access(&cfg, 0.0, 2, false);
+        let min_done = (cfg.t_rcd + cfg.t_ras + cfg.t_rp + cfg.t_rcd + cfg.t_cl + cfg.t_ccd)
+            as f64
+            * cfg.cycle_ns();
+        assert!(done >= min_done - 1e-9, "{done} vs {min_done}");
+    }
+
+    #[test]
+    fn write_includes_recovery() {
+        let cfg = cfg();
+        let mut rd = Bank::new();
+        let (t_read, _) = rd.access(&cfg, 0.0, 1, false);
+        let mut wr = Bank::new();
+        let (t_write, _) = wr.access(&cfg, 0.0, 1, true);
+        // Write: tCWL < tCL but +tWR recovery makes it slower overall.
+        assert!(t_write > t_read);
+    }
+
+    #[test]
+    fn refresh_closes_rows() {
+        let cfg = cfg();
+        let mut bank = Bank::new();
+        bank.access(&cfg, 0.0, 3, false);
+        bank.refresh_until(500.0);
+        assert_eq!(bank.open_row(), None);
+        assert!(bank.ready_ns() >= 500.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! DRAM device and timing configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM configuration: geometry, JEDEC-style timing (in device clock
+/// cycles), and energy parameters.
+///
+/// The default preset models the paper's LPDDR3 8 GB part behind a
+/// 32-bit channel (6.4 GB/s peak).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Device clock in MHz (data rate is 2× for DDR).
+    pub clock_mhz: f64,
+    /// Number of banks per rank.
+    pub banks: usize,
+    /// Row (page) size in bytes.
+    pub row_bytes: usize,
+    /// Bytes transferred per burst (BL8 on a 32-bit bus = 32 B).
+    pub burst_bytes: usize,
+    /// Activate-to-read delay (tRCD), cycles.
+    pub t_rcd: u64,
+    /// Precharge time (tRP), cycles.
+    pub t_rp: u64,
+    /// Read CAS latency (tCL), cycles.
+    pub t_cl: u64,
+    /// Write CAS latency (tCWL), cycles.
+    pub t_cwl: u64,
+    /// Minimum row-open time (tRAS), cycles.
+    pub t_ras: u64,
+    /// Write recovery (tWR), cycles.
+    pub t_wr: u64,
+    /// Column-to-column delay / burst occupancy (tCCD), cycles.
+    pub t_ccd: u64,
+    /// Refresh cycle time (tRFC), cycles.
+    pub t_rfc: u64,
+    /// Refresh interval (tREFI), cycles.
+    pub t_refi: u64,
+    /// Energy per activate+precharge pair, in nanojoules.
+    pub activate_energy_nj: f64,
+    /// Read data movement energy, pJ per bit.
+    pub read_pj_per_bit: f64,
+    /// Write data movement energy, pJ per bit.
+    pub write_pj_per_bit: f64,
+    /// Background (standby + peripheral) power in milliwatts.
+    pub background_power_mw: f64,
+}
+
+impl DramConfig {
+    /// LPDDR3-1600 (800 MHz clock), 8 banks, 2 KiB rows, 32-bit bus:
+    /// 6.4 GB/s peak bandwidth. Timing values follow JEDEC LPDDR3
+    /// datasheet-class numbers; energy follows published LPDDR3
+    /// pJ/bit estimates (device + IO ≈ 1.5–2.5 pJ/bit, activation
+    /// ≈ 1–2 nJ per row cycle).
+    pub fn lpddr3_1600() -> Self {
+        Self {
+            clock_mhz: 800.0,
+            banks: 8,
+            row_bytes: 2048,
+            burst_bytes: 32,
+            t_rcd: 15,
+            t_rp: 15,
+            t_cl: 12,
+            t_cwl: 6,
+            t_ras: 34,
+            t_wr: 12,
+            t_ccd: 4,
+            t_rfc: 104,
+            t_refi: 3120,
+            activate_energy_nj: 1.5,
+            read_pj_per_bit: 2.0,
+            write_pj_per_bit: 2.2,
+            background_power_mw: 60.0,
+        }
+    }
+
+    /// Device clock cycle time in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1000.0 / self.clock_mhz
+    }
+
+    /// Peak bandwidth in bytes per nanosecond (GB/s): DDR moves
+    /// `burst_bytes` every `t_ccd` cycles.
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        self.burst_bytes as f64 / (self.t_ccd as f64 * self.cycle_ns())
+    }
+
+    /// Maps a byte address to `(bank, row)` using row-interleaved
+    /// mapping (consecutive rows rotate across banks so sequential
+    /// streams exploit bank-level parallelism).
+    pub fn map_address(&self, addr: u64) -> (usize, u64) {
+        let row_global = addr / self.row_bytes as u64;
+        let bank = (row_global % self.banks as u64) as usize;
+        let row = row_global / self.banks as u64;
+        (bank, row)
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::lpddr3_1600()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpddr3_peak_bandwidth_is_12_8() {
+        let cfg = DramConfig::lpddr3_1600();
+        // One BL8 burst (32 B on a 32-bit bus) per tCCD=4 device
+        // cycles at 1.25 ns/cycle = 6.4 GB/s, i.e. LPDDR3-1600 x32.
+        let bw = cfg.peak_bandwidth_gbps();
+        assert!((bw - 6.4).abs() < 1e-9, "peak bandwidth {bw} GB/s");
+    }
+
+    #[test]
+    fn address_mapping_rotates_banks() {
+        let cfg = DramConfig::lpddr3_1600();
+        let (b0, r0) = cfg.map_address(0);
+        let (b1, r1) = cfg.map_address(2048);
+        assert_eq!((b0, r0), (0, 0));
+        assert_eq!((b1, r1), (1, 0));
+        let (b8, r8) = cfg.map_address(2048 * 8);
+        assert_eq!((b8, r8), (0, 1));
+    }
+
+    #[test]
+    fn same_row_same_bank() {
+        let cfg = DramConfig::lpddr3_1600();
+        assert_eq!(cfg.map_address(100), cfg.map_address(2000));
+    }
+
+    #[test]
+    fn cycle_time() {
+        assert!((DramConfig::lpddr3_1600().cycle_ns() - 1.25).abs() < 1e-12);
+    }
+}

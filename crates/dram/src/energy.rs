@@ -1,0 +1,104 @@
+//! DRAM energy accounting.
+
+use crate::config::DramConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Energy breakdown for a simulated DRAM episode, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct DramEnergy {
+    /// Row activate + precharge energy.
+    pub activate_nj: f64,
+    /// Read burst energy (array + IO).
+    pub read_nj: f64,
+    /// Write burst energy (array + IO).
+    pub write_nj: f64,
+    /// Refresh energy.
+    pub refresh_nj: f64,
+    /// Background/standby energy over the makespan.
+    pub background_nj: f64,
+}
+
+impl DramEnergy {
+    /// Builds a breakdown from event counts.
+    pub fn from_counts(
+        cfg: &DramConfig,
+        activates: u64,
+        refreshes: u64,
+        read_bits: u64,
+        write_bits: u64,
+        makespan_ns: f64,
+    ) -> Self {
+        // A refresh internally activates every bank once.
+        let refresh_nj = refreshes as f64 * cfg.banks as f64 * cfg.activate_energy_nj;
+        Self {
+            activate_nj: activates as f64 * cfg.activate_energy_nj,
+            read_nj: read_bits as f64 * cfg.read_pj_per_bit / 1000.0,
+            write_nj: write_bits as f64 * cfg.write_pj_per_bit / 1000.0,
+            refresh_nj,
+            background_nj: cfg.background_power_mw * 1e-3 * makespan_ns,
+        }
+    }
+
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.activate_nj + self.read_nj + self.write_nj + self.refresh_nj + self.background_nj
+    }
+
+    /// Average energy per bit moved, in picojoules (excluding
+    /// background), given total bits.
+    pub fn pj_per_bit(&self, total_bits: u64) -> f64 {
+        if total_bits == 0 {
+            return 0.0;
+        }
+        (self.activate_nj + self.read_nj + self.write_nj + self.refresh_nj) * 1000.0
+            / total_bits as f64
+    }
+}
+
+impl fmt::Display for DramEnergy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "act {:.1} nJ, rd {:.1} nJ, wr {:.1} nJ, ref {:.1} nJ, bg {:.1} nJ (total {:.2} uJ)",
+            self.activate_nj,
+            self.read_nj,
+            self.write_nj,
+            self.refresh_nj,
+            self.background_nj,
+            self.total_nj() / 1000.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_convert_to_energy() {
+        let cfg = DramConfig::lpddr3_1600();
+        let e = DramEnergy::from_counts(&cfg, 10, 2, 8000, 4000, 1000.0);
+        assert!((e.activate_nj - 15.0).abs() < 1e-9); // 10 * 1.5 nJ
+        assert!((e.read_nj - 16.0).abs() < 1e-9); // 8000 bits * 2 pJ
+        assert!((e.write_nj - 8.8).abs() < 1e-9); // 4000 * 2.2 pJ
+        assert!((e.refresh_nj - 24.0).abs() < 1e-9); // 2 * 8 banks * 1.5
+        assert!((e.background_nj - 60.0).abs() < 1e-9); // 60 mW * 1 us
+        assert!(e.total_nj() > 100.0);
+    }
+
+    #[test]
+    fn pj_per_bit_sane_for_bulk() {
+        let cfg = DramConfig::lpddr3_1600();
+        // 1 Mib sequential: one activate per 2 KiB row = 64 activates.
+        let bits = 1u64 << 20;
+        let e = DramEnergy::from_counts(&cfg, 64, 0, bits, 0, 0.0);
+        let pj = e.pj_per_bit(bits);
+        assert!(pj > 1.5 && pj < 4.0, "bulk pJ/bit = {pj}");
+    }
+
+    #[test]
+    fn zero_bits_no_nan() {
+        assert_eq!(DramEnergy::default().pj_per_bit(0), 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # pim-dram — cycle-approximate LPDDR3 DRAM simulator
+//!
+//! A functional stand-in for DRAMsim3 as used by the COMPASS paper
+//! (§IV-A1: "We model the DRAM energy by generating a memory trace from
+//! the scheduled instruction and feeding it into DRAMsim3").
+//!
+//! The model implements the behaviours a PIM weight-replacement
+//! compiler actually exercises:
+//!
+//! * per-bank row-buffer state with open-page policy — bulk sequential
+//!   weight streams hit the row buffer, scattered activation traffic
+//!   pays activate/precharge,
+//! * JEDEC-style timing constraints (tRCD, tRP, tCL/tCWL, tRAS, tWR,
+//!   tCCD, tRFC with periodic refresh),
+//! * a FR-FCFS-lite controller queue with bank-level parallelism,
+//! * energy accounting (activate, read, write, IO, background).
+//!
+//! It consumes the same kind of trace DRAMsim3 does: a sequence of
+//! `(issue cycle, address, read/write, burst bytes)` requests, and
+//! reports per-request completion plus aggregate bandwidth/energy.
+//!
+//! # Example
+//!
+//! ```
+//! use pim_dram::{DramConfig, DramSimulator, Request, RequestKind};
+//!
+//! let mut sim = DramSimulator::new(DramConfig::lpddr3_1600());
+//! let id = sim.enqueue(Request::new(0, 0x1000, RequestKind::Read, 64));
+//! let results = sim.run_to_completion();
+//! assert_eq!(results.len(), 1);
+//! assert_eq!(results[0].id, id);
+//! assert!(results[0].finish_ns > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod channel;
+pub mod config;
+pub mod controller;
+pub mod energy;
+pub mod request;
+pub mod trace;
+
+pub use channel::MultiChannelDram;
+pub use config::DramConfig;
+pub use controller::{CompletedRequest, DramSimulator};
+pub use energy::DramEnergy;
+pub use request::{Request, RequestId, RequestKind};
+pub use trace::{ParseTraceError, Trace, TraceStats};

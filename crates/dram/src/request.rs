@@ -1,0 +1,87 @@
+//! Memory requests.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier assigned to each enqueued request.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Memory read (weights and activation loads).
+    Read,
+    /// Memory write (activation stores).
+    Write,
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestKind::Read => write!(f, "R"),
+            RequestKind::Write => write!(f, "W"),
+        }
+    }
+}
+
+/// One trace entry: a block transfer issued at a given time.
+///
+/// Transfers larger than one burst are split into sequential bursts by
+/// the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Earliest time the request may start, in nanoseconds.
+    pub issue_ns: f64,
+    /// Starting byte address.
+    pub addr: u64,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Transfer size in bytes.
+    pub bytes: usize,
+}
+
+impl Request {
+    /// Creates a request. `issue_ns` is the earliest start time.
+    pub fn new(issue_ns: u64, addr: u64, kind: RequestKind, bytes: usize) -> Self {
+        Self { issue_ns: issue_ns as f64, addr, kind, bytes }
+    }
+
+    /// Creates a request with a fractional issue time.
+    pub fn at_ns(issue_ns: f64, addr: u64, kind: RequestKind, bytes: usize) -> Self {
+        Self { issue_ns, addr, kind, bytes }
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} 0x{:x} {}B @{:.1}ns", self.kind, self.addr, self.bytes, self.issue_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = Request::new(10, 0x40, RequestKind::Read, 64);
+        assert_eq!(r.issue_ns, 10.0);
+        let w = Request::at_ns(2.5, 0x80, RequestKind::Write, 32);
+        assert_eq!(w.issue_ns, 2.5);
+    }
+
+    #[test]
+    fn display() {
+        let r = Request::new(0, 0x100, RequestKind::Read, 64);
+        assert_eq!(r.to_string(), "R 0x100 64B @0.0ns");
+    }
+}

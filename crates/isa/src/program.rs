@@ -1,0 +1,192 @@
+//! Per-core and per-chip program containers.
+
+use crate::instruction::{CoreId, Instruction};
+use crate::stats::InstructionStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The instruction stream of one PIM core.
+///
+/// # Example
+///
+/// ```
+/// use pim_isa::{CoreProgram, CoreId, Instruction};
+///
+/// let mut p = CoreProgram::new(CoreId(2));
+/// p.push(Instruction::LoadData { bytes: 1024 });
+/// p.push(Instruction::Mvmul { waves: 4, activations: 16, node: 1 });
+/// assert_eq!(p.core(), CoreId(2));
+/// assert_eq!(p.iter().count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreProgram {
+    core: CoreId,
+    instructions: Vec<Instruction>,
+}
+
+impl CoreProgram {
+    /// Creates an empty program for `core`.
+    pub fn new(core: CoreId) -> Self {
+        Self { core, instructions: Vec::new() }
+    }
+
+    /// The core this program runs on.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instruction: Instruction) {
+        self.instructions.push(instruction);
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// `true` if the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Iterates over the instructions in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instructions.iter()
+    }
+
+    /// The instructions as a slice.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Aggregate statistics over this stream.
+    pub fn stats(&self) -> InstructionStats {
+        InstructionStats::of(self.instructions.iter())
+    }
+}
+
+impl Extend<Instruction> for CoreProgram {
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        self.instructions.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a CoreProgram {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.instructions.iter()
+    }
+}
+
+impl fmt::Display for CoreProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} instructions):", self.core, self.len())?;
+        for (i, instr) in self.instructions.iter().enumerate() {
+            writeln!(f, "  {i:>5}: {instr}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A program for every core of a chip, produced by the COMPASS
+/// scheduler for one compiled model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ChipProgram {
+    programs: Vec<CoreProgram>,
+}
+
+impl ChipProgram {
+    /// Creates an empty chip program with one (empty) stream per core.
+    pub fn new(cores: usize) -> Self {
+        Self { programs: (0..cores).map(|i| CoreProgram::new(CoreId(i))).collect() }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// The program of one core.
+    pub fn core(&self, id: CoreId) -> &CoreProgram {
+        &self.programs[id.index()]
+    }
+
+    /// Mutable access to one core's program.
+    pub fn core_mut(&mut self, id: CoreId) -> &mut CoreProgram {
+        &mut self.programs[id.index()]
+    }
+
+    /// Iterates over all per-core programs.
+    pub fn iter(&self) -> std::slice::Iter<'_, CoreProgram> {
+        self.programs.iter()
+    }
+
+    /// Total instruction count across cores.
+    pub fn total_instructions(&self) -> usize {
+        self.programs.iter().map(CoreProgram::len).sum()
+    }
+
+    /// Aggregate statistics across all cores.
+    pub fn stats(&self) -> InstructionStats {
+        InstructionStats::of(self.programs.iter().flat_map(CoreProgram::iter))
+    }
+}
+
+impl<'a> IntoIterator for &'a ChipProgram {
+    type Item = &'a CoreProgram;
+    type IntoIter = std::slice::Iter<'a, CoreProgram>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.programs.iter()
+    }
+}
+
+impl fmt::Display for ChipProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for program in &self.programs {
+            if !program.is_empty() {
+                write!(f, "{program}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::Tag;
+
+    #[test]
+    fn chip_program_indexing() {
+        let mut chip = ChipProgram::new(4);
+        chip.core_mut(CoreId(1)).push(Instruction::LoadData { bytes: 8 });
+        assert_eq!(chip.cores(), 4);
+        assert_eq!(chip.core(CoreId(1)).len(), 1);
+        assert_eq!(chip.core(CoreId(0)).len(), 0);
+        assert_eq!(chip.total_instructions(), 1);
+    }
+
+    #[test]
+    fn extend_and_iterate() {
+        let mut p = CoreProgram::new(CoreId(0));
+        p.extend([
+            Instruction::LoadWeight { bytes: 4 },
+            Instruction::Send { to: CoreId(1), bytes: 4, tag: Tag(0) },
+        ]);
+        let mnemonics: Vec<_> = (&p).into_iter().map(Instruction::mnemonic).collect();
+        assert_eq!(mnemonics, vec!["LOAD_WEIGHT", "SEND_DATA"]);
+    }
+
+    #[test]
+    fn display_includes_indices() {
+        let mut p = CoreProgram::new(CoreId(0));
+        p.push(Instruction::StoreData { bytes: 2 });
+        let text = p.to_string();
+        assert!(text.contains("core0"));
+        assert!(text.contains("STORE_DATA"));
+    }
+}

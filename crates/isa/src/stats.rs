@@ -1,0 +1,165 @@
+//! Static instruction statistics.
+
+use crate::instruction::Instruction;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate counts over an instruction stream, used for reporting and
+/// as inputs to the energy model (DRAM traffic, MVM activations, cell
+/// writes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct InstructionStats {
+    /// Instruction count by class.
+    pub load_weight: usize,
+    /// `WRITE_WEIGHT` count.
+    pub write_weight: usize,
+    /// `LOAD_DATA` count.
+    pub load_data: usize,
+    /// `MVMUL` count.
+    pub mvmul: usize,
+    /// `VOP` count.
+    pub vector_op: usize,
+    /// `SEND_DATA` count.
+    pub send: usize,
+    /// `RECV_DATA` count.
+    pub recv: usize,
+    /// `STORE_DATA` count.
+    pub store_data: usize,
+    /// Total bytes of weights streamed from DRAM.
+    pub weight_load_bytes: usize,
+    /// Total crossbar cells (bits) written.
+    pub weight_write_bits: usize,
+    /// Total activation bytes loaded from DRAM.
+    pub data_load_bytes: usize,
+    /// Total activation bytes stored to DRAM.
+    pub data_store_bytes: usize,
+    /// Total bytes moved core-to-core.
+    pub interconnect_bytes: usize,
+    /// Total MVM waves (sequential crossbar occupations).
+    pub mvm_waves: usize,
+    /// Total crossbar activations (energy events).
+    pub mvm_activations: usize,
+    /// Total VFU elements processed.
+    pub vfu_elements: usize,
+}
+
+impl InstructionStats {
+    /// Computes statistics over any instruction iterator.
+    pub fn of<'a>(instructions: impl IntoIterator<Item = &'a Instruction>) -> Self {
+        let mut s = Self::default();
+        for instr in instructions {
+            match instr {
+                Instruction::LoadWeight { bytes } => {
+                    s.load_weight += 1;
+                    s.weight_load_bytes += bytes;
+                }
+                Instruction::WriteWeight { bits, .. } => {
+                    s.write_weight += 1;
+                    s.weight_write_bits += bits;
+                }
+                Instruction::LoadData { bytes } => {
+                    s.load_data += 1;
+                    s.data_load_bytes += bytes;
+                }
+                Instruction::Mvmul { waves, activations, .. } => {
+                    s.mvmul += 1;
+                    s.mvm_waves += waves;
+                    s.mvm_activations += activations;
+                }
+                Instruction::VectorOp { elements, .. } => {
+                    s.vector_op += 1;
+                    s.vfu_elements += elements;
+                }
+                Instruction::Send { bytes, .. } => {
+                    s.send += 1;
+                    s.interconnect_bytes += bytes;
+                }
+                Instruction::Recv { .. } => s.recv += 1,
+                Instruction::StoreData { bytes } => {
+                    s.store_data += 1;
+                    s.data_store_bytes += bytes;
+                }
+            }
+        }
+        s
+    }
+
+    /// Total instruction count.
+    pub fn total(&self) -> usize {
+        self.load_weight
+            + self.write_weight
+            + self.load_data
+            + self.mvmul
+            + self.vector_op
+            + self.send
+            + self.recv
+            + self.store_data
+    }
+
+    /// Total DRAM traffic (weights + activations) in bytes.
+    pub fn dram_bytes(&self) -> usize {
+        self.weight_load_bytes + self.data_load_bytes + self.data_store_bytes
+    }
+}
+
+impl fmt::Display for InstructionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instrs (mvmul {}, vop {}, send/recv {}/{}), DRAM {} B (w {} / in {} / out {}), {} waves, {} activations",
+            self.total(),
+            self.mvmul,
+            self.vector_op,
+            self.send,
+            self.recv,
+            self.dram_bytes(),
+            self.weight_load_bytes,
+            self.data_load_bytes,
+            self.data_store_bytes,
+            self.mvm_waves,
+            self.mvm_activations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::{CoreId, Tag, VectorOpKind};
+
+    #[test]
+    fn stats_accumulate_every_class() {
+        let instrs = vec![
+            Instruction::LoadWeight { bytes: 100 },
+            Instruction::WriteWeight { bits: 800, crossbars: 2 },
+            Instruction::LoadData { bytes: 10 },
+            Instruction::Mvmul { waves: 3, activations: 12, node: 0 },
+            Instruction::VectorOp { op: VectorOpKind::Relu, elements: 64 },
+            Instruction::Send { to: CoreId(1), bytes: 5, tag: Tag(1) },
+            Instruction::Recv { from: CoreId(0), bytes: 5, tag: Tag(1) },
+            Instruction::StoreData { bytes: 20 },
+        ];
+        let s = InstructionStats::of(&instrs);
+        assert_eq!(s.total(), 8);
+        assert_eq!(s.weight_load_bytes, 100);
+        assert_eq!(s.weight_write_bits, 800);
+        assert_eq!(s.dram_bytes(), 130);
+        assert_eq!(s.mvm_waves, 3);
+        assert_eq!(s.mvm_activations, 12);
+        assert_eq!(s.interconnect_bytes, 5);
+        assert_eq!(s.vfu_elements, 64);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = InstructionStats::of(&[]);
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.dram_bytes(), 0);
+    }
+
+    #[test]
+    fn display_mentions_totals() {
+        let s = InstructionStats::of(&[Instruction::Mvmul { waves: 1, activations: 2, node: 0 }]);
+        assert!(s.to_string().contains("1 instrs"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Textual assembly format for PIM programs.
+//!
+//! A line-oriented, human-editable format mirroring the paper's Fig. 3
+//! instruction listings, with an exact parse/print round-trip. Useful
+//! for golden-file tests, debugging schedules, and hand-writing
+//! microbenchmarks for the simulator.
+//!
+//! ```text
+//! .core 0
+//!     LOAD_WEIGHT 4096
+//!     WRITE_WEIGHT 32768 4
+//!     LOAD_DATA 1024
+//!     MVMUL 196 784 3
+//!     VOP relu 64
+//!     SEND_DATA 256 core1 t7
+//! .core 1
+//!     RECV_DATA 256 core0 t7
+//!     STORE_DATA 128
+//! ```
+
+use crate::instruction::{CoreId, Instruction, Tag, VectorOpKind};
+use crate::program::{ChipProgram, CoreProgram};
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.detail)
+    }
+}
+
+impl Error for ParseAsmError {}
+
+/// Renders a chip program in the textual format (empty cores are
+/// omitted).
+pub fn assemble(program: &ChipProgram) -> String {
+    let mut out = String::new();
+    for core in program.iter() {
+        if core.is_empty() {
+            continue;
+        }
+        out.push_str(&format!(".core {}\n", core.core().index()));
+        for instr in core.iter() {
+            out.push_str("    ");
+            out.push_str(&instruction_line(instr));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn instruction_line(instr: &Instruction) -> String {
+    match *instr {
+        Instruction::LoadWeight { bytes } => format!("LOAD_WEIGHT {bytes}"),
+        Instruction::WriteWeight { bits, crossbars } => {
+            format!("WRITE_WEIGHT {bits} {crossbars}")
+        }
+        Instruction::LoadData { bytes } => format!("LOAD_DATA {bytes}"),
+        Instruction::Mvmul { waves, activations, node } => {
+            format!("MVMUL {waves} {activations} {node}")
+        }
+        Instruction::VectorOp { op, elements } => format!("VOP {op} {elements}"),
+        Instruction::Send { to, bytes, tag } => format!("SEND_DATA {bytes} {to} {tag}"),
+        Instruction::Recv { from, bytes, tag } => format!("RECV_DATA {bytes} {from} {tag}"),
+        Instruction::StoreData { bytes } => format!("STORE_DATA {bytes}"),
+    }
+}
+
+/// Parses the textual format back into a [`ChipProgram`] with
+/// `cores` per-core streams.
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] on unknown mnemonics, malformed
+/// operands, out-of-range core ids, or instructions before the first
+/// `.core` directive. Blank lines and `#` comments are ignored.
+pub fn parse(text: &str, cores: usize) -> Result<ChipProgram, ParseAsmError> {
+    let mut program = ChipProgram::new(cores);
+    let mut current: Option<CoreId> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |detail: String| ParseAsmError { line: line_no, detail };
+        if let Some(rest) = line.strip_prefix(".core") {
+            let id: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad core id {rest:?}")))?;
+            if id >= cores {
+                return Err(err(format!("core {id} out of range (chip has {cores})")));
+            }
+            current = Some(CoreId(id));
+            continue;
+        }
+        let core = current.ok_or_else(|| err("instruction before .core directive".into()))?;
+        let mut parts = line.split_whitespace();
+        let mnemonic = parts.next().expect("non-empty line has a token");
+        let operands: Vec<&str> = parts.collect();
+        let instr = parse_instruction(mnemonic, &operands)
+            .map_err(|detail| err(format!("{mnemonic}: {detail}")))?;
+        program.core_mut(core).push(instr);
+    }
+    Ok(program)
+}
+
+fn parse_instruction(mnemonic: &str, operands: &[&str]) -> Result<Instruction, String> {
+    let number = |s: &str| -> Result<usize, String> {
+        s.parse().map_err(|_| format!("bad number {s:?}"))
+    };
+    let core = |s: &str| -> Result<CoreId, String> {
+        s.strip_prefix("core")
+            .and_then(|n| n.parse().ok())
+            .map(CoreId)
+            .ok_or_else(|| format!("bad core ref {s:?}"))
+    };
+    let tag = |s: &str| -> Result<Tag, String> {
+        s.strip_prefix('t')
+            .and_then(|n| n.parse().ok())
+            .map(Tag)
+            .ok_or_else(|| format!("bad tag {s:?}"))
+    };
+    let arity = |n: usize| -> Result<(), String> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(format!("expected {n} operands, got {}", operands.len()))
+        }
+    };
+    match mnemonic {
+        "LOAD_WEIGHT" => {
+            arity(1)?;
+            Ok(Instruction::LoadWeight { bytes: number(operands[0])? })
+        }
+        "WRITE_WEIGHT" => {
+            arity(2)?;
+            Ok(Instruction::WriteWeight {
+                bits: number(operands[0])?,
+                crossbars: number(operands[1])?,
+            })
+        }
+        "LOAD_DATA" => {
+            arity(1)?;
+            Ok(Instruction::LoadData { bytes: number(operands[0])? })
+        }
+        "MVMUL" => {
+            arity(3)?;
+            Ok(Instruction::Mvmul {
+                waves: number(operands[0])?,
+                activations: number(operands[1])?,
+                node: number(operands[2])?,
+            })
+        }
+        "VOP" => {
+            arity(2)?;
+            let op = match operands[0] {
+                "relu" => VectorOpKind::Relu,
+                "bn" => VectorOpKind::BatchNorm,
+                "pool" => VectorOpKind::Pool,
+                "add" => VectorOpKind::Add,
+                "concat" => VectorOpKind::Concat,
+                "softmax" => VectorOpKind::Softmax,
+                "move" => VectorOpKind::Move,
+                other => return Err(format!("unknown vector op {other:?}")),
+            };
+            Ok(Instruction::VectorOp { op, elements: number(operands[1])? })
+        }
+        "SEND_DATA" => {
+            arity(3)?;
+            Ok(Instruction::Send {
+                bytes: number(operands[0])?,
+                to: core(operands[1])?,
+                tag: tag(operands[2])?,
+            })
+        }
+        "RECV_DATA" => {
+            arity(3)?;
+            Ok(Instruction::Recv {
+                bytes: number(operands[0])?,
+                from: core(operands[1])?,
+                tag: tag(operands[2])?,
+            })
+        }
+        "STORE_DATA" => {
+            arity(1)?;
+            Ok(Instruction::StoreData { bytes: number(operands[0])? })
+        }
+        other => Err(format!("unknown mnemonic {other:?}")),
+    }
+}
+
+/// Convenience: renders a single core's stream.
+pub fn assemble_core(core: &CoreProgram) -> String {
+    let mut out = format!(".core {}\n", core.core().index());
+    for instr in core.iter() {
+        out.push_str("    ");
+        out.push_str(&instruction_line(instr));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChipProgram {
+        let mut p = ChipProgram::new(4);
+        p.core_mut(CoreId(0)).extend([
+            Instruction::LoadWeight { bytes: 4096 },
+            Instruction::WriteWeight { bits: 32768, crossbars: 4 },
+            Instruction::LoadData { bytes: 1024 },
+            Instruction::Mvmul { waves: 196, activations: 784, node: 3 },
+            Instruction::VectorOp { op: VectorOpKind::Relu, elements: 64 },
+            Instruction::Send { to: CoreId(1), bytes: 256, tag: Tag(7) },
+        ]);
+        p.core_mut(CoreId(1)).extend([
+            Instruction::Recv { from: CoreId(0), bytes: 256, tag: Tag(7) },
+            Instruction::VectorOp { op: VectorOpKind::Softmax, elements: 10 },
+            Instruction::StoreData { bytes: 128 },
+        ]);
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_program() {
+        let program = sample();
+        let text = assemble(&program);
+        let parsed = parse(&text, 4).expect("parses");
+        assert_eq!(parsed, program);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# header comment\n.core 2\n    MVMUL 1 2 3 # trailing\n\n";
+        let p = parse(text, 4).expect("parses");
+        assert_eq!(p.core(CoreId(2)).len(), 1);
+    }
+
+    #[test]
+    fn rejects_instruction_before_core() {
+        let err = parse("MVMUL 1 2 3", 4).unwrap_err();
+        assert!(err.detail.contains("before .core"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range_core() {
+        let err = parse(".core 9", 4).unwrap_err();
+        assert!(err.detail.contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_bad_operands() {
+        assert!(parse(".core 0\nMVMUL 1 2", 1).is_err()); // arity
+        assert!(parse(".core 0\nVOP sigmoid 4", 1).is_err()); // unknown op
+        assert!(parse(".core 0\nSEND_DATA 4 c1 t0", 1).is_err()); // bad core ref
+        assert!(parse(".core 0\nRECV_DATA 4 core1 7", 1).is_err()); // bad tag
+        assert!(parse(".core 0\nFROB 1", 1).is_err()); // unknown mnemonic
+    }
+
+    #[test]
+    fn all_vector_ops_round_trip() {
+        for op in [
+            VectorOpKind::Relu,
+            VectorOpKind::BatchNorm,
+            VectorOpKind::Pool,
+            VectorOpKind::Add,
+            VectorOpKind::Concat,
+            VectorOpKind::Softmax,
+            VectorOpKind::Move,
+        ] {
+            let mut p = ChipProgram::new(1);
+            p.core_mut(CoreId(0)).push(Instruction::VectorOp { op, elements: 9 });
+            let text = assemble(&p);
+            assert_eq!(parse(&text, 1).expect("parses"), p, "op {op}");
+        }
+    }
+
+    #[test]
+    fn assemble_core_headers() {
+        let p = sample();
+        let text = assemble_core(p.core(CoreId(1)));
+        assert!(text.starts_with(".core 1"));
+        assert!(text.contains("RECV_DATA 256 core0 t7"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Ergonomic construction of [`Network`] graphs.
+
+use crate::error::BuildNetworkError;
+use crate::graph::{infer_shape, Network, Node, NodeId};
+use crate::layer::{LayerKind, PoolKind};
+use crate::shape::TensorShape;
+
+/// Incremental builder for [`Network`] graphs.
+///
+/// Each `add_*` method appends a node and returns its [`NodeId`] for use
+/// as a later input, so graphs are expressed in natural dataflow order.
+/// Shape inference runs eagerly; errors are deferred to [`build`] so the
+/// fluent style stays ergonomic (the first error wins).
+///
+/// [`build`]: NetworkBuilder::build
+///
+/// # Example
+///
+/// ```
+/// use pim_model::{NetworkBuilder, TensorShape};
+///
+/// # fn main() -> Result<(), pim_model::BuildNetworkError> {
+/// let mut b = NetworkBuilder::new("lenet-ish");
+/// let input = b.input(TensorShape::new(1, 28, 28));
+/// let c1 = b.conv2d("c1", input, 6, 5, 1, 2);
+/// let r1 = b.relu("r1", c1);
+/// let p1 = b.max_pool2d("p1", r1, 2, 2);
+/// let f = b.flatten("flat", p1);
+/// let fc = b.linear("fc", f, 10);
+/// let _ = b.softmax("prob", fc);
+/// let net = b.build()?;
+/// assert_eq!(net.len(), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    shapes: Vec<TensorShape>,
+    error: Option<BuildNetworkError>,
+}
+
+impl NetworkBuilder {
+    /// Starts a new builder for a network called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), nodes: Vec::new(), shapes: Vec::new(), error: None }
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Output shape of an already-added node.
+    pub fn shape(&self, id: NodeId) -> TensorShape {
+        self.shapes[id.index()]
+    }
+
+    /// Appends an arbitrary node. Prefer the typed helpers below.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        kind: LayerKind,
+        inputs: Vec<NodeId>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        let input_shapes: Vec<TensorShape> = inputs
+            .iter()
+            .map(|i| self.shapes.get(i.index()).copied().unwrap_or(TensorShape::features(0)))
+            .collect();
+        let shape = match infer_shape(id, &kind, &input_shapes) {
+            Ok(shape) => shape,
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+                TensorShape::features(0)
+            }
+        };
+        self.nodes.push(Node { id, name: name.into(), kind, inputs, output_shape: shape });
+        self.shapes.push(shape);
+        id
+    }
+
+    /// Adds the network input.
+    pub fn input(&mut self, shape: TensorShape) -> NodeId {
+        self.add_node("input", LayerKind::Input { shape }, vec![])
+    }
+
+    /// Adds a square 2-D convolution.
+    pub fn conv2d(
+        &mut self,
+        name: impl Into<String>,
+        input: NodeId,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> NodeId {
+        let in_channels = self.shape(input).channels;
+        self.add_node(
+            name,
+            LayerKind::Conv2d { in_channels, out_channels, kernel, stride, padding },
+            vec![input],
+        )
+    }
+
+    /// Adds a fully-connected layer.
+    pub fn linear(&mut self, name: impl Into<String>, input: NodeId, out_features: usize) -> NodeId {
+        let in_features = self.shape(input).elements();
+        self.add_node(name, LayerKind::Linear { in_features, out_features }, vec![input])
+    }
+
+    /// Adds max pooling with zero padding.
+    pub fn max_pool2d(
+        &mut self,
+        name: impl Into<String>,
+        input: NodeId,
+        kernel: usize,
+        stride: usize,
+    ) -> NodeId {
+        self.add_node(
+            name,
+            LayerKind::Pool2d { kind: PoolKind::Max, kernel, stride, padding: 0 },
+            vec![input],
+        )
+    }
+
+    /// Adds average pooling with zero padding.
+    pub fn avg_pool2d(
+        &mut self,
+        name: impl Into<String>,
+        input: NodeId,
+        kernel: usize,
+        stride: usize,
+    ) -> NodeId {
+        self.add_node(
+            name,
+            LayerKind::Pool2d { kind: PoolKind::Avg, kernel, stride, padding: 0 },
+            vec![input],
+        )
+    }
+
+    /// Adds global average pooling.
+    pub fn global_avg_pool(&mut self, name: impl Into<String>, input: NodeId) -> NodeId {
+        self.add_node(name, LayerKind::GlobalAvgPool, vec![input])
+    }
+
+    /// Adds a ReLU activation.
+    pub fn relu(&mut self, name: impl Into<String>, input: NodeId) -> NodeId {
+        self.add_node(name, LayerKind::ReLU, vec![input])
+    }
+
+    /// Adds batch normalization over the input's channels.
+    pub fn batch_norm(&mut self, name: impl Into<String>, input: NodeId) -> NodeId {
+        let channels = self.shape(input).channels;
+        self.add_node(name, LayerKind::BatchNorm2d { channels }, vec![input])
+    }
+
+    /// Adds an element-wise residual addition.
+    pub fn add(&mut self, name: impl Into<String>, a: NodeId, b: NodeId) -> NodeId {
+        self.add_node(name, LayerKind::Add, vec![a, b])
+    }
+
+    /// Adds a channel-wise concatenation.
+    pub fn concat(&mut self, name: impl Into<String>, inputs: Vec<NodeId>) -> NodeId {
+        self.add_node(name, LayerKind::Concat, inputs)
+    }
+
+    /// Adds a flatten.
+    pub fn flatten(&mut self, name: impl Into<String>, input: NodeId) -> NodeId {
+        self.add_node(name, LayerKind::Flatten, vec![input])
+    }
+
+    /// Adds a softmax.
+    pub fn softmax(&mut self, name: impl Into<String>, input: NodeId) -> NodeId {
+        self.add_node(name, LayerKind::Softmax, vec![input])
+    }
+
+    /// Finalizes and validates the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first construction error encountered (dangling
+    /// inputs, arity or shape mismatches, oversized windows, empty
+    /// graph).
+    pub fn build(self) -> Result<Network, BuildNetworkError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Network::from_nodes(self.name, self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_infers_conv_channels() {
+        let mut b = NetworkBuilder::new("t");
+        let i = b.input(TensorShape::new(3, 32, 32));
+        let c = b.conv2d("c", i, 8, 3, 1, 1);
+        assert_eq!(b.shape(c), TensorShape::new(8, 32, 32));
+        let net = b.build().unwrap();
+        assert_eq!(net.name(), "t");
+    }
+
+    #[test]
+    fn builder_defers_errors_to_build() {
+        let mut b = NetworkBuilder::new("t");
+        let i = b.input(TensorShape::new(3, 2, 2));
+        // kernel larger than padded input -> WindowTooLarge at build()
+        let c = b.conv2d("c", i, 8, 5, 1, 0);
+        // subsequent calls still work (shape degraded to 0-features)
+        let _r = b.relu("r", c);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn linear_consumes_flattened_features() {
+        let mut b = NetworkBuilder::new("t");
+        let i = b.input(TensorShape::new(4, 3, 3));
+        let f = b.flatten("f", i);
+        let l = b.linear("l", f, 10);
+        assert_eq!(b.shape(l), TensorShape::features(10));
+        b.build().unwrap();
+    }
+
+    #[test]
+    fn concat_accumulates_channels() {
+        let mut b = NetworkBuilder::new("t");
+        let i = b.input(TensorShape::new(3, 8, 8));
+        let a = b.conv2d("a", i, 4, 1, 1, 0);
+        let c = b.conv2d("c", i, 6, 1, 1, 0);
+        let cat = b.concat("cat", vec![a, c]);
+        assert_eq!(b.shape(cat), TensorShape::new(10, 8, 8));
+        b.build().unwrap();
+    }
+}

@@ -1,0 +1,69 @@
+//! Graphviz export for network graphs.
+
+use crate::graph::Network;
+
+/// Renders `network` in Graphviz dot syntax: weighted (crossbar-
+/// mapped) layers are drawn as boxes, everything else as ellipses.
+///
+/// # Example
+///
+/// ```
+/// use pim_model::{dot::to_dot, zoo};
+///
+/// let dot = to_dot(&zoo::tiny_resnet());
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("b0_add"));
+/// ```
+pub fn to_dot(network: &Network) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", network.name()));
+    out.push_str("  rankdir=TB;\n  node [fontsize=10];\n");
+    for node in network.nodes() {
+        let shape = if node.kind.is_weighted() { "box" } else { "ellipse" };
+        out.push_str(&format!(
+            "  n{} [label=\"{}\\n{}\\n{}\" shape={}];\n",
+            node.id.index(),
+            node.name,
+            node.kind,
+            node.output_shape,
+            shape,
+        ));
+    }
+    for node in network.nodes() {
+        for input in &node.inputs {
+            out.push_str(&format!("  n{} -> n{};\n", input.index(), node.id.index()));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn dot_lists_every_node_and_edge() {
+        let net = zoo::tiny_cnn();
+        let dot = to_dot(&net);
+        for node in net.nodes() {
+            assert!(dot.contains(&format!("n{} [", node.id.index())));
+        }
+        let edges: usize = net.nodes().iter().map(|n| n.inputs.len()).sum();
+        assert_eq!(dot.matches(" -> ").count(), edges);
+    }
+
+    #[test]
+    fn weighted_nodes_are_boxes() {
+        let dot = to_dot(&zoo::tiny_cnn());
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+    }
+
+    #[test]
+    fn output_is_balanced_braces() {
+        let dot = to_dot(&zoo::squeezenet());
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for network construction and validation.
+
+use crate::graph::NodeId;
+use crate::shape::TensorShape;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building or validating a [`crate::Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildNetworkError {
+    /// A node references an input id that does not exist.
+    UnknownInput {
+        /// The node whose input list is invalid.
+        node: NodeId,
+        /// The dangling input id.
+        input: NodeId,
+    },
+    /// A node has the wrong number of inputs for its layer kind.
+    WrongArity {
+        /// The offending node.
+        node: NodeId,
+        /// What the layer kind requires (minimum).
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+    },
+    /// Input shapes are inconsistent with the layer semantics (e.g.
+    /// mismatched `Add` operands or conv channel mismatch).
+    ShapeMismatch {
+        /// The offending node.
+        node: NodeId,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A pooling or convolution window does not fit its input.
+    WindowTooLarge {
+        /// The offending node.
+        node: NodeId,
+        /// The input shape the window was applied to.
+        input_shape: TensorShape,
+    },
+    /// The graph contains no nodes.
+    Empty,
+    /// The graph contains a cycle (inputs must precede consumers).
+    Cyclic,
+}
+
+impl fmt::Display for BuildNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildNetworkError::UnknownInput { node, input } => {
+                write!(f, "node {node} references unknown input {input}")
+            }
+            BuildNetworkError::WrongArity { node, expected, actual } => {
+                write!(f, "node {node} requires at least {expected} input(s), got {actual}")
+            }
+            BuildNetworkError::ShapeMismatch { node, detail } => {
+                write!(f, "shape mismatch at node {node}: {detail}")
+            }
+            BuildNetworkError::WindowTooLarge { node, input_shape } => {
+                write!(f, "window at node {node} exceeds input shape {input_shape}")
+            }
+            BuildNetworkError::Empty => write!(f, "network has no nodes"),
+            BuildNetworkError::Cyclic => write!(f, "network graph contains a cycle"),
+        }
+    }
+}
+
+impl Error for BuildNetworkError {}

@@ -1,0 +1,174 @@
+//! Weight quantization to the paper's 4-bit operating point.
+//!
+//! The paper assumes 4-bit weights and activations "to faithfully
+//! model power consumption based on a recent CIM array which
+//! incorporates 4b quantization" (§IV-A2, citing Jia et al.). This
+//! module provides symmetric per-layer uniform quantization so the
+//! functional engine ([`crate::exec`]) can run the *quantized* network
+//! and quantify the numerical effect of the operating point.
+
+use crate::exec::Weights;
+use crate::graph::{Network, NodeId};
+use crate::stats::Precision;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer quantization parameters (symmetric uniform).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerQuant {
+    /// The layer.
+    pub node: NodeId,
+    /// Scale: real value = scale × integer code.
+    pub scale: f32,
+    /// Integer code range: codes lie in `[-q_max, q_max]`.
+    pub q_max: i32,
+}
+
+/// Result of quantizing a weight store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantReport {
+    /// Per-layer parameters.
+    pub layers: Vec<LayerQuant>,
+    /// Root-mean-square quantization error across all weights.
+    pub rms_error: f64,
+    /// Largest absolute per-weight error.
+    pub max_error: f64,
+}
+
+/// Symmetric per-layer quantization levels for `precision`:
+/// `2^(bits-1) - 1` positive codes (e.g. 7 for int4).
+pub fn q_max(precision: Precision) -> i32 {
+    (1 << (precision.bits() - 1)) - 1
+}
+
+/// Quantizes `weights` in place to `precision` (values snap to the
+/// uniform grid `scale × k`), returning per-layer parameters and
+/// aggregate error statistics.
+pub fn quantize_weights(
+    network: &Network,
+    weights: &mut Weights,
+    precision: Precision,
+) -> QuantReport {
+    let q = q_max(precision);
+    let mut layers = Vec::new();
+    let mut sq_err = 0.0f64;
+    let mut max_err = 0.0f64;
+    let mut count = 0usize;
+    for node in network.weighted_nodes() {
+        let Some(values) = weights.get_mut(node.id) else { continue };
+        let absmax = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let scale = if absmax == 0.0 { 1.0 } else { absmax / q as f32 };
+        for v in values.iter_mut() {
+            let code = (*v / scale).round().clamp(-(q as f32), q as f32);
+            let dequant = code * scale;
+            let err = (*v - dequant) as f64;
+            sq_err += err * err;
+            max_err = max_err.max(err.abs());
+            count += 1;
+            *v = dequant;
+        }
+        layers.push(LayerQuant { node: node.id, scale, q_max: q });
+    }
+    QuantReport {
+        layers,
+        rms_error: if count == 0 { 0.0 } else { (sq_err / count as f64).sqrt() },
+        max_error: max_err,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, Tensor, Weights};
+    use crate::shape::TensorShape;
+    use crate::zoo;
+
+    #[test]
+    fn q_max_per_precision() {
+        assert_eq!(q_max(Precision::Int1), 0); // degenerate: sign only
+        assert_eq!(q_max(Precision::Int2), 1);
+        assert_eq!(q_max(Precision::Int4), 7);
+        assert_eq!(q_max(Precision::Int8), 127);
+    }
+
+    #[test]
+    fn quantized_weights_lie_on_grid() {
+        let net = zoo::tiny_cnn();
+        let mut weights = Weights::synthetic(&net, 5);
+        let report = quantize_weights(&net, &mut weights, Precision::Int4);
+        for lq in &report.layers {
+            let values = weights.get(lq.node).unwrap();
+            for &v in values {
+                let code = v / lq.scale;
+                assert!(
+                    (code - code.round()).abs() < 1e-4,
+                    "value {v} not on grid (scale {})",
+                    lq.scale
+                );
+                assert!(code.round().abs() <= lq.q_max as f32);
+            }
+        }
+        assert!(report.rms_error > 0.0, "int4 must introduce some error");
+    }
+
+    #[test]
+    fn int8_error_below_int4_error() {
+        let net = zoo::tiny_cnn();
+        let mut w4 = Weights::synthetic(&net, 6);
+        let mut w8 = w4.clone();
+        let r4 = quantize_weights(&net, &mut w4, Precision::Int4);
+        let r8 = quantize_weights(&net, &mut w8, Precision::Int8);
+        assert!(
+            r8.rms_error < r4.rms_error / 4.0,
+            "int8 RMS {} should be well below int4 RMS {}",
+            r8.rms_error,
+            r4.rms_error
+        );
+    }
+
+    #[test]
+    fn quantized_network_stays_close_functionally() {
+        let net = zoo::tiny_cnn();
+        let weights = Weights::synthetic(&net, 7);
+        let mut quantized = weights.clone();
+        quantize_weights(&net, &mut quantized, Precision::Int4);
+        let x = Tensor::from_fn(TensorShape::new(3, 32, 32), |c, h, w| {
+            ((c * 31 + h * 7 + w) % 13) as f32 / 13.0 - 0.5
+        });
+        let full = execute(&net, &weights, &x).unwrap();
+        let quant = execute(&net, &quantized, &x).unwrap();
+        // Compare pre-softmax logits (softmax can saturate). Per-layer
+        // 4-bit error compounds through three conv stages, so judge
+        // against the logit *range* and by direction (cosine
+        // similarity), not element-wise relative error.
+        let logits_full = &full[full.len() - 2];
+        let logits_quant = &quant[quant.len() - 2];
+        let range = logits_full.data().iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1e-6);
+        let max_abs = logits_full
+            .data()
+            .iter()
+            .zip(logits_quant.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            max_abs / range < 0.75,
+            "4-bit logits should stay in the same regime (max err {max_abs} vs range {range})"
+        );
+        let dot: f32 =
+            logits_full.data().iter().zip(logits_quant.data()).map(|(a, b)| a * b).sum();
+        let na: f32 = logits_full.data().iter().map(|a| a * a).sum::<f32>().sqrt();
+        let nb: f32 = logits_quant.data().iter().map(|b| b * b).sum::<f32>().sqrt();
+        let cosine = dot / (na * nb).max(1e-9);
+        assert!(cosine > 0.8, "quantized logits should point the same way (cos {cosine})");
+    }
+
+    #[test]
+    fn idempotent_on_second_pass() {
+        let net = zoo::tiny_cnn();
+        let mut weights = Weights::synthetic(&net, 8);
+        quantize_weights(&net, &mut weights, Precision::Int4);
+        let snapshot = weights.clone();
+        let second = quantize_weights(&net, &mut weights, Precision::Int4);
+        assert_eq!(weights, snapshot, "re-quantizing a quantized store is identity");
+        assert!(second.rms_error < 1e-7);
+    }
+}

@@ -1,0 +1,200 @@
+//! Parameter, weight-size, and compute accounting.
+
+use crate::graph::{Network, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bytes per MiB, the unit the paper's Table II uses (labelled "MB").
+pub const MIB: f64 = 1024.0 * 1024.0;
+
+/// Weight/activation bit precision.
+///
+/// The paper assumes 4-bit weights and activations, matching the
+/// 16 nm SRAM-CIM prototype of Jia et al. (ISSCC'21) its power model is
+/// derived from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Precision {
+    /// 1-bit (binary) weights.
+    Int1,
+    /// 2-bit weights.
+    Int2,
+    /// 4-bit weights — the paper's operating point.
+    #[default]
+    Int4,
+    /// 8-bit weights.
+    Int8,
+}
+
+impl Precision {
+    /// Number of bits per weight or activation.
+    pub const fn bits(self) -> usize {
+        match self {
+            Precision::Int1 => 1,
+            Precision::Int2 => 2,
+            Precision::Int4 => 4,
+            Precision::Int8 => 8,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "int{}", self.bits())
+    }
+}
+
+/// Per-layer weight statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// Node the statistics describe.
+    pub node: NodeId,
+    /// Weight parameter count (biases excluded).
+    pub params: usize,
+    /// Weight storage in bits at the chosen precision.
+    pub weight_bits: usize,
+    /// Multiply-accumulate operations per input sample.
+    pub macs_per_sample: usize,
+    /// Matrix-vector multiplications per input sample.
+    pub mvms_per_sample: usize,
+}
+
+/// Aggregate network statistics at a fixed weight precision.
+///
+/// # Example
+///
+/// ```
+/// use pim_model::{zoo, Precision, stats::NetworkStats};
+///
+/// let stats = NetworkStats::of(&zoo::vgg16(), Precision::Int4);
+/// // Paper Table II: VGG16 Linear 58.95 MiB, Conv 7.02 MiB.
+/// assert!((stats.linear_weight_mib() - 58.95).abs() < 0.01);
+/// assert!((stats.conv_weight_mib() - 7.02).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Precision used for the byte figures.
+    pub precision: Precision,
+    /// Per weighted-layer statistics in topological order.
+    pub layers: Vec<LayerStats>,
+    /// Total conv weight bits.
+    pub conv_weight_bits: usize,
+    /// Total linear weight bits.
+    pub linear_weight_bits: usize,
+    /// Total parameter count (weights only).
+    pub total_params: usize,
+    /// Total MACs per sample.
+    pub total_macs: usize,
+}
+
+impl NetworkStats {
+    /// Computes statistics for `network` at `precision`.
+    pub fn of(network: &Network, precision: Precision) -> Self {
+        let bits = precision.bits();
+        let mut layers = Vec::new();
+        let (mut conv_bits, mut linear_bits, mut params, mut macs) = (0, 0, 0usize, 0usize);
+        for node in network.weighted_nodes() {
+            let p = node.kind.weight_params();
+            let wb = p * bits;
+            let m = node.kind.macs_per_sample(node.output_shape);
+            layers.push(LayerStats {
+                node: node.id,
+                params: p,
+                weight_bits: wb,
+                macs_per_sample: m,
+                mvms_per_sample: node.kind.mvms_per_sample(node.output_shape),
+            });
+            if matches!(node.kind, crate::LayerKind::Conv2d { .. }) {
+                conv_bits += wb;
+            } else {
+                linear_bits += wb;
+            }
+            params += p;
+            macs += m;
+        }
+        Self {
+            precision,
+            layers,
+            conv_weight_bits: conv_bits,
+            linear_weight_bits: linear_bits,
+            total_params: params,
+            total_macs: macs,
+        }
+    }
+
+    /// Conv weight footprint in MiB.
+    pub fn conv_weight_mib(&self) -> f64 {
+        self.conv_weight_bits as f64 / 8.0 / MIB
+    }
+
+    /// Linear weight footprint in MiB.
+    pub fn linear_weight_mib(&self) -> f64 {
+        self.linear_weight_bits as f64 / 8.0 / MIB
+    }
+
+    /// Total weight footprint in MiB (the paper's Table II "Total").
+    pub fn total_weight_mib(&self) -> f64 {
+        self.conv_weight_mib() + self.linear_weight_mib()
+    }
+
+    /// Total weight footprint in bytes (rounded up).
+    pub fn total_weight_bytes(&self) -> usize {
+        (self.conv_weight_bits + self.linear_weight_bits).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn table2_vgg16() {
+        let s = NetworkStats::of(&zoo::vgg16(), Precision::Int4);
+        assert!((s.linear_weight_mib() - 58.95).abs() < 0.005, "{}", s.linear_weight_mib());
+        assert!((s.conv_weight_mib() - 7.0158).abs() < 0.005, "{}", s.conv_weight_mib());
+        assert!((s.total_weight_mib() - 65.97).abs() < 0.01);
+    }
+
+    #[test]
+    fn table2_resnet18() {
+        let s = NetworkStats::of(&zoo::resnet18(), Precision::Int4);
+        assert!((s.linear_weight_mib() - 0.244).abs() < 0.001, "{}", s.linear_weight_mib());
+        assert!((s.conv_weight_mib() - 5.3247).abs() < 0.001, "{}", s.conv_weight_mib());
+        assert!((s.total_weight_mib() - 5.569).abs() < 0.002);
+    }
+
+    #[test]
+    fn table2_squeezenet() {
+        let s = NetworkStats::of(&zoo::squeezenet(), Precision::Int4);
+        // Paper: 0.58725 MiB conv-only, 0 linear.
+        assert_eq!(s.linear_weight_bits, 0);
+        assert!((s.conv_weight_mib() - 0.58725).abs() < 0.0001, "{}", s.conv_weight_mib());
+    }
+
+    #[test]
+    fn precision_scales_linearly() {
+        let net = zoo::squeezenet();
+        let s4 = NetworkStats::of(&net, Precision::Int4);
+        let s8 = NetworkStats::of(&net, Precision::Int8);
+        assert_eq!(s8.conv_weight_bits, 2 * s4.conv_weight_bits);
+        assert_eq!(s8.total_params, s4.total_params);
+    }
+
+    #[test]
+    fn vgg16_param_count_matches_reference() {
+        let s = NetworkStats::of(&zoo::vgg16(), Precision::Int4);
+        // Torchvision VGG16 without biases: 14,710,464 conv weights
+        // (14,714,688 including the 4,224 biases) + 123,633,664 fc weights.
+        assert_eq!(s.total_params, 14_710_464 + 123_633_664);
+    }
+
+    #[test]
+    fn mac_totals_are_positive_and_ordered() {
+        let v = NetworkStats::of(&zoo::vgg16(), Precision::Int4).total_macs;
+        let r = NetworkStats::of(&zoo::resnet18(), Precision::Int4).total_macs;
+        let s = NetworkStats::of(&zoo::squeezenet(), Precision::Int4).total_macs;
+        // VGG16 ~15.5 GMACs > ResNet18 ~1.8 GMACs > SqueezeNet ~0.35 GMACs
+        assert!(v > r && r > s && s > 0);
+        assert!(v > 15_000_000_000 && v < 16_000_000_000, "{v}");
+    }
+}

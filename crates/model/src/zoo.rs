@@ -1,0 +1,394 @@
+//! Reference networks with exact parameter shapes.
+//!
+//! The three benchmark CNNs of the COMPASS paper (Table II) plus small
+//! synthetic networks used in tests and examples. All builders produce
+//! validated graphs, so they panic only on internal programming errors
+//! (enforced by unit tests).
+
+use crate::builder::NetworkBuilder;
+use crate::graph::{Network, NodeId};
+use crate::shape::TensorShape;
+
+/// VGG16 (torchvision layout): 13 convolutions in five pooled stages
+/// followed by three fully-connected layers.
+///
+/// 4-bit footprint (paper Table II): Linear 58.95 MiB + Conv 7.02 MiB =
+/// 65.97 MiB — far beyond every chip configuration, so it *requires*
+/// COMPASS-style weight replacement.
+pub fn vgg16() -> Network {
+    vgg(
+        "vgg16",
+        &[&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]],
+    )
+}
+
+/// VGG11 ("configuration A"): 8 convolutions + the standard VGG
+/// classifier.
+pub fn vgg11() -> Network {
+    vgg("vgg11", &[&[64], &[128], &[256, 256], &[512, 512], &[512, 512]])
+}
+
+/// VGG13 ("configuration B"): 10 convolutions + classifier.
+pub fn vgg13() -> Network {
+    vgg("vgg13", &[&[64, 64], &[128, 128], &[256, 256], &[512, 512], &[512, 512]])
+}
+
+/// VGG19 ("configuration E"): 16 convolutions + classifier — the
+/// largest zoo model (~76 MiB at 4-bit).
+pub fn vgg19() -> Network {
+    vgg(
+        "vgg19",
+        &[
+            &[64, 64],
+            &[128, 128],
+            &[256, 256, 256, 256],
+            &[512, 512, 512, 512],
+            &[512, 512, 512, 512],
+        ],
+    )
+}
+
+fn vgg(name: &str, stages: &[&[usize]]) -> Network {
+    let mut b = NetworkBuilder::new(name);
+    let input = b.input(TensorShape::new(3, 224, 224));
+    let mut x = input;
+    for (si, stage) in stages.iter().enumerate() {
+        for (ci, &ch) in stage.iter().enumerate() {
+            let conv = b.conv2d(format!("conv{}_{}", si + 1, ci + 1), x, ch, 3, 1, 1);
+            x = b.relu(format!("relu{}_{}", si + 1, ci + 1), conv);
+        }
+        x = b.max_pool2d(format!("pool{}", si + 1), x, 2, 2);
+    }
+    x = b.flatten("flatten", x);
+    let fc6 = b.linear("fc6", x, 4096);
+    x = b.relu("relu6", fc6);
+    let fc7 = b.linear("fc7", x, 4096);
+    x = b.relu("relu7", fc7);
+    let fc8 = b.linear("fc8", x, 1000);
+    let _ = b.softmax("prob", fc8);
+    b.build().unwrap_or_else(|e| panic!("{name} definition is valid: {e}"))
+}
+
+/// AlexNet (torchvision layout): 5 convolutions with large early
+/// kernels and three fully-connected layers (~27 MiB at 4-bit, FC
+/// dominated like VGG).
+pub fn alexnet() -> Network {
+    let mut b = NetworkBuilder::new("alexnet");
+    let input = b.input(TensorShape::new(3, 224, 224));
+    let c1 = b.conv2d("conv1", input, 64, 11, 4, 2);
+    let r1 = b.relu("relu1", c1);
+    let p1 = b.max_pool2d("pool1", r1, 3, 2);
+    let c2 = b.conv2d("conv2", p1, 192, 5, 1, 2);
+    let r2 = b.relu("relu2", c2);
+    let p2 = b.max_pool2d("pool2", r2, 3, 2);
+    let c3 = b.conv2d("conv3", p2, 384, 3, 1, 1);
+    let r3 = b.relu("relu3", c3);
+    let c4 = b.conv2d("conv4", r3, 256, 3, 1, 1);
+    let r4 = b.relu("relu4", c4);
+    let c5 = b.conv2d("conv5", r4, 256, 3, 1, 1);
+    let r5 = b.relu("relu5", c5);
+    let p5 = b.max_pool2d("pool5", r5, 3, 2);
+    let flat = b.flatten("flatten", p5);
+    let fc6 = b.linear("fc6", flat, 4096);
+    let r6 = b.relu("relu6", fc6);
+    let fc7 = b.linear("fc7", r6, 4096);
+    let r7 = b.relu("relu7", fc7);
+    let fc8 = b.linear("fc8", r7, 1000);
+    let _ = b.softmax("prob", fc8);
+    b.build().expect("alexnet definition is valid")
+}
+
+/// ResNet34: the deeper basic-block ResNet (3/4/6/3 blocks,
+/// ~21.3 M parameters, ~10.2 MiB at 4-bit).
+pub fn resnet34() -> Network {
+    resnet_basic("resnet34", [3, 4, 6, 3])
+}
+
+/// ResNet18: 7×7 stem, four stages of two basic blocks each with
+/// identity/downsample residual connections, global average pooling,
+/// and a 1000-way classifier.
+///
+/// 4-bit footprint (paper Table II): 5.569 MiB total.
+pub fn resnet18() -> Network {
+    resnet_basic("resnet18", [2, 2, 2, 2])
+}
+
+fn resnet_basic(name: &str, blocks_per_stage: [usize; 4]) -> Network {
+    let mut b = NetworkBuilder::new(name);
+    let input = b.input(TensorShape::new(3, 224, 224));
+    let conv1 = b.conv2d("conv1", input, 64, 7, 2, 3);
+    let bn1 = b.batch_norm("bn1", conv1);
+    let relu1 = b.relu("relu1", bn1);
+    let mut x = b.add_node(
+        "maxpool",
+        crate::LayerKind::Pool2d { kind: crate::PoolKind::Max, kernel: 3, stride: 2, padding: 1 },
+        vec![relu1],
+    );
+    let stage_channels = [64usize, 128, 256, 512];
+    for (si, &ch) in stage_channels.iter().enumerate() {
+        for block in 0..blocks_per_stage[si] {
+            let downsample = si > 0 && block == 0;
+            let stride = if downsample { 2 } else { 1 };
+            let tag = format!("l{}b{}", si + 1, block + 1);
+            let c1 = b.conv2d(format!("{tag}_conv1"), x, ch, 3, stride, 1);
+            let n1 = b.batch_norm(format!("{tag}_bn1"), c1);
+            let r1 = b.relu(format!("{tag}_relu1"), n1);
+            let c2 = b.conv2d(format!("{tag}_conv2"), r1, ch, 3, 1, 1);
+            let n2 = b.batch_norm(format!("{tag}_bn2"), c2);
+            let shortcut = if downsample {
+                let ds = b.conv2d(format!("{tag}_down"), x, ch, 1, 2, 0);
+                b.batch_norm(format!("{tag}_down_bn"), ds)
+            } else {
+                x
+            };
+            let add = b.add(format!("{tag}_add"), n2, shortcut);
+            x = b.relu(format!("{tag}_relu2"), add);
+        }
+    }
+    let gap = b.global_avg_pool("gap", x);
+    let fc = b.linear("fc", gap, 1000);
+    let _ = b.softmax("prob", fc);
+    b.build().unwrap_or_else(|e| panic!("{name} definition is valid: {e}"))
+}
+
+/// SqueezeNet v1.1: a 3×3 stem followed by eight *fire modules*
+/// (1×1 squeeze, parallel 1×1/3×3 expand, channel concat) and a 1×1
+/// classifier convolution.
+///
+/// 4-bit footprint: 0.58725 MiB — this is the only benchmark that fits
+/// on-chip without partitioning, matching the paper's observation that
+/// prior compilers support SqueezeNet but not the other two.
+pub fn squeezenet() -> Network {
+    let mut b = NetworkBuilder::new("squeezenet");
+    let input = b.input(TensorShape::new(3, 224, 224));
+    let conv1 = b.conv2d("conv1", input, 64, 3, 2, 0);
+    let relu1 = b.relu("relu1", conv1);
+    let mut x = b.max_pool2d("pool1", relu1, 3, 2);
+    // (squeeze, expand) channel pairs for fire2..fire9 (v1.1).
+    let fires: &[(usize, usize)] =
+        &[(16, 64), (16, 64), (32, 128), (32, 128), (48, 192), (48, 192), (64, 256), (64, 256)];
+    for (i, &(squeeze, expand)) in fires.iter().enumerate() {
+        let fire_no = i + 2;
+        x = fire_module(&mut b, &format!("fire{fire_no}"), x, squeeze, expand);
+        if fire_no == 3 {
+            x = b.max_pool2d("pool3", x, 3, 2);
+        } else if fire_no == 5 {
+            x = b.max_pool2d("pool5", x, 3, 2);
+        }
+    }
+    let conv10 = b.conv2d("conv10", x, 1000, 1, 1, 0);
+    let relu10 = b.relu("relu10", conv10);
+    let gap = b.global_avg_pool("gap", relu10);
+    let _ = b.softmax("prob", gap);
+    b.build().expect("squeezenet definition is valid")
+}
+
+fn fire_module(
+    b: &mut NetworkBuilder,
+    name: &str,
+    input: NodeId,
+    squeeze: usize,
+    expand: usize,
+) -> NodeId {
+    let s = b.conv2d(format!("{name}_squeeze"), input, squeeze, 1, 1, 0);
+    let sr = b.relu(format!("{name}_squeeze_relu"), s);
+    let e1 = b.conv2d(format!("{name}_expand1x1"), sr, expand, 1, 1, 0);
+    let e1r = b.relu(format!("{name}_expand1x1_relu"), e1);
+    let e3 = b.conv2d(format!("{name}_expand3x3"), sr, expand, 3, 1, 1);
+    let e3r = b.relu(format!("{name}_expand3x3_relu"), e3);
+    b.concat(format!("{name}_concat"), vec![e1r, e3r])
+}
+
+/// A small multi-layer perceptron, handy for unit tests and examples.
+pub fn mlp(input_features: usize, hidden: &[usize], classes: usize) -> Network {
+    let mut b = NetworkBuilder::new("mlp");
+    let input = b.input(TensorShape::features(input_features));
+    let mut x = input;
+    for (i, &h) in hidden.iter().enumerate() {
+        let fc = b.linear(format!("fc{i}"), x, h);
+        x = b.relu(format!("relu{i}"), fc);
+    }
+    let out = b.linear("fc_out", x, classes);
+    let _ = b.softmax("prob", out);
+    b.build().expect("mlp definition is valid")
+}
+
+/// A small CIFAR-scale CNN (3 conv stages + classifier) used by tests
+/// and the quickstart example; fits comfortably on Chip-S.
+pub fn tiny_cnn() -> Network {
+    let mut b = NetworkBuilder::new("tiny_cnn");
+    let input = b.input(TensorShape::new(3, 32, 32));
+    let mut x = input;
+    for (i, ch) in [32usize, 64, 128].into_iter().enumerate() {
+        let conv = b.conv2d(format!("conv{i}"), x, ch, 3, 1, 1);
+        let relu = b.relu(format!("relu{i}"), conv);
+        x = b.max_pool2d(format!("pool{i}"), relu, 2, 2);
+    }
+    let f = b.flatten("flatten", x);
+    let fc = b.linear("fc", f, 10);
+    let _ = b.softmax("prob", fc);
+    b.build().expect("tiny_cnn definition is valid")
+}
+
+/// A residual toy network exercising multi-entry/exit partitions
+/// (a residual connection spanning several layers), used in tests.
+pub fn tiny_resnet() -> Network {
+    let mut b = NetworkBuilder::new("tiny_resnet");
+    let input = b.input(TensorShape::new(3, 32, 32));
+    let stem = b.conv2d("stem", input, 16, 3, 1, 1);
+    let stem_relu = b.relu("stem_relu", stem);
+    let mut x = stem_relu;
+    for i in 0..3 {
+        let c1 = b.conv2d(format!("b{i}_conv1"), x, 16, 3, 1, 1);
+        let r1 = b.relu(format!("b{i}_relu1"), c1);
+        let c2 = b.conv2d(format!("b{i}_conv2"), r1, 16, 3, 1, 1);
+        let add = b.add(format!("b{i}_add"), c2, x);
+        x = b.relu(format!("b{i}_relu2"), add);
+    }
+    let gap = b.global_avg_pool("gap", x);
+    let fc = b.linear("fc", gap, 10);
+    let _ = b.softmax("prob", fc);
+    b.build().expect("tiny_resnet definition is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    #[test]
+    fn vgg16_structure() {
+        let net = vgg16();
+        let convs = net
+            .weighted_nodes()
+            .filter(|n| matches!(n.kind, LayerKind::Conv2d { .. }))
+            .count();
+        let linears = net
+            .weighted_nodes()
+            .filter(|n| matches!(n.kind, LayerKind::Linear { .. }))
+            .count();
+        assert_eq!(convs, 13);
+        assert_eq!(linears, 3);
+        // Feature map entering the classifier is 512x7x7.
+        let flat = net.nodes().iter().find(|n| n.name == "flatten").unwrap();
+        assert_eq!(flat.output_shape, TensorShape::features(25088));
+    }
+
+    #[test]
+    fn resnet18_structure() {
+        let net = resnet18();
+        let convs = net
+            .weighted_nodes()
+            .filter(|n| matches!(n.kind, LayerKind::Conv2d { .. }))
+            .count();
+        // 1 stem + 16 block convs + 3 downsample convs = 20.
+        assert_eq!(convs, 20);
+        let adds = net.nodes().iter().filter(|n| n.kind == LayerKind::Add).count();
+        assert_eq!(adds, 8);
+        // Final feature map before GAP is 512x7x7.
+        let last_relu = net.nodes().iter().find(|n| n.name == "l4b2_relu2").unwrap();
+        assert_eq!(last_relu.output_shape, TensorShape::new(512, 7, 7));
+    }
+
+    #[test]
+    fn squeezenet_structure() {
+        let net = squeezenet();
+        let convs = net
+            .weighted_nodes()
+            .filter(|n| matches!(n.kind, LayerKind::Conv2d { .. }))
+            .count();
+        // conv1 + 8 fires x 3 convs + conv10 = 26.
+        assert_eq!(convs, 26);
+        // No linear layers (paper Table II: Linear 0.0 MB).
+        assert_eq!(
+            net.weighted_nodes()
+                .filter(|n| matches!(n.kind, LayerKind::Linear { .. }))
+                .count(),
+            0
+        );
+        // fire9 concat output is 512x13x13.
+        let f9 = net.nodes().iter().find(|n| n.name == "fire9_concat").unwrap();
+        assert_eq!(f9.output_shape, TensorShape::new(512, 13, 13));
+    }
+
+    #[test]
+    fn squeezenet_spatial_progression() {
+        let net = squeezenet();
+        let pool1 = net.nodes().iter().find(|n| n.name == "pool1").unwrap();
+        assert_eq!(pool1.output_shape, TensorShape::new(64, 55, 55));
+        let pool3 = net.nodes().iter().find(|n| n.name == "pool3").unwrap();
+        assert_eq!(pool3.output_shape, TensorShape::new(128, 27, 27));
+        let pool5 = net.nodes().iter().find(|n| n.name == "pool5").unwrap();
+        assert_eq!(pool5.output_shape, TensorShape::new(256, 13, 13));
+    }
+
+    #[test]
+    fn small_networks_build() {
+        assert!(mlp(784, &[256, 128], 10).len() > 5);
+        assert!(tiny_cnn().len() > 10);
+        let tr = tiny_resnet();
+        assert_eq!(tr.nodes().iter().filter(|n| n.kind == LayerKind::Add).count(), 3);
+    }
+
+    #[test]
+    fn vgg_variants_order_by_size() {
+        use crate::stats::NetworkStats;
+        use crate::Precision;
+        let sizes: Vec<f64> = [vgg11(), vgg13(), vgg16(), vgg19()]
+            .iter()
+            .map(|n| NetworkStats::of(n, Precision::Int4).total_weight_mib())
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "{sizes:?}");
+        // VGG11/13/16/19 conv layer counts: 8, 10, 13, 16.
+        for (net, convs) in
+            [(vgg11(), 8), (vgg13(), 10), (vgg16(), 13), (vgg19(), 16)]
+        {
+            let count = net
+                .weighted_nodes()
+                .filter(|n| matches!(n.kind, LayerKind::Conv2d { .. }))
+                .count();
+            assert_eq!(count, convs, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn alexnet_structure() {
+        let net = alexnet();
+        // Conv1 11x11 stride 4 on 224 -> 55.
+        let c1 = net.nodes().iter().find(|n| n.name == "conv1").unwrap();
+        assert_eq!(c1.output_shape, TensorShape::new(64, 55, 55));
+        // Flatten feeds 256*6*6 = 9216 features into fc6.
+        let flat = net.nodes().iter().find(|n| n.name == "flatten").unwrap();
+        assert_eq!(flat.output_shape, TensorShape::features(9216));
+        // Torchvision AlexNet: 61,100,840 params including 10,344
+        // biases; weights only = 61,090,496.
+        let params: usize = net.weighted_nodes().map(|n| n.kind.weight_params()).sum();
+        assert_eq!(params, 61_090_496);
+    }
+
+    #[test]
+    fn resnet34_structure() {
+        let net = resnet34();
+        let convs = net
+            .weighted_nodes()
+            .filter(|n| matches!(n.kind, LayerKind::Conv2d { .. }))
+            .count();
+        // 1 stem + 2*(3+4+6+3) block convs + 3 downsamples = 36.
+        assert_eq!(convs, 36);
+        let adds = net.nodes().iter().filter(|n| n.kind == LayerKind::Add).count();
+        assert_eq!(adds, 16);
+        // Weight-only params: 21,779,648 (torchvision's 21.80 M total
+        // minus BN affine params and biases, which live in VFU
+        // registers, not crossbars).
+        let params: usize = net.weighted_nodes().map(|n| n.kind.weight_params()).sum();
+        assert_eq!(params, 21_779_648);
+    }
+
+    #[test]
+    fn resnet18_residuals_have_two_weighted_ancestors() {
+        let net = resnet18();
+        let add = net.nodes().iter().find(|n| n.name == "l1b1_add").unwrap();
+        let ancestors = net.weighted_ancestors(add.id);
+        assert_eq!(ancestors.len(), 2, "identity residual joins two paths: {ancestors:?}");
+    }
+}

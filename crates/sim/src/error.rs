@@ -1,0 +1,41 @@
+//! Simulation errors.
+
+use pim_isa::{CoreId, Tag};
+use std::error::Error;
+use std::fmt;
+
+/// The simulator could not make progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A `RECV` waits for a `SEND` that never executes (malformed
+    /// schedule).
+    Deadlock {
+        /// The blocked core.
+        core: CoreId,
+        /// The tag it is waiting on.
+        tag: Tag,
+    },
+    /// A program references more cores than the chip has.
+    CoreCountMismatch {
+        /// Cores in the program.
+        program_cores: usize,
+        /// Cores on the chip.
+        chip_cores: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { core, tag } => {
+                write!(f, "deadlock: {core} blocked on recv {tag} with no matching send")
+            }
+            SimError::CoreCountMismatch { program_cores, chip_cores } => write!(
+                f,
+                "program targets {program_cores} cores but chip has {chip_cores}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}

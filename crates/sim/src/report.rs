@@ -1,0 +1,208 @@
+//! Simulation reports.
+
+use pim_arch::PowerBreakdown;
+use pim_dram::{DramEnergy, TraceStats};
+use pim_isa::InstructionStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-core time accounting within one partition, by activity class.
+///
+/// `busy` categories are mutually exclusive occupancy of the core;
+/// `recv_wait_ns` and `dram_wait_ns` are stalls (waiting on a peer's
+/// send or on the shared memory channel).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CoreActivity {
+    /// Crossbar MVM time.
+    pub mvm_ns: f64,
+    /// VFU vector-op time.
+    pub vfu_ns: f64,
+    /// Crossbar write (weight replacement) time.
+    pub write_ns: f64,
+    /// Global-memory transfer occupancy (loads + stores).
+    pub dram_ns: f64,
+    /// Bus send occupancy (arbitration share).
+    pub send_ns: f64,
+    /// Stall waiting for a matching send.
+    pub recv_wait_ns: f64,
+    /// Stall waiting for the memory channel.
+    pub dram_wait_ns: f64,
+}
+
+impl CoreActivity {
+    /// Total busy time (excludes stalls).
+    pub fn busy_ns(&self) -> f64 {
+        self.mvm_ns + self.vfu_ns + self.write_ns + self.dram_ns + self.send_ns
+    }
+
+    /// Busy fraction of a partition span.
+    pub fn utilization(&self, span_ns: f64) -> f64 {
+        if span_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_ns() / span_ns).min(1.0)
+    }
+}
+
+/// Timing and energy of one partition's execution (one bar of the
+/// paper's Fig. 7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSimReport {
+    /// Partition index in execution order.
+    pub index: usize,
+    /// Absolute start time, ns.
+    pub start_ns: f64,
+    /// Absolute end time (all cores drained), ns.
+    pub end_ns: f64,
+    /// Time until the last core finished its weight-replace phase
+    /// (relative to `start_ns`).
+    pub replace_ns: f64,
+    /// Static instruction statistics of the partition's program.
+    pub stats: InstructionStats,
+    /// Dynamic energy of this partition.
+    pub energy: PowerBreakdown,
+    /// Per-core activity breakdown.
+    pub core_activity: Vec<CoreActivity>,
+}
+
+impl PartitionSimReport {
+    /// Total partition latency, ns.
+    pub fn latency_ns(&self) -> f64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Compute (pipeline) portion of the latency, ns.
+    pub fn compute_ns(&self) -> f64 {
+        self.latency_ns() - self.replace_ns
+    }
+
+    /// Mean busy fraction across cores that did any work.
+    pub fn mean_utilization(&self) -> f64 {
+        let span = self.latency_ns();
+        let active: Vec<f64> = self
+            .core_activity
+            .iter()
+            .filter(|a| a.busy_ns() > 0.0)
+            .map(|a| a.utilization(span))
+            .collect();
+        if active.is_empty() {
+            0.0
+        } else {
+            active.iter().sum::<f64>() / active.len() as f64
+        }
+    }
+}
+
+/// The full simulation result for one batch cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Batch size simulated.
+    pub batch: usize,
+    /// Per-partition reports in execution order.
+    pub partitions: Vec<PartitionSimReport>,
+    /// End-to-end makespan of the batch cycle, ns.
+    pub makespan_ns: f64,
+    /// Total energy (dynamic + chip static over the makespan).
+    pub energy: PowerBreakdown,
+    /// Refined DRAM energy from replaying the generated memory trace
+    /// (present when DRAM replay is enabled).
+    pub dram_energy: Option<DramEnergy>,
+    /// DRAM trace byte totals.
+    pub dram_trace: TraceStats,
+}
+
+impl SimReport {
+    /// Inferences per second.
+    pub fn throughput_ips(&self) -> f64 {
+        if self.makespan_ns == 0.0 {
+            return 0.0;
+        }
+        self.batch as f64 / (self.makespan_ns * 1e-9)
+    }
+
+    /// End-to-end latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.makespan_ns * 1e-6
+    }
+
+    /// Energy per inference in microjoules.
+    pub fn energy_per_inference_uj(&self) -> f64 {
+        self.energy.total_uj() / self.batch.max(1) as f64
+    }
+
+    /// EDP per sample (µJ · ms), as plotted in the paper's Fig. 8.
+    pub fn edp_per_inference(&self) -> f64 {
+        self.energy_per_inference_uj() * self.latency_ms()
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "simulated {} partitions, batch {}: {:.3} ms, {:.1} inf/s, {:.1} uJ/inf",
+            self.partitions.len(),
+            self.batch,
+            self.latency_ms(),
+            self.throughput_ips(),
+            self.energy_per_inference_uj()
+        )?;
+        for p in &self.partitions {
+            writeln!(
+                f,
+                "  P{}: {:.1} us (replace {:.1} us, compute {:.1} us)",
+                p.index,
+                p.latency_ns() / 1000.0,
+                p.replace_ns / 1000.0,
+                p.compute_ns() / 1000.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            batch: 4,
+            partitions: vec![PartitionSimReport {
+                index: 0,
+                start_ns: 0.0,
+                end_ns: 2_000_000.0,
+                replace_ns: 500_000.0,
+                stats: InstructionStats::default(),
+                energy: PowerBreakdown::new(),
+                core_activity: Vec::new(),
+            }],
+            makespan_ns: 2_000_000.0,
+            energy: PowerBreakdown { mvm_nj: 4000.0, ..PowerBreakdown::new() },
+            dram_energy: None,
+            dram_trace: TraceStats::default(),
+        }
+    }
+
+    #[test]
+    fn throughput_and_latency() {
+        let r = report();
+        // 4 samples / 2 ms = 2000 inf/s.
+        assert!((r.throughput_ips() - 2000.0).abs() < 1e-9);
+        assert!((r.latency_ms() - 2.0).abs() < 1e-12);
+        assert!((r.energy_per_inference_uj() - 1.0).abs() < 1e-12);
+        assert!((r.edp_per_inference() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_breakdown() {
+        let p = &report().partitions[0];
+        assert!((p.latency_ns() - 2_000_000.0).abs() < 1e-9);
+        assert!((p.compute_ns() - 1_500_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_lists_partitions() {
+        assert!(report().to_string().contains("P0:"));
+    }
+}

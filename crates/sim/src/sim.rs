@@ -1,0 +1,440 @@
+//! The discrete-event chip simulator.
+
+use crate::error::SimError;
+use crate::report::{CoreActivity, PartitionSimReport, SimReport};
+use pim_arch::{ChipSpec, EnergyModel, PowerBreakdown};
+use pim_dram::{DramConfig, DramSimulator, RequestKind, Trace, TraceStats};
+use pim_isa::{ChipProgram, CoreId, Instruction, Tag};
+use std::collections::HashMap;
+
+/// Event-driven simulator for one chip.
+///
+/// Shared resources: one global-memory channel (bandwidth +
+/// first-access latency per block transfer) and one arbitrated bus for
+/// core-to-core sends. `SEND` is buffered (the sender proceeds after
+/// the bus transfer); `RECV` blocks until the matching send has
+/// delivered. Partitions are separated by full-chip barriers.
+#[derive(Debug, Clone)]
+pub struct ChipSimulator {
+    chip: ChipSpec,
+    replay_dram: bool,
+}
+
+impl ChipSimulator {
+    /// Creates a simulator for `chip` with DRAM-trace replay enabled.
+    pub fn new(chip: ChipSpec) -> Self {
+        Self { chip, replay_dram: true }
+    }
+
+    /// Enables or disables the `pim-dram` trace replay (replay refines
+    /// DRAM energy but costs simulation time).
+    pub fn with_dram_replay(mut self, enabled: bool) -> Self {
+        self.replay_dram = enabled;
+        self
+    }
+
+    /// Runs one batch cycle: every partition program in order with
+    /// barriers in between.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] for malformed schedules and
+    /// [`SimError::CoreCountMismatch`] when a program does not match
+    /// the chip.
+    pub fn run(&self, programs: &[ChipProgram], batch: usize) -> Result<SimReport, SimError> {
+        let energy_model = EnergyModel::new(&self.chip);
+        let mut now = 0.0f64;
+        let mut partitions = Vec::with_capacity(programs.len());
+        let mut trace = Trace::new();
+        // Simple bump allocators give weights and activations disjoint
+        // sequential regions, reproducing the row-buffer locality of
+        // bulk weight streams.
+        let mut weight_addr: u64 = 0;
+        let mut activation_addr: u64 = 1 << 32;
+
+        for (index, program) in programs.iter().enumerate() {
+            if program.cores() > self.chip.cores {
+                return Err(SimError::CoreCountMismatch {
+                    program_cores: program.cores(),
+                    chip_cores: self.chip.cores,
+                });
+            }
+            let outcome = self.run_partition(
+                program,
+                now,
+                &mut trace,
+                &mut weight_addr,
+                &mut activation_addr,
+            )?;
+            let stats = program.stats();
+            let mut energy = PowerBreakdown::new();
+            energy.mvm_nj = energy_model.mvm_energy_nj(stats.mvm_activations);
+            energy.weight_write_nj =
+                energy_model.weight_write_energy_nj(stats.weight_write_bits);
+            energy.weight_load_nj = energy_model.dram_energy_nj(stats.weight_load_bytes * 8);
+            energy.activation_dram_nj = energy_model
+                .dram_energy_nj((stats.data_load_bytes + stats.data_store_bytes) * 8);
+            energy.interconnect_nj = energy_model.bus_energy_nj(stats.interconnect_bytes);
+            energy.vfu_nj = energy_model.vfu_energy_nj(stats.vfu_elements);
+            partitions.push(PartitionSimReport {
+                index,
+                start_ns: now,
+                end_ns: outcome.end_ns,
+                replace_ns: outcome.replace_done_ns - now,
+                stats,
+                energy,
+                core_activity: outcome.activity,
+            });
+            now = outcome.end_ns;
+        }
+
+        let mut energy =
+            partitions.iter().fold(PowerBreakdown::new(), |acc, p| acc + p.energy);
+        energy.static_nj = energy_model.static_energy_nj(now);
+
+        let dram_trace = trace.stats();
+        let dram_energy = if self.replay_dram && !trace.is_empty() {
+            let mut dram = DramSimulator::new(DramConfig::lpddr3_1600());
+            trace.replay(&mut dram);
+            Some(dram.energy())
+        } else {
+            None
+        };
+
+        Ok(SimReport {
+            batch: batch.max(1),
+            partitions,
+            makespan_ns: now,
+            energy,
+            dram_energy,
+            dram_trace: if self.replay_dram { dram_trace } else { TraceStats::default() },
+        })
+    }
+
+    fn run_partition(
+        &self,
+        program: &ChipProgram,
+        start_ns: f64,
+        trace: &mut Trace,
+        weight_addr: &mut u64,
+        activation_addr: &mut u64,
+    ) -> Result<PartitionOutcome, SimError> {
+        let chip = &self.chip;
+        let cores = program.cores();
+        let mut pc = vec![0usize; cores];
+        let mut time = vec![start_ns; cores];
+        let mut dram_free = start_ns;
+        let mut bus_free = start_ns;
+        let mut deliveries: HashMap<Tag, f64> = HashMap::new();
+        let mut activity = vec![CoreActivity::default(); cores];
+        let mut replace_done = start_ns;
+        let vfu_rate = chip.core.vfu_throughput_per_ns();
+        let dram_bw = chip.memory.bandwidth_gbps;
+        let dram_lat = chip.memory.access_latency_ns;
+        let bus = chip.interconnect;
+
+        loop {
+            // Pick the earliest-time core whose next instruction can
+            // execute.
+            let mut candidate: Option<usize> = None;
+            let mut all_done = true;
+            for core in 0..cores {
+                let stream = program.core(CoreId(core)).instructions();
+                if pc[core] >= stream.len() {
+                    continue;
+                }
+                all_done = false;
+                let ready = match stream[pc[core]] {
+                    Instruction::Recv { tag, .. } => deliveries.contains_key(&tag),
+                    _ => true,
+                };
+                if ready && candidate.map(|c| time[core] < time[c]).unwrap_or(true) {
+                    candidate = Some(core);
+                }
+            }
+            if all_done {
+                break;
+            }
+            let Some(core) = candidate else {
+                // Every unfinished core waits on a recv nobody sent.
+                let core = (0..cores)
+                    .find(|&c| pc[c] < program.core(CoreId(c)).len())
+                    .expect("some core unfinished");
+                let tag = match program.core(CoreId(core)).instructions()[pc[core]] {
+                    Instruction::Recv { tag, .. } => tag,
+                    _ => unreachable!("blocked cores block on recv"),
+                };
+                return Err(SimError::Deadlock { core: CoreId(core), tag });
+            };
+
+            let instr = program.core(CoreId(core)).instructions()[pc[core]];
+            match instr {
+                Instruction::LoadWeight { bytes } => {
+                    let start = time[core].max(dram_free);
+                    let dur = dram_lat + bytes as f64 / dram_bw;
+                    trace.push_stream(start, *weight_addr, RequestKind::Read, bytes, 1 << 20);
+                    *weight_addr += bytes as u64;
+                    dram_free = start + bytes as f64 / dram_bw;
+                    activity[core].dram_wait_ns += start - time[core];
+                    activity[core].dram_ns += dur;
+                    time[core] = start + dur;
+                }
+                Instruction::LoadData { bytes } => {
+                    let start = time[core].max(dram_free);
+                    let dur = dram_lat + bytes as f64 / dram_bw;
+                    trace.push_stream(start, *activation_addr, RequestKind::Read, bytes, 64 << 10);
+                    *activation_addr += bytes as u64;
+                    dram_free = start + bytes as f64 / dram_bw;
+                    activity[core].dram_wait_ns += start - time[core];
+                    activity[core].dram_ns += dur;
+                    time[core] = start + dur;
+                }
+                Instruction::StoreData { bytes } => {
+                    let start = time[core].max(dram_free);
+                    let dur = dram_lat + bytes as f64 / dram_bw;
+                    trace.push_stream(start, *activation_addr, RequestKind::Write, bytes, 64 << 10);
+                    *activation_addr += bytes as u64;
+                    dram_free = start + bytes as f64 / dram_bw;
+                    activity[core].dram_wait_ns += start - time[core];
+                    activity[core].dram_ns += dur;
+                    time[core] = start + dur;
+                }
+                Instruction::WriteWeight { crossbars, .. } => {
+                    // Crossbars within a core write sequentially.
+                    let dur = crossbars as f64 * chip.crossbar.full_write_latency_ns();
+                    activity[core].write_ns += dur;
+                    time[core] += dur;
+                    replace_done = replace_done.max(time[core]);
+                }
+                Instruction::Mvmul { waves, .. } => {
+                    let dur = waves as f64 * chip.crossbar.mvm_latency_ns;
+                    activity[core].mvm_ns += dur;
+                    time[core] += dur;
+                }
+                Instruction::VectorOp { elements, .. } => {
+                    let dur = elements as f64 / vfu_rate;
+                    activity[core].vfu_ns += dur;
+                    time[core] += dur;
+                }
+                Instruction::Send { bytes, tag, .. } => {
+                    let start = time[core].max(bus_free);
+                    let done = start + bus.arbitration_ns + bus.transfer_ns(bytes);
+                    bus_free = done;
+                    deliveries.insert(tag, done);
+                    // Buffered send: the core only pays arbitration.
+                    activity[core].send_ns += start + bus.arbitration_ns - time[core];
+                    time[core] = start + bus.arbitration_ns;
+                }
+                Instruction::Recv { tag, .. } => {
+                    let delivered = deliveries[&tag];
+                    if delivered > time[core] {
+                        activity[core].recv_wait_ns += delivered - time[core];
+                        time[core] = delivered;
+                    }
+                }
+            }
+            pc[core] += 1;
+        }
+
+        let end_ns = time.into_iter().fold(start_ns, f64::max);
+        Ok(PartitionOutcome { end_ns, replace_done_ns: replace_done, activity })
+    }
+}
+
+struct PartitionOutcome {
+    end_ns: f64,
+    replace_done_ns: f64,
+    activity: Vec<CoreActivity>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compass::{CompileOptions, Compiler, GaParams, Strategy};
+    use pim_model::zoo;
+
+    fn compile(
+        net: &pim_model::Network,
+        chip: &ChipSpec,
+        strategy: Strategy,
+        batch: usize,
+    ) -> compass::CompiledModel {
+        Compiler::new(chip.clone())
+            .compile(
+                net,
+                &CompileOptions::new()
+                    .with_strategy(strategy)
+                    .with_batch_size(batch)
+                    .with_ga(GaParams::fast())
+                    .with_seed(3),
+            )
+            .expect("compilation succeeds")
+    }
+
+    #[test]
+    fn simulates_compiled_tiny_cnn() {
+        let chip = ChipSpec::chip_s();
+        let compiled = compile(&zoo::tiny_cnn(), &chip, Strategy::Greedy, 2);
+        let report = ChipSimulator::new(chip).run(compiled.programs(), 2).unwrap();
+        assert!(report.makespan_ns > 0.0);
+        assert_eq!(report.partitions.len(), compiled.partitions().len());
+        for p in &report.partitions {
+            assert!(p.latency_ns() > 0.0);
+            assert!(p.replace_ns >= 0.0);
+            assert!(p.replace_ns <= p.latency_ns() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn partitions_execute_back_to_back() {
+        let chip = ChipSpec::chip_s();
+        let compiled = compile(&zoo::resnet18(), &chip, Strategy::Layerwise, 2);
+        let report = ChipSimulator::new(chip).run(compiled.programs(), 2).unwrap();
+        for pair in report.partitions.windows(2) {
+            assert!((pair[1].start_ns - pair[0].end_ns).abs() < 1e-6, "barrier between partitions");
+        }
+        let last = report.partitions.last().unwrap();
+        assert!((last.end_ns - report.makespan_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn larger_batch_amortizes_replacement() {
+        let chip = ChipSpec::chip_s();
+        let net = zoo::resnet18();
+        let sim = ChipSimulator::new(chip.clone()).with_dram_replay(false);
+        let c2 = compile(&net, &chip, Strategy::Greedy, 2);
+        let c16 = compile(&net, &chip, Strategy::Greedy, 16);
+        let r2 = sim.run(c2.programs(), 2).unwrap();
+        let r16 = sim.run(c16.programs(), 16).unwrap();
+        assert!(
+            r16.throughput_ips() > 1.3 * r2.throughput_ips(),
+            "batch 16 ({:.0} ips) should clearly beat batch 2 ({:.0} ips)",
+            r16.throughput_ips(),
+            r2.throughput_ips()
+        );
+    }
+
+    #[test]
+    fn dram_replay_reports_energy() {
+        let chip = ChipSpec::chip_s();
+        let compiled = compile(&zoo::tiny_cnn(), &chip, Strategy::Greedy, 1);
+        let with = ChipSimulator::new(chip.clone()).run(compiled.programs(), 1).unwrap();
+        assert!(with.dram_energy.is_some());
+        assert!(with.dram_energy.unwrap().total_nj() > 0.0);
+        assert!(with.dram_trace.total_bytes() > 0);
+        let without = ChipSimulator::new(chip)
+            .with_dram_replay(false)
+            .run(compiled.programs(), 1)
+            .unwrap();
+        assert!(without.dram_energy.is_none());
+        // Timing is identical either way (replay refines energy only).
+        assert!((with.makespan_ns - without.makespan_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_activity_is_consistent() {
+        let chip = ChipSpec::chip_s();
+        let compiled = compile(&zoo::resnet18(), &chip, Strategy::Greedy, 4);
+        let report = ChipSimulator::new(chip.clone())
+            .with_dram_replay(false)
+            .run(compiled.programs(), 4)
+            .unwrap();
+        let mut any_mvm = false;
+        for p in &report.partitions {
+            assert_eq!(p.core_activity.len(), chip.cores);
+            let span = p.latency_ns();
+            for a in &p.core_activity {
+                assert!(a.busy_ns() >= 0.0);
+                // A core can never be busy longer than the partition ran.
+                assert!(
+                    a.busy_ns() <= span + 1e-6,
+                    "busy {} exceeds span {span}",
+                    a.busy_ns()
+                );
+                assert!(a.utilization(span) <= 1.0);
+                any_mvm |= a.mvm_ns > 0.0;
+            }
+            assert!(p.mean_utilization() > 0.0, "some core must have worked");
+        }
+        assert!(any_mvm, "MVM busy time must be recorded somewhere");
+    }
+
+    #[test]
+    fn deadlock_detected_on_malformed_schedule() {
+        use pim_isa::{CoreProgram, Instruction as I};
+        let chip = ChipSpec::chip_s();
+        let mut program = ChipProgram::new(chip.cores);
+        // A recv with no matching send anywhere.
+        let stream: &mut CoreProgram = program.core_mut(CoreId(0));
+        stream.push(I::Recv { from: CoreId(1), bytes: 64, tag: Tag(999) });
+        let err = ChipSimulator::new(chip).run(&[program], 1).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn simulated_and_estimated_latencies_agree_loosely() {
+        // The analytical estimator and the simulator model the same
+        // machine at different fidelities; they should agree within a
+        // small factor on a simple workload.
+        let chip = ChipSpec::chip_s();
+        let net = zoo::tiny_cnn();
+        let compiled = compile(&net, &chip, Strategy::Greedy, 4);
+        let sim = ChipSimulator::new(chip).with_dram_replay(false);
+        let report = sim.run(compiled.programs(), 4).unwrap();
+        let est = compiled.estimate().batch_latency_ns;
+        let ratio = report.makespan_ns / est;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "sim {} vs estimate {} (ratio {ratio})",
+            report.makespan_ns,
+            est
+        );
+    }
+
+    #[test]
+    fn send_recv_pipeline_overlaps_stages() {
+        // A two-stage pipeline simulated with chunked handoff should
+        // finish faster than the serial sum of its stages.
+        use pim_isa::{Instruction as I, VectorOpKind};
+        let chip = ChipSpec::chip_s();
+        let mut program = ChipProgram::new(chip.cores);
+        let chunks = 8u64;
+        for c in 0..chunks {
+            program.core_mut(CoreId(0)).push(I::Mvmul {
+                waves: 10,
+                activations: 10,
+                node: 0,
+            });
+            program.core_mut(CoreId(0)).push(I::Send {
+                to: CoreId(1),
+                bytes: 64,
+                tag: Tag(c),
+            });
+            program.core_mut(CoreId(1)).push(I::Recv {
+                from: CoreId(0),
+                bytes: 64,
+                tag: Tag(c),
+            });
+            program.core_mut(CoreId(1)).push(I::Mvmul {
+                waves: 10,
+                activations: 10,
+                node: 1,
+            });
+            program.core_mut(CoreId(1)).push(I::VectorOp {
+                op: VectorOpKind::Relu,
+                elements: 12,
+            });
+        }
+        let report = ChipSimulator::new(chip.clone())
+            .with_dram_replay(false)
+            .run(&[program], 1)
+            .unwrap();
+        let serial = 2.0 * chunks as f64 * 10.0 * chip.crossbar.mvm_latency_ns;
+        assert!(
+            report.makespan_ns < serial,
+            "pipelined {} should beat serial {}",
+            report.makespan_ns,
+            serial
+        );
+    }
+}

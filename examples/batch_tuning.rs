@@ -1,0 +1,64 @@
+//! Batch-size tuning: the §II-B throughput/latency trade-off,
+//! automated.
+//!
+//! Weights are reused across a batch before being replaced, so bigger
+//! batches raise throughput — but every sample waits for its whole
+//! batch, so end-to-end latency grows. This example finds, for
+//! ResNet18 on Chip-S:
+//!
+//! 1. the highest-throughput batch under a 10 ms latency budget,
+//! 2. the minimum-EDP batch,
+//!
+//! and prints the full sweep plus the winning compilation's report.
+//!
+//! ```bash
+//! cargo run --release --example batch_tuning
+//! ```
+
+use compass::{
+    tune_batch, CompileOptions, CompileReport, Compiler, GaParams, Strategy, TuneObjective,
+};
+use pim_arch::ChipSpec;
+use pim_model::zoo;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chip = ChipSpec::chip_s();
+    let network = zoo::resnet18();
+    let compiler = Compiler::new(chip.clone());
+    let options = CompileOptions::new()
+        .with_strategy(Strategy::Compass)
+        .with_ga(GaParams::fast())
+        .with_seed(17);
+    let candidates = [1, 2, 4, 8, 16, 32];
+
+    let result = tune_batch(
+        &compiler,
+        &network,
+        &options,
+        &candidates,
+        TuneObjective::ThroughputUnderLatencyMs(10.0),
+    )?;
+    println!("sweep (ResNet18 on {chip}):");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "batch", "inf/s", "latency ms", "uJ/inf", "EDP"
+    );
+    for p in &result.sweep {
+        let marker = if p.batch == result.batch { " <- chosen" } else { "" };
+        println!(
+            "{:>6} {:>12.1} {:>12.2} {:>12.1} {:>12.1}{marker}",
+            p.batch, p.throughput_ips, p.latency_ms, p.energy_per_inference_uj, p.edp
+        );
+    }
+    println!("\nbest batch under 10 ms end-to-end budget: {}", result.batch);
+
+    let edp_result =
+        tune_batch(&compiler, &network, &options, &candidates, TuneObjective::MinEdp)?;
+    println!("minimum-EDP batch: {}", edp_result.batch);
+
+    println!("\ncompilation report for the latency-budget winner:\n");
+    let report = CompileReport::new(&network, &chip, &result.compiled);
+    print!("{report}");
+    println!("\nJSON export: {} bytes", serde_json::to_string(&report)?.len());
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Workspace umbrella crate for the COMPASS reproduction.
+//!
+//! This crate exists to host the repository-level examples
+//! (`examples/`) and cross-crate integration tests (`tests/`). It
+//! re-exports the member crates so examples can use a single
+//! dependency.
+
+pub use compass;
+pub use pim_arch;
+pub use pim_dram;
+pub use pim_isa;
+pub use pim_model;
+pub use pim_sim;

@@ -1,0 +1,246 @@
+//! Semantic validation of partitioning: executing the network
+//! partition-by-partition — with intermediate tensors round-tripping
+//! through a simulated global memory, exactly as the compiled schedule
+//! does — must compute the same function as executing the whole graph.
+//!
+//! This checks the entry/exit marking of `compass::plan` end to end:
+//! if a partition failed to store a tensor that a later partition
+//! needs (or to load one it consumes), the partitioned evaluation
+//! would either miss a value or produce different numbers.
+
+use compass::plan::GroupPlan;
+use compass::{decompose, PartitionGroup, ValidityMap};
+use pim_arch::ChipSpec;
+use pim_model::exec::{execute, Tensor, Weights};
+use pim_model::{LayerKind, Network, NodeId, TensorShape};
+use std::collections::BTreeMap;
+
+/// Executes the plans partition-by-partition. `global` plays the role
+/// of DRAM: only tensors stored by earlier partitions (or the network
+/// input) may be consumed across partition boundaries.
+///
+/// Only meaningful when every weighted node is whole in one partition
+/// (slice-level partial outputs are byte-accounted in the plans but
+/// not value-representable here), so callers use node-aligned cuts.
+fn execute_partitioned(
+    network: &Network,
+    plans: &GroupPlan,
+    weights: &Weights,
+    input: &Tensor,
+    whole_outputs: &[Tensor],
+) -> Vec<(NodeId, Tensor)> {
+    let input_id = network.input_nodes().next().expect("has input").id;
+    let mut global: BTreeMap<NodeId, Tensor> = BTreeMap::new();
+    global.insert(input_id, input.clone());
+    let mut stored_outputs = Vec::new();
+
+    for plan in plans.plans() {
+        // The nodes this partition computes, in topological order.
+        let mut local_ids: Vec<NodeId> = plan
+            .slices
+            .iter()
+            .map(|s| s.node)
+            .chain(plan.attached.iter().copied())
+            .collect();
+        local_ids.sort_unstable();
+        let mut local: BTreeMap<NodeId, Tensor> = BTreeMap::new();
+
+        // Entry loads from "DRAM".
+        for t in &plan.entries {
+            let value = global
+                .get(&t.node)
+                .unwrap_or_else(|| panic!("partition {} loads {} which was never stored", plan.index, t.node))
+                .clone();
+            local.insert(t.node, value);
+        }
+
+        // Compute locally (values for inputs must be present either
+        // locally or via entries).
+        for &id in &local_ids {
+            let node = network.node(id);
+            let fetch = |input_id: &NodeId| -> Tensor {
+                local
+                    .get(input_id)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "partition {}: node {} needs {} but it is neither local nor loaded",
+                            plan.index, node.name, input_id
+                        )
+                    })
+                    .clone()
+            };
+            // Evaluate this single node by building a micro-network?
+            // Simpler: reuse the whole-graph outputs for weighted
+            // evaluation via the reference `execute`, but recompute
+            // here from fetched inputs to keep independence. We call
+            // the per-node math through a 2-node network.
+            let inputs: Vec<Tensor> = node.inputs.iter().map(fetch).collect();
+            let value = eval_single(network, id, &inputs, weights);
+            local.insert(id, value);
+        }
+
+        // Exit stores back to "DRAM".
+        for t in &plan.exits {
+            let value = local
+                .get(&t.node)
+                .unwrap_or_else(|| panic!("partition {} exits uncomputed node {}", plan.index, t.node))
+                .clone();
+            // Cross-check against the whole-graph execution.
+            assert_eq!(
+                value.data(),
+                whole_outputs[t.node.index()].data(),
+                "partition {} stored a different value for {}",
+                plan.index,
+                network.node(t.node).name
+            );
+            global.insert(t.node, value.clone());
+            stored_outputs.push((t.node, value));
+        }
+    }
+    stored_outputs
+}
+
+/// Evaluates one node given its input tensors, by wrapping it in a
+/// minimal network and running the reference executor.
+fn eval_single(
+    network: &Network,
+    id: NodeId,
+    inputs: &[Tensor],
+    weights: &Weights,
+) -> Tensor {
+    use pim_model::NetworkBuilder;
+    let node = network.node(id);
+    let mut b = NetworkBuilder::new("single");
+    // Feed each input through a synthetic Input node. Multi-input
+    // nodes (Add/Concat) take them in order.
+    let input_ids: Vec<_> = inputs.iter().map(|t| b.input(t.shape())).collect();
+    let out = b.add_node("n", node.kind, input_ids.clone());
+    let mini = match b.build() {
+        Ok(net) => net,
+        Err(e) => panic!("single-node net for {}: {e}", node.name),
+    };
+    let mut mini_weights = Weights::new();
+    if node.kind.is_weighted() {
+        mini_weights
+            .set(&mini, out, weights.get(id).expect("weights present").to_vec())
+            .expect("weight shapes match");
+    }
+    // `execute` supports exactly one Input node; emulate multi-input
+    // by monkey-running: for >1 inputs, evaluate manually via a
+    // concat-free path.
+    if inputs.len() == 1 {
+        let outs = execute(&mini, &mini_weights, &inputs[0]).expect("single-node exec");
+        outs.last().expect("has output").clone()
+    } else {
+        // Add / Concat: compute directly.
+        match node.kind {
+            LayerKind::Add => {
+                let shape = inputs[0].shape();
+                Tensor::from_fn(shape, |c, h, w| inputs[0].at(c, h, w) + inputs[1].at(c, h, w))
+            }
+            LayerKind::Concat => {
+                let mut data = Vec::new();
+                let (h, w) = (inputs[0].shape().height, inputs[0].shape().width);
+                let channels: usize = inputs.iter().map(|t| t.shape().channels).sum();
+                for t in inputs {
+                    data.extend_from_slice(t.data());
+                }
+                Tensor::new(TensorShape::new(channels, h, w), data).expect("concat shape")
+            }
+            _ => panic!("unexpected multi-input kind {:?}", node.kind),
+        }
+    }
+}
+
+/// Node-boundary cuts (every weighted node whole in one partition),
+/// greedily grouped under the validity map.
+fn node_aligned_cuts(
+    seq: &compass::UnitSequence,
+    validity: &ValidityMap,
+    nodes_per_partition: usize,
+) -> PartitionGroup {
+    let boundaries: Vec<usize> = seq.node_ranges().map(|(_, r)| r.end).collect();
+    let mut cuts = Vec::new();
+    let mut start = 0usize;
+    let mut since = 0usize;
+    for &b in &boundaries[..boundaries.len() - 1] {
+        since += 1;
+        let next_boundary_fits = validity.is_valid(start, b);
+        if since >= nodes_per_partition || !next_boundary_fits {
+            cuts.push(b);
+            start = b;
+            since = 0;
+        }
+    }
+    PartitionGroup::from_cuts(cuts, validity).expect("node-aligned grouping is valid")
+}
+
+fn check_network(network: &Network, chip: &ChipSpec, nodes_per_partition: usize, seed: u64) {
+    let seq = decompose(network, chip);
+    let validity = ValidityMap::build(&seq, chip);
+    let group = node_aligned_cuts(&seq, &validity, nodes_per_partition);
+    let plans = GroupPlan::build(network, &seq, &group);
+    // Ensure the premise: no partial slices.
+    for p in plans.plans() {
+        for s in &p.slices {
+            assert!(
+                (s.fraction - 1.0).abs() < 1e-12,
+                "test premise: node-aligned cuts keep slices whole"
+            );
+        }
+    }
+    let weights = Weights::synthetic(network, seed);
+    let shape = match network.input_nodes().next().unwrap().kind {
+        LayerKind::Input { shape } => shape,
+        _ => unreachable!(),
+    };
+    let input = Tensor::from_fn(shape, |c, h, w| ((c * 13 + h * 5 + w * 3) % 11) as f32 / 11.0);
+    let whole = execute(network, &weights, &input).expect("whole-graph execution");
+    let stored = execute_partitioned(network, &plans, &weights, &input, &whole);
+
+    // The network output must be among the stored tensors and match.
+    let output = network.output_nodes().next().unwrap();
+    let found = stored.iter().find(|(id, _)| *id == output.id);
+    let (_, value) = found.expect("network output stored to DRAM");
+    assert_eq!(value.data(), whole[output.id.index()].data());
+}
+
+#[test]
+fn partitioned_equals_whole_for_plain_cnn() {
+    let chip = ChipSpec::chip_s();
+    check_network(&pim_model::zoo::tiny_cnn(), &chip, 1, 3);
+    check_network(&pim_model::zoo::tiny_cnn(), &chip, 2, 3);
+}
+
+#[test]
+fn partitioned_equals_whole_for_residual_network() {
+    // Residual connections crossing partition boundaries exercise
+    // multi-entry partitions; values must still round-trip through
+    // the simulated DRAM correctly.
+    let chip = ChipSpec::chip_s();
+    for nodes_per_partition in [1usize, 2, 3] {
+        check_network(&pim_model::zoo::tiny_resnet(), &chip, nodes_per_partition, 7);
+    }
+}
+
+#[test]
+fn partitioned_equals_whole_for_concat_network() {
+    // A fire-module-style concat net.
+    use pim_model::NetworkBuilder;
+    let mut b = NetworkBuilder::new("mini_fire");
+    let input = b.input(TensorShape::new(3, 16, 16));
+    let squeeze = b.conv2d("squeeze", input, 4, 1, 1, 0);
+    let sr = b.relu("sr", squeeze);
+    let e1 = b.conv2d("e1", sr, 6, 1, 1, 0);
+    let e3 = b.conv2d("e3", sr, 6, 3, 1, 1);
+    let cat = b.concat("cat", vec![e1, e3]);
+    let tail = b.conv2d("tail", cat, 8, 3, 1, 1);
+    let gap = b.global_avg_pool("gap", tail);
+    let fc = b.linear("fc", gap, 4);
+    let _ = b.softmax("prob", fc);
+    let net = b.build().unwrap();
+    let chip = ChipSpec::chip_s();
+    for nodes_per_partition in [1usize, 2] {
+        check_network(&net, &chip, nodes_per_partition, 11);
+    }
+}
