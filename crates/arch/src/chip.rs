@@ -239,9 +239,7 @@ impl ChipSpec {
             return Err(InvalidConfigError::new("crossbar dimensions must be nonzero"));
         }
         if self.crossbar.cols < self.precision.bits() {
-            return Err(InvalidConfigError::new(
-                "crossbar has fewer columns than bits per weight",
-            ));
+            return Err(InvalidConfigError::new("crossbar has fewer columns than bits per weight"));
         }
         if self.core.clock_ghz <= 0.0 {
             return Err(InvalidConfigError::new("core clock must be positive"));

@@ -43,10 +43,7 @@ pub fn crossbars_for_matrix(
     precision: WeightPrecision,
 ) -> MatrixFootprint {
     let weight_cols = xbar.weight_cols(precision).max(1);
-    MatrixFootprint {
-        row_tiles: rows.div_ceil(xbar.rows),
-        col_tiles: cols.div_ceil(weight_cols),
-    }
+    MatrixFootprint { row_tiles: rows.div_ceil(xbar.rows), col_tiles: cols.div_ceil(weight_cols) }
 }
 
 /// Number of weight bits physically occupied by a `rows × cols` matrix

@@ -24,12 +24,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 /// A GA variant restricted to a subset of mutation operators.
-fn run_variant(
-    name: &str,
-    allowed: &[MutationKind],
-    chip: &ChipSpec,
-    params: &GaParams,
-) -> f64 {
+fn run_variant(name: &str, allowed: &[MutationKind], chip: &ChipSpec, params: &GaParams) -> f64 {
     let net = network("resnet18");
     let seq = decompose(&net, chip);
     let validity = ValidityMap::build(&seq, chip);
@@ -70,12 +65,7 @@ fn main() {
     let params = mode.ga_params();
     let chip = ChipSpec::preset(ChipClass::M);
     println!("GA operator ablation on ResNet18-M-16 (lower PGF is better):\n");
-    let full = run_variant(
-        "full",
-        &MutationKind::ALL,
-        &chip,
-        &params,
-    );
+    let full = run_variant("full", &MutationKind::ALL, &chip, &params);
     let no_merge = run_variant(
         "no-merge",
         &[MutationKind::Split, MutationKind::Move, MutationKind::FixedRandom],

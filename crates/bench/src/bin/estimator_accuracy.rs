@@ -45,10 +45,12 @@ fn main() {
     let mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
     let spearman = rank_correlation(&pairs);
     println!("estimator fidelity on ResNet18-S-{batch} over {samples} random partitionings:");
-    println!("  sim/estimate latency ratio: mean {:.2} (min {:.2}, max {:.2})",
+    println!(
+        "  sim/estimate latency ratio: mean {:.2} (min {:.2}, max {:.2})",
         mean_ratio,
         ratios.iter().cloned().fold(f64::INFINITY, f64::min),
-        ratios.iter().cloned().fold(0.0, f64::max));
+        ratios.iter().cloned().fold(0.0, f64::max)
+    );
     println!("  Spearman rank correlation: {spearman:.3}");
     println!(
         "\ninterpretation: the estimator may be biased in absolute terms (the GA does not\ncare) but must *rank* candidate partitionings like the simulator does — a rank\ncorrelation near 1.0 validates using it as the GA fitness proxy."

@@ -44,16 +44,10 @@ fn main() {
 
     println!("\n## Headline summary (geomean speedups)\n");
     for name in NETWORKS {
-        let g: Vec<f64> = speedup_vs_greedy
-            .iter()
-            .filter(|(n, _)| n == name)
-            .map(|(_, s)| *s)
-            .collect();
-        let l: Vec<f64> = speedup_vs_layerwise
-            .iter()
-            .filter(|(n, _)| n == name)
-            .map(|(_, s)| *s)
-            .collect();
+        let g: Vec<f64> =
+            speedup_vs_greedy.iter().filter(|(n, _)| n == name).map(|(_, s)| *s).collect();
+        let l: Vec<f64> =
+            speedup_vs_layerwise.iter().filter(|(n, _)| n == name).map(|(_, s)| *s).collect();
         println!("{name}: COMPASS vs greedy {:.2}x, vs layerwise {:.2}x", geomean(&g), geomean(&l));
     }
     let all_g: Vec<f64> = speedup_vs_greedy.iter().map(|(_, s)| *s).collect();

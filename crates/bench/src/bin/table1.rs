@@ -9,15 +9,30 @@ fn main() {
         "Table I (a): per-core components",
         &["Component", "Parameters", "Specification", "Power (mW)"],
         &[
-            vec!["VFU".into(), "# per core".into(), format!("{}", core.vfu_count), format!("{}", core.vfu_power_mw)],
+            vec![
+                "VFU".into(),
+                "# per core".into(),
+                format!("{}", core.vfu_count),
+                format!("{}", core.vfu_power_mw),
+            ],
             vec![
                 "Local Memory".into(),
                 "# per core".into(),
                 format!("{} kB", core.local_memory_bytes / 1024),
                 format!("{}", core.local_memory_power_mw),
             ],
-            vec!["Control Unit".into(), "# per core".into(), "-".into(), format!("{}", core.control_power_mw)],
-            vec!["DRAM config.".into(), "LPDDR3 8GB".into(), "trace-based".into(), "(pim-dram)".into()],
+            vec![
+                "Control Unit".into(),
+                "# per core".into(),
+                "-".into(),
+                format!("{}", core.control_power_mw),
+            ],
+            vec![
+                "DRAM config.".into(),
+                "LPDDR3 8GB".into(),
+                "trace-based".into(),
+                "(pim-dram)".into(),
+            ],
         ],
     );
 

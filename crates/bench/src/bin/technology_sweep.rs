@@ -33,14 +33,9 @@ fn main() {
                     .with_seed(2025),
             )
             .expect("compiles");
-        let report = ChipSimulator::new(chip)
-            .run(compiled.programs(), 16)
-            .expect("simulates");
-        let total_rep: usize = compiled
-            .partitions()
-            .iter()
-            .flat_map(|p| p.slices.iter().map(|s| s.replication))
-            .sum();
+        let report = ChipSimulator::new(chip).run(compiled.programs(), 16).expect("simulates");
+        let total_rep: usize =
+            compiled.partitions().iter().flat_map(|p| p.slices.iter().map(|s| s.replication)).sum();
         let slices: usize = compiled.partitions().iter().map(|p| p.slices.len()).sum();
         rows.push(vec![
             name.to_string(),

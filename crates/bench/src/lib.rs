@@ -34,8 +34,7 @@ pub const NETWORKS: [&str; 3] = ["vgg16", "resnet18", "squeezenet"];
 pub const BATCHES: [usize; 5] = [1, 2, 4, 8, 16];
 
 /// The three partitioning schemes compared throughout the evaluation.
-pub const STRATEGIES: [Strategy; 3] =
-    [Strategy::Greedy, Strategy::Layerwise, Strategy::Compass];
+pub const STRATEGIES: [Strategy; 3] = [Strategy::Greedy, Strategy::Layerwise, Strategy::Compass];
 
 /// Looks up a zoo network by name.
 ///
@@ -125,12 +124,7 @@ pub fn run_config(
     let simulated = ChipSimulator::new(chip)
         .run(compiled.programs(), batch)
         .unwrap_or_else(|e| panic!("{net_name}-{class}-{batch} ({strategy}) sim: {e}"));
-    ConfigResult {
-        label: format!("{net_name}-{class}-{batch}"),
-        strategy,
-        compiled,
-        simulated,
-    }
+    ConfigResult { label: format!("{net_name}-{class}-{batch}"), strategy, compiled, simulated }
 }
 
 /// Prints a markdown-style table: headers then rows.
@@ -178,8 +172,7 @@ mod tests {
 
     #[test]
     fn run_config_end_to_end_smoke() {
-        let result =
-            run_config("squeezenet", ChipClass::S, Strategy::Greedy, 2, BenchMode::Fast);
+        let result = run_config("squeezenet", ChipClass::S, Strategy::Greedy, 2, BenchMode::Fast);
         assert!(result.throughput() > 0.0);
         assert_eq!(result.label, "squeezenet-S-2");
     }

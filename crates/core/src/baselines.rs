@@ -39,8 +39,7 @@ pub fn greedy(validity: &ValidityMap) -> PartitionGroup {
         }
         start = end;
     }
-    PartitionGroup::from_cuts(cuts, validity)
-        .expect("greedy spans are maximal valid spans")
+    PartitionGroup::from_cuts(cuts, validity).expect("greedy spans are maximal valid spans")
 }
 
 /// Layerwise partitioning: one weighted layer per partition; oversized

@@ -237,9 +237,7 @@ impl Compiler {
         options: &CompileOptions,
     ) -> Result<CompiledModel, CompileError> {
         options.validate()?;
-        self.chip
-            .validate()
-            .map_err(|e| CompileError::InvalidChip(e.detail().to_string()))?;
+        self.chip.validate().map_err(|e| CompileError::InvalidChip(e.detail().to_string()))?;
         let seq = decompose(network, &self.chip);
         if seq.is_empty() {
             return Err(CompileError::NoWeightedLayers);
@@ -327,10 +325,7 @@ mod tests {
         let batch = 8;
         let throughput = |strategy: Strategy| {
             compiler
-                .compile(
-                    &net,
-                    &fast_options().with_batch_size(batch).with_strategy(strategy),
-                )
+                .compile(&net, &fast_options().with_batch_size(batch).with_strategy(strategy))
                 .expect("compiles")
                 .estimate()
                 .throughput_ips()
@@ -355,18 +350,15 @@ mod tests {
         let compiler = Compiler::new(chip);
         let c = compiler.compile(&net, &fast_options()).unwrap();
         assert!(c.ga_trace().is_some());
-        let g = compiler
-            .compile(&net, &fast_options().with_strategy(Strategy::Greedy))
-            .unwrap();
+        let g = compiler.compile(&net, &fast_options().with_strategy(Strategy::Greedy)).unwrap();
         assert!(g.ga_trace().is_none());
     }
 
     #[test]
     fn rejects_zero_batch() {
         let compiler = Compiler::new(ChipSpec::chip_s());
-        let err = compiler
-            .compile(&zoo::tiny_cnn(), &fast_options().with_batch_size(0))
-            .unwrap_err();
+        let err =
+            compiler.compile(&zoo::tiny_cnn(), &fast_options().with_batch_size(0)).unwrap_err();
         assert!(matches!(err, CompileError::InvalidOptions(_)));
     }
 
@@ -400,9 +392,7 @@ mod tests {
         let chip = ChipSpec::chip_s();
         let net = zoo::tiny_resnet();
         let compiler = Compiler::new(chip);
-        let c = compiler
-            .compile(&net, &fast_options().with_strategy(Strategy::Layerwise))
-            .unwrap();
+        let c = compiler.compile(&net, &fast_options().with_strategy(Strategy::Layerwise)).unwrap();
         assert_eq!(c.programs().len(), c.partitions().len());
         assert!(c.to_string().contains("partitions"));
     }

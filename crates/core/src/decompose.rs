@@ -155,10 +155,7 @@ pub fn decompose(network: &Network, chip: &ChipSpec) -> UnitSequence {
     let mut node_ranges = Vec::new();
 
     for node in network.weighted_nodes() {
-        let (rows, cols) = node
-            .kind
-            .matrix_dims()
-            .expect("weighted nodes have matrix dims");
+        let (rows, cols) = node.kind.matrix_dims().expect("weighted nodes have matrix dims");
         let mvms = node.kind.mvms_per_sample(node.output_shape);
         let start = units.len();
         let row_tiles = rows.div_ceil(xbar.rows);

@@ -144,48 +144,28 @@ impl<'c> Estimator<'c> {
 
         // --- Weight replacement phase -------------------------------
         let weight_bytes = plan.weight_load_bytes();
-        let load_ns = weight_bytes as f64 / chip.memory.bandwidth_gbps
-            + chip.memory.access_latency_ns;
+        let load_ns =
+            weight_bytes as f64 / chip.memory.bandwidth_gbps + chip.memory.access_latency_ns;
         // Crossbars within a core are written sequentially; cores work
         // in parallel. Use the most-loaded core from the packing if
         // available.
         let max_core_xbars = plan
             .packing
             .as_ref()
-            .map(|p| {
-                p.slack
-                    .iter()
-                    .map(|&s| chip.crossbars_per_core - s)
-                    .max()
-                    .unwrap_or(0)
-            })
-            .unwrap_or_else(|| {
-                plan.replicated_crossbars().div_ceil(chip.cores.max(1))
-            });
+            .map(|p| p.slack.iter().map(|&s| chip.crossbars_per_core - s).max().unwrap_or(0))
+            .unwrap_or_else(|| plan.replicated_crossbars().div_ceil(chip.cores.max(1)));
         let write_ns = max_core_xbars as f64 * chip.crossbar.full_write_latency_ns();
         let replace_ns = load_ns.max(write_ns);
 
         // --- Pipelined compute phase --------------------------------
-        let stage_max_ns = plan
-            .slices
-            .iter()
-            .map(|s| s.waves_per_sample() as f64 * t_mvm)
-            .fold(0.0, f64::max);
-        let fill_ns: f64 = plan
-            .slices
-            .iter()
-            .map(|s| s.waves_per_sample() as f64 * t_mvm)
-            .sum();
-        let cores_used = plan
-            .packing
-            .as_ref()
-            .map(|p| p.cores_used.max(1))
-            .unwrap_or(chip.cores.max(1));
-        let vfu_ns =
-            plan.vfu_elements_per_sample as f64
-                / (chip.core.vfu_throughput_per_ns() * cores_used as f64);
-        let bus_ns = plan.intra_traffic_bytes_per_sample as f64
-            / chip.interconnect.bandwidth_gbps;
+        let stage_max_ns =
+            plan.slices.iter().map(|s| s.waves_per_sample() as f64 * t_mvm).fold(0.0, f64::max);
+        let fill_ns: f64 = plan.slices.iter().map(|s| s.waves_per_sample() as f64 * t_mvm).sum();
+        let cores_used =
+            plan.packing.as_ref().map(|p| p.cores_used.max(1)).unwrap_or(chip.cores.max(1));
+        let vfu_ns = plan.vfu_elements_per_sample as f64
+            / (chip.core.vfu_throughput_per_ns() * cores_used as f64);
+        let bus_ns = plan.intra_traffic_bytes_per_sample as f64 / chip.interconnect.bandwidth_gbps;
         let io_bytes = plan.entry_bytes_per_sample() + plan.exit_bytes_per_sample();
         let io_ns = io_bytes as f64 / chip.memory.bandwidth_gbps
             + (plan.entries.len() + plan.exits.len()) as f64 * chip.memory.access_latency_ns;
@@ -194,11 +174,8 @@ impl<'c> Estimator<'c> {
         // divided across the cores actually in use — not just the
         // slowest single stage.
         let core_serialization_ns = fill_ns / cores_used as f64;
-        let interval_ns = stage_max_ns
-            .max(core_serialization_ns)
-            .max(vfu_ns)
-            .max(bus_ns)
-            .max(io_ns);
+        let interval_ns =
+            stage_max_ns.max(core_serialization_ns).max(vfu_ns).max(bus_ns).max(io_ns);
         let pipeline_ns = fill_ns + (batch as f64 - 1.0) * interval_ns;
         let latency_ns = replace_ns + pipeline_ns;
 
@@ -206,13 +183,10 @@ impl<'c> Estimator<'c> {
         let b = batch as f64;
         let mut energy = PowerBreakdown::new();
         energy.mvm_nj = self.energy.mvm_energy_nj(plan.activations_per_sample()) * b;
-        energy.weight_write_nj =
-            self.energy.weight_write_energy_nj(plan.replicated_weight_bits());
+        energy.weight_write_nj = self.energy.weight_write_energy_nj(plan.replicated_weight_bits());
         energy.weight_load_nj = self.energy.dram_energy_nj(weight_bytes * 8);
-        energy.activation_dram_nj =
-            self.energy.dram_energy_nj(io_bytes * 8) * b;
-        energy.interconnect_nj =
-            self.energy.bus_energy_nj(plan.intra_traffic_bytes_per_sample) * b;
+        energy.activation_dram_nj = self.energy.dram_energy_nj(io_bytes * 8) * b;
+        energy.interconnect_nj = self.energy.bus_energy_nj(plan.intra_traffic_bytes_per_sample) * b;
         energy.vfu_nj = self.energy.vfu_energy_nj(plan.vfu_elements_per_sample) * b;
 
         PartitionEstimate { replace_ns, pipeline_ns, fill_ns, interval_ns, latency_ns, energy }
@@ -243,11 +217,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn optimized_plans(
-        net: &pim_model::Network,
-        chip: &ChipSpec,
-        seed: u64,
-    ) -> GroupPlan {
+    fn optimized_plans(net: &pim_model::Network, chip: &ChipSpec, seed: u64) -> GroupPlan {
         let seq = decompose(net, chip);
         let validity = ValidityMap::build(&seq, chip);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -278,10 +248,7 @@ mod tests {
         let estimator = Estimator::new(&chip);
         let t1 = estimator.estimate_group(&plans, 1).throughput_ips();
         let t16 = estimator.estimate_group(&plans, 16).throughput_ips();
-        assert!(
-            t16 > 1.5 * t1,
-            "batch 16 should amortize weight replacement: {t1} -> {t16}"
-        );
+        assert!(t16 > 1.5 * t1, "batch 16 should amortize weight replacement: {t1} -> {t16}");
     }
 
     #[test]

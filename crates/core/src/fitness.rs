@@ -79,6 +79,52 @@ impl<'a> FitnessContext<'a> {
         if let Some(hit) = self.cache.get(group.cuts()) {
             return hit.clone();
         }
+        let eval = self.evaluate_uncached(group);
+        self.cache.insert(group.cuts().to_vec(), eval.clone());
+        eval
+    }
+
+    /// Evaluates a whole batch of groups, recalling cached results and
+    /// computing the misses — in parallel when the `parallel` feature
+    /// is enabled (each candidate is independent: plans, replication,
+    /// and the analytical estimate touch only shared immutable state).
+    ///
+    /// Results are identical to calling [`Self::evaluate`] in order,
+    /// whatever the thread count.
+    pub fn evaluate_batch(&mut self, groups: &[PartitionGroup]) -> Vec<EvaluatedGroup> {
+        // Unique cache misses, first-occurrence order.
+        let mut misses: Vec<&PartitionGroup> = Vec::new();
+        let mut miss_cuts: std::collections::HashSet<&[usize]> = std::collections::HashSet::new();
+        for group in groups {
+            if !self.cache.contains_key(group.cuts()) && miss_cuts.insert(group.cuts()) {
+                misses.push(group);
+            }
+        }
+
+        #[cfg(feature = "parallel")]
+        let fresh: Vec<EvaluatedGroup> = {
+            use rayon::prelude::*;
+            misses
+                .iter()
+                .map(|g| (*g).clone())
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|g| self.evaluate_uncached(&g))
+                .collect()
+        };
+        #[cfg(not(feature = "parallel"))]
+        let fresh: Vec<EvaluatedGroup> = misses.iter().map(|g| self.evaluate_uncached(g)).collect();
+
+        for eval in fresh {
+            self.cache.insert(eval.group.cuts().to_vec(), eval);
+        }
+        groups.iter().map(|g| self.cache[g.cuts()].clone()).collect()
+    }
+
+    /// The evaluation itself: plan, replicate, estimate, score. Pure
+    /// with respect to the context's shared references, so batches can
+    /// fan out across threads.
+    fn evaluate_uncached(&self, group: &PartitionGroup) -> EvaluatedGroup {
         let mut plans = GroupPlan::build(self.network, self.seq, group);
         optimize_group(&mut plans, self.chip);
         let estimate = Estimator::new(self.chip).estimate_group(&plans, self.batch);
@@ -92,15 +138,7 @@ impl<'a> FitnessContext<'a> {
             })
             .collect();
         let pgf = partition_fitness.iter().sum();
-        let eval = EvaluatedGroup {
-            group: group.clone(),
-            plans,
-            estimate,
-            partition_fitness,
-            pgf,
-        };
-        self.cache.insert(group.cuts().to_vec(), eval.clone());
-        eval
+        EvaluatedGroup { group: group.clone(), plans, estimate, partition_fitness, pgf }
     }
 
     /// Number of memoized evaluations.
@@ -178,14 +216,8 @@ mod tests {
     #[test]
     fn pgf_is_sum_of_partition_fitness() {
         let f = fixture();
-        let mut ctx = FitnessContext::new(
-            &f.network,
-            &f.seq,
-            &f.validity,
-            &f.chip,
-            4,
-            FitnessKind::Latency,
-        );
+        let mut ctx =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let mut rng = StdRng::seed_from_u64(1);
         let group = PartitionGroup::random(&mut rng, &f.validity);
         let eval = ctx.evaluate(&group);
@@ -197,14 +229,8 @@ mod tests {
     #[test]
     fn evaluation_is_memoized() {
         let f = fixture();
-        let mut ctx = FitnessContext::new(
-            &f.network,
-            &f.seq,
-            &f.validity,
-            &f.chip,
-            4,
-            FitnessKind::Latency,
-        );
+        let mut ctx =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let mut rng = StdRng::seed_from_u64(2);
         let group = PartitionGroup::random(&mut rng, &f.validity);
         let a = ctx.evaluate(&group);
@@ -218,22 +244,10 @@ mod tests {
         let f = fixture();
         let mut rng = StdRng::seed_from_u64(3);
         let group = PartitionGroup::random(&mut rng, &f.validity);
-        let mut lat = FitnessContext::new(
-            &f.network,
-            &f.seq,
-            &f.validity,
-            &f.chip,
-            4,
-            FitnessKind::Latency,
-        );
-        let mut edp = FitnessContext::new(
-            &f.network,
-            &f.seq,
-            &f.validity,
-            &f.chip,
-            4,
-            FitnessKind::Edp,
-        );
+        let mut lat =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
+        let mut edp =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Edp);
         let a = lat.evaluate(&group);
         let b = edp.evaluate(&group);
         assert_ne!(a.pgf, b.pgf);
@@ -242,14 +256,8 @@ mod tests {
     #[test]
     fn mean_unit_fitness_covers_all_units() {
         let f = fixture();
-        let mut ctx = FitnessContext::new(
-            &f.network,
-            &f.seq,
-            &f.validity,
-            &f.chip,
-            4,
-            FitnessKind::Latency,
-        );
+        let mut ctx =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let mut rng = StdRng::seed_from_u64(4);
         let evals: Vec<EvaluatedGroup> = (0..5)
             .map(|_| {
@@ -265,14 +273,8 @@ mod tests {
     #[test]
     fn partition_scores_centre_around_one() {
         let f = fixture();
-        let mut ctx = FitnessContext::new(
-            &f.network,
-            &f.seq,
-            &f.validity,
-            &f.chip,
-            4,
-            FitnessKind::Latency,
-        );
+        let mut ctx =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let mut rng = StdRng::seed_from_u64(5);
         let evals: Vec<EvaluatedGroup> = (0..8)
             .map(|_| {

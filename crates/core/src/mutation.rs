@@ -101,10 +101,8 @@ pub fn move_unit<R: Rng + ?Sized>(
         candidates.push(k);
     }
     // Try both shift directions per candidate in random order.
-    let mut attempts: Vec<(usize, isize)> = candidates
-        .iter()
-        .flat_map(|&c| [(c, 1isize), (c, -1isize)])
-        .collect();
+    let mut attempts: Vec<(usize, isize)> =
+        candidates.iter().flat_map(|&c| [(c, 1isize), (c, -1isize)]).collect();
     for i in (1..attempts.len()).rev() {
         let j = rng.gen_range(0..=i);
         attempts.swap(i, j);
@@ -304,10 +302,8 @@ mod tests {
             .expect("fixed-random regeneration succeeds");
         let span = group.partition(best);
         // The kept span must appear as a partition in the offspring.
-        let found = regenerated
-            .partitions()
-            .iter()
-            .any(|p| p.start == span.start && p.end == span.end);
+        let found =
+            regenerated.partitions().iter().any(|p| p.start == span.start && p.end == span.end);
         assert!(found, "kept partition {span} missing from {regenerated}");
     }
 
@@ -315,8 +311,7 @@ mod tests {
     fn apply_produces_valid_offspring_for_all_kinds() {
         let (validity, group) = setup();
         let mut rng = StdRng::seed_from_u64(5);
-        let scores: Vec<f64> =
-            (0..group.partition_count()).map(|k| 1.0 + (k % 3) as f64).collect();
+        let scores: Vec<f64> = (0..group.partition_count()).map(|k| 1.0 + (k % 3) as f64).collect();
         let mut successes = 0;
         for kind in MutationKind::ALL {
             if let Some(child) = apply(kind, &group, &scores, &mut rng, &validity) {

@@ -229,11 +229,8 @@ impl GroupPlan {
                     .count()
                     .saturating_sub(1);
                 let out_elems = node.output_shape.elements();
-                let fraction = if node_bits == 0 {
-                    1.0
-                } else {
-                    weight_bits as f64 / node_bits as f64
-                };
+                let fraction =
+                    if node_bits == 0 { 1.0 } else { weight_bits as f64 / node_bits as f64 };
                 plans[p].slices.push(NodeSlice {
                     node: node_id,
                     units: units.clone(),
@@ -277,12 +274,8 @@ impl GroupPlan {
             let mut vfu = 0usize;
 
             // Consumers of each slice/attached node.
-            let local_nodes: Vec<NodeId> = plan
-                .slices
-                .iter()
-                .map(|s| s.node)
-                .chain(plan.attached.iter().copied())
-                .collect();
+            let local_nodes: Vec<NodeId> =
+                plan.slices.iter().map(|s| s.node).chain(plan.attached.iter().copied()).collect();
 
             for &id in &local_nodes {
                 let node = network.node(id);
@@ -307,7 +300,8 @@ impl GroupPlan {
                             *e = (*e).max(remote);
                         }
                         if local_fraction > 0.0 {
-                            intra += bytes - ((1.0 - local_fraction) * bytes as f64).ceil() as usize;
+                            intra +=
+                                bytes - ((1.0 - local_fraction) * bytes as f64).ceil() as usize;
                         }
                     }
                 }
@@ -327,8 +321,7 @@ impl GroupPlan {
             for &id in &local_nodes {
                 let node = network.node(id);
                 let bytes = node.output_shape.bytes(activation_bits);
-                let slice_fraction =
-                    plan.slices.iter().find(|s| s.node == id).map(|s| s.fraction);
+                let slice_fraction = plan.slices.iter().find(|s| s.node == id).map(|s| s.fraction);
                 let is_partial = slice_fraction.map(|f| f < 1.0).unwrap_or(false);
                 let consumers = network.consumers(id);
                 let leaves = consumers.is_empty()
@@ -466,9 +459,7 @@ mod tests {
         let expected = net
             .nodes()
             .iter()
-            .filter(|n| {
-                !n.kind.is_weighted() && !matches!(n.kind, LayerKind::Input { .. })
-            })
+            .filter(|n| !n.kind.is_weighted() && !matches!(n.kind, LayerKind::Input { .. }))
             .count();
         assert_eq!(count.len(), expected);
         assert!(count.values().all(|&c| c == 1));

@@ -95,14 +95,9 @@ impl CompileReport {
                         waves_per_sample: s.waves_per_sample(),
                     })
                     .collect(),
-                attached: plan
-                    .attached
-                    .iter()
-                    .map(|&id| network.node(id).name.clone())
-                    .collect(),
+                attached: plan.attached.iter().map(|&id| network.node(id).name.clone()).collect(),
                 crossbars_used: plan.replicated_crossbars(),
-                utilization: plan.replicated_crossbars() as f64
-                    / chip.total_crossbars() as f64,
+                utilization: plan.replicated_crossbars() as f64 / chip.total_crossbars() as f64,
                 weight_load_bytes: plan.weight_load_bytes(),
                 entry_bytes_per_sample: plan.entry_bytes_per_sample(),
                 exit_bytes_per_sample: plan.exit_bytes_per_sample(),
@@ -119,11 +114,7 @@ impl CompileReport {
             throughput_ips: estimate.throughput_ips(),
             energy_per_inference_uj: estimate.energy_per_inference_uj(),
             edp_per_inference: estimate.edp_per_inference(),
-            total_instructions: compiled
-                .programs()
-                .iter()
-                .map(|p| p.total_instructions())
-                .sum(),
+            total_instructions: compiled.programs().iter().map(|p| p.total_instructions()).sum(),
         }
     }
 }
@@ -214,10 +205,13 @@ mod tests {
         let r = report();
         assert!(r.throughput_ips > 0.0);
         assert!(r.energy_per_inference_uj > 0.0);
-        assert!((r.edp_per_inference
-            - r.energy_per_inference_uj * (r.partitions.iter().map(|p| p.latency_ns).sum::<f64>() * 1e-6))
-            .abs()
-            < r.edp_per_inference * 0.01);
+        assert!(
+            (r.edp_per_inference
+                - r.energy_per_inference_uj
+                    * (r.partitions.iter().map(|p| p.latency_ns).sum::<f64>() * 1e-6))
+                .abs()
+                < r.edp_per_inference * 0.01
+        );
         assert!(r.total_instructions > 0);
     }
 

@@ -77,9 +77,7 @@ pub fn schedule_partition(
         }
         let stream = program.core_mut(CoreId(core));
         if per_core_load_bits[core] > 0 {
-            stream.push(Instruction::LoadWeight {
-                bytes: per_core_load_bits[core].div_ceil(8),
-            });
+            stream.push(Instruction::LoadWeight { bytes: per_core_load_bits[core].div_ceil(8) });
         }
         stream.push(Instruction::WriteWeight {
             bits: per_core_write_bits[core],
@@ -170,9 +168,7 @@ pub fn schedule_partition(
                     if consumer == j {
                         let share = chunk_share(bytes, chunk, chunks);
                         if share > 0 {
-                            program
-                                .core_mut(core)
-                                .push(Instruction::LoadData { bytes: share });
+                            program.core_mut(core).push(Instruction::LoadData { bytes: share });
                         }
                     }
                 }
@@ -223,9 +219,7 @@ pub fn schedule_partition(
                     if producer == j {
                         let share = chunk_share(bytes, chunk, chunks);
                         if share > 0 {
-                            program
-                                .core_mut(core)
-                                .push(Instruction::StoreData { bytes: share });
+                            program.core_mut(core).push(Instruction::StoreData { bytes: share });
                         }
                     }
                 }
@@ -245,10 +239,7 @@ pub fn schedule_group(
     options: &SchedulerOptions,
 ) -> Vec<ChipProgram> {
     let mut tag_base = 0u64;
-    plans
-        .iter()
-        .map(|p| schedule_partition(network, p, chip, options, &mut tag_base))
-        .collect()
+    plans.iter().map(|p| schedule_partition(network, p, chip, options, &mut tag_base)).collect()
 }
 
 /// Splits `total` into `chunks` shares: the remainder goes to the

@@ -100,11 +100,9 @@ pub fn tune_batch(
             .filter(|(_, p)| p.latency_ms <= budget)
             .max_by(|a, b| a.1.throughput_ips.total_cmp(&b.1.throughput_ips))
             .map(|(i, _)| i),
-        TuneObjective::MinEdp => sweep
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.edp.total_cmp(&b.1.edp))
-            .map(|(i, _)| i),
+        TuneObjective::MinEdp => {
+            sweep.iter().enumerate().min_by(|a, b| a.1.edp.total_cmp(&b.1.edp)).map(|(i, _)| i)
+        }
         TuneObjective::MaxThroughput => sweep
             .iter()
             .enumerate()
@@ -141,14 +139,9 @@ mod tests {
     #[test]
     fn max_throughput_picks_largest_batch() {
         let (compiler, net, options) = setup();
-        let result = tune_batch(
-            &compiler,
-            &net,
-            &options,
-            &[1, 2, 4, 8, 16],
-            TuneObjective::MaxThroughput,
-        )
-        .expect("tunes");
+        let result =
+            tune_batch(&compiler, &net, &options, &[1, 2, 4, 8, 16], TuneObjective::MaxThroughput)
+                .expect("tunes");
         assert_eq!(result.batch, 16, "throughput grows with batch");
         assert_eq!(result.sweep.len(), 5);
     }
@@ -160,8 +153,7 @@ mod tests {
         let unconstrained =
             tune_batch(&compiler, &net, &options, &[1, 16], TuneObjective::MaxThroughput)
                 .expect("tunes");
-        let b16_latency =
-            unconstrained.sweep.iter().find(|p| p.batch == 16).unwrap().latency_ms;
+        let b16_latency = unconstrained.sweep.iter().find(|p| p.batch == 16).unwrap().latency_ms;
         let result = tune_batch(
             &compiler,
             &net,

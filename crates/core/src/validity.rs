@@ -65,8 +65,7 @@ impl ValidityMap {
                     break;
                 }
                 let unit = seq.unit(end);
-                let sum: usize =
-                    window.iter().map(|i| i.crossbars).sum::<usize>() + unit.crossbars;
+                let sum: usize = window.iter().map(|i| i.crossbars).sum::<usize>() + unit.crossbars;
                 if sum > total {
                     break;
                 }

@@ -85,8 +85,8 @@ impl Bank {
             }
         }
         let cas = if is_write { cfg.t_cwl } else { cfg.t_cl };
-        let data_ready = t + (cas + cfg.t_ccd) as f64 * cyc
-            + if is_write { cfg.t_wr as f64 * cyc } else { 0.0 };
+        let data_ready =
+            t + (cas + cfg.t_ccd) as f64 * cyc + if is_write { cfg.t_wr as f64 * cyc } else { 0.0 };
         // Next column command to this bank can issue tCCD after this one.
         self.ready_ns = t + cfg.t_ccd as f64 * cyc;
         (data_ready, class)
@@ -143,8 +143,7 @@ mod tests {
         // Immediately conflict: precharge cannot begin before
         // activate + tRAS.
         let (done, _) = bank.access(&cfg, 0.0, 2, false);
-        let min_done = (cfg.t_rcd + cfg.t_ras + cfg.t_rp + cfg.t_rcd + cfg.t_cl + cfg.t_ccd)
-            as f64
+        let min_done = (cfg.t_rcd + cfg.t_ras + cfg.t_rp + cfg.t_rcd + cfg.t_cl + cfg.t_ccd) as f64
             * cfg.cycle_ns();
         assert!(done >= min_done - 1e-9, "{done} vs {min_done}");
     }

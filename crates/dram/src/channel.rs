@@ -99,16 +99,15 @@ impl MultiChannelDram {
 
     /// Total energy across channels.
     pub fn energy(&self) -> DramEnergy {
-        self.channels.iter().map(DramSimulator::energy).fold(
-            DramEnergy::default(),
-            |acc, e| DramEnergy {
+        self.channels.iter().map(DramSimulator::energy).fold(DramEnergy::default(), |acc, e| {
+            DramEnergy {
                 activate_nj: acc.activate_nj + e.activate_nj,
                 read_nj: acc.read_nj + e.read_nj,
                 write_nj: acc.write_nj + e.write_nj,
                 refresh_nj: acc.refresh_nj + e.refresh_nj,
                 background_nj: acc.background_nj + e.background_nj,
-            },
-        )
+            }
+        })
     }
 }
 

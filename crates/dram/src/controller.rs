@@ -4,6 +4,7 @@ use crate::bank::{AccessClass, Bank};
 use crate::config::DramConfig;
 use crate::energy::DramEnergy;
 use crate::request::{Request, RequestId, RequestKind};
+use pim_engine::{Component, Engine, EngineCtx, Event, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -106,7 +107,44 @@ impl DramSimulator {
 
     /// Serves every queued request, returning completions in service
     /// order.
+    ///
+    /// Time advances through a `pim-engine` event queue: each request
+    /// is an arrival event at its issue time, and the controller
+    /// drains everything that has arrived whenever an arrival fires —
+    /// so requests become visible to the FR-FCFS pick in issue-time
+    /// order, exactly as they would streaming out of the chip
+    /// simulator.
     pub fn run_to_completion(&mut self) -> Vec<CompletedRequest> {
+        if self.queue.is_empty() {
+            return Vec::new();
+        }
+        let mut engine: Engine<ControllerEvent> = Engine::new(0);
+        let pending: Vec<(RequestId, Request)> = self.queue.drain(..).collect();
+        let placeholder = DramSimulator::new(self.cfg.clone());
+        let controller = ControllerComponent {
+            sim: std::mem::replace(self, placeholder),
+            done: Vec::with_capacity(pending.len()),
+            latch: DrainLatch::default(),
+        };
+        let id = engine.add_component(controller);
+        for (request_id, request) in pending {
+            engine.schedule(
+                SimTime::from_ns(request.issue_ns.max(0.0)),
+                id,
+                ControllerEvent::Arrive(request_id, request),
+            );
+        }
+        engine.run_until_idle();
+        let controller: ControllerComponent =
+            engine.extract(id).expect("controller survives the run");
+        *self = controller.sim;
+        controller.done
+    }
+
+    /// Serves everything currently queued, FR-FCFS order, returning
+    /// the completions. Used by event-driven front ends that feed
+    /// requests in as simulation time advances.
+    pub fn service_pending(&mut self) -> Vec<CompletedRequest> {
         let mut done = Vec::with_capacity(self.queue.len());
         while !self.queue.is_empty() {
             let idx = self.pick_next();
@@ -281,6 +319,68 @@ impl DramSimulator {
     /// Row-buffer activate count (misses + conflicts).
     pub fn activates(&self) -> u64 {
         self.activates
+    }
+}
+
+/// Coalesces same-instant arrivals into a single drain event, so
+/// every request that lands at one timestamp is visible to the
+/// FR-FCFS pick before any of them is served. Shared by the
+/// controller's own event loop and the chip simulator's in-line DRAM
+/// component — the batching granularity is defined here, once.
+#[derive(Debug, Clone, Default)]
+pub struct DrainLatch(bool);
+
+impl DrainLatch {
+    /// Marks an arrival; returns `true` when the caller must schedule
+    /// a drain at the current instant (the first arrival of a batch).
+    pub fn arm(&mut self) -> bool {
+        !std::mem::replace(&mut self.0, true)
+    }
+
+    /// Clears the latch when the drain fires.
+    pub fn release(&mut self) {
+        self.0 = false;
+    }
+}
+
+/// Events driving a [`DramSimulator`] on a `pim-engine` queue.
+#[derive(Debug, Clone)]
+enum ControllerEvent {
+    /// A request becomes eligible at its issue time.
+    Arrive(RequestId, Request),
+    /// Serve everything that has arrived (scheduled once per arrival
+    /// timestamp so same-time requests batch before the FR-FCFS pick).
+    Drain,
+}
+
+struct ControllerComponent {
+    sim: DramSimulator,
+    done: Vec<CompletedRequest>,
+    latch: DrainLatch,
+}
+
+impl Component<ControllerEvent> for ControllerComponent {
+    fn on_event(
+        &mut self,
+        event: Event<ControllerEvent>,
+        ctx: &mut EngineCtx<'_, ControllerEvent>,
+    ) {
+        match event.payload {
+            ControllerEvent::Arrive(id, request) => {
+                self.sim.queue.push_back((id, request));
+                if self.latch.arm() {
+                    ctx.schedule(ctx.now(), event.target, ControllerEvent::Drain);
+                }
+            }
+            ControllerEvent::Drain => {
+                self.latch.release();
+                self.done.extend(self.sim.service_pending());
+            }
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
     }
 }
 

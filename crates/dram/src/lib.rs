@@ -45,7 +45,7 @@ pub mod trace;
 
 pub use channel::MultiChannelDram;
 pub use config::DramConfig;
-pub use controller::{CompletedRequest, DramSimulator};
+pub use controller::{CompletedRequest, DrainLatch, DramSimulator};
 pub use energy::DramEnergy;
 pub use request::{Request, RequestId, RequestKind};
 pub use trace::{ParseTraceError, Trace, TraceStats};

@@ -257,8 +257,7 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let t: Trace =
-            (0..4).map(|i| Request::new(i, i * 64, RequestKind::Read, 64)).collect();
+        let t: Trace = (0..4).map(|i| Request::new(i, i * 64, RequestKind::Read, 64)).collect();
         assert_eq!(t.len(), 4);
     }
 }

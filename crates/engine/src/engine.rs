@@ -1,0 +1,270 @@
+//! The engine: clock + event queue + component registry + RNG.
+
+use crate::queue::{Event, EventQueue};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use crate::ComponentId;
+use std::any::Any;
+
+/// A simulation component: anything that owns state and reacts to
+/// events addressed to it (a core, a bus, a memory controller, ...).
+///
+/// Components communicate exclusively by scheduling events through
+/// the [`EngineCtx`] they are handed — never by calling each other
+/// directly — which is what makes the simulation composable and the
+/// event order the single source of truth for time.
+pub trait Component<E>: Any {
+    /// Reacts to one event addressed to this component.
+    fn on_event(&mut self, event: Event<E>, ctx: &mut EngineCtx<'_, E>);
+
+    /// Upcast for post-run state extraction via
+    /// [`Engine::extract`]. Implementations are always `self`.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// The slice of engine state a component may touch while handling an
+/// event: the clock, the queue, and the seeded RNG — but not other
+/// components.
+pub struct EngineCtx<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    rng: &'a mut SimRng,
+}
+
+impl<E> EngineCtx<'_, E> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` for `target` at absolute `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the clock (events cannot fire
+    /// in the past).
+    pub fn schedule(&mut self, time: SimTime, target: ComponentId, payload: E) {
+        assert!(time >= self.now, "cannot schedule into the past: {time} < {}", self.now);
+        self.queue.push(time, target, payload);
+    }
+
+    /// Schedules `payload` for `target` after `delay_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_ns` is negative or non-finite (events cannot
+    /// fire in the past).
+    pub fn schedule_in(&mut self, delay_ns: f64, target: ComponentId, payload: E) {
+        assert!(delay_ns >= 0.0, "cannot schedule into the past: delay {delay_ns} ns");
+        let time = self.now.advance(delay_ns);
+        self.queue.push(time, target, payload);
+    }
+
+    /// The engine's seeded RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+}
+
+/// A deterministic discrete-event simulation engine.
+///
+/// Events are processed in `(time, sequence)` order; the sequence id
+/// is assigned at scheduling time, so two runs with the same seed and
+/// the same component behaviour produce bit-identical histories.
+///
+/// # Example
+///
+/// ```
+/// use pim_engine::{Component, Engine, EngineCtx, Event, SimTime};
+///
+/// struct Counter {
+///     fired: Vec<f64>,
+/// }
+///
+/// impl Component<u32> for Counter {
+///     fn on_event(&mut self, event: Event<u32>, ctx: &mut EngineCtx<'_, u32>) {
+///         self.fired.push(event.time.as_ns());
+///         if event.payload > 0 {
+///             ctx.schedule_in(10.0, event.target, event.payload - 1);
+///         }
+///     }
+///     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+///         self
+///     }
+/// }
+///
+/// let mut engine = Engine::new(7);
+/// let id = engine.add_component(Counter { fired: Vec::new() });
+/// engine.schedule(SimTime::ZERO, id, 2);
+/// engine.run_until_idle();
+/// let counter: Counter = engine.extract(id).unwrap();
+/// assert_eq!(counter.fired, vec![0.0, 10.0, 20.0]);
+/// ```
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    components: Vec<Option<Box<dyn Component<E>>>>,
+    rng: SimRng,
+    processed: u64,
+}
+
+impl<E: 'static> Engine<E> {
+    /// Creates an idle engine whose RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            components: Vec::new(),
+            rng: SimRng::seed_from_u64(seed),
+            processed: 0,
+        }
+    }
+
+    /// Registers a component, returning its address.
+    pub fn add_component<C: Component<E>>(&mut self, component: C) -> ComponentId {
+        let id = ComponentId(self.components.len());
+        self.components.push(Some(Box::new(component)));
+        id
+    }
+
+    /// Removes a component and downcasts it to its concrete type, for
+    /// reading out final state after a run.
+    ///
+    /// Returns `None` if the slot is empty or the type does not
+    /// match. A type mismatch is destructive: the component has
+    /// already been removed and is dropped, so extract with the type
+    /// the slot was registered with. (Use [`Self::component`] for a
+    /// non-consuming, non-destructive probe.)
+    pub fn extract<C: Component<E>>(&mut self, id: ComponentId) -> Option<C> {
+        let slot = self.components.get_mut(id.0)?;
+        let boxed = slot.take()?;
+        match boxed.into_any().downcast::<C>() {
+            Ok(c) => Some(*c),
+            Err(_) => None,
+        }
+    }
+
+    /// Borrows a registered component by concrete type.
+    pub fn component<C: Component<E>>(&self, id: ComponentId) -> Option<&C> {
+        let boxed = self.components.get(id.0)?.as_ref()?;
+        (boxed.as_ref() as &dyn Any).downcast_ref::<C>()
+    }
+
+    /// The current simulation time (the timestamp of the most recent
+    /// event, or the start time if nothing ran yet).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The engine's seeded RNG (for seeding initial state before a
+    /// run).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Schedules `payload` for `target` at absolute `time` from
+    /// outside any component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current clock.
+    pub fn schedule(&mut self, time: SimTime, target: ComponentId, payload: E) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        self.queue.push(time, target, payload);
+    }
+
+    /// Dispatches events in `(time, seq)` order until the queue is
+    /// empty, returning the number of events processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event addresses a component that was never
+    /// registered or has been extracted.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut count = 0u64;
+        while let Some(event) = self.queue.pop() {
+            assert!(event.time >= self.now, "event queue went backwards");
+            self.now = event.time;
+            let target = event.target;
+            let mut component =
+                self.components[target.0].take().expect("event addressed to missing component");
+            let mut ctx = EngineCtx { now: self.now, queue: &mut self.queue, rng: &mut self.rng };
+            component.on_event(event, &mut ctx);
+            self.components[target.0] = Some(component);
+            count += 1;
+        }
+        self.processed += count;
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two components ping-ponging a token a fixed number of times.
+    struct Player {
+        peer: Option<ComponentId>,
+        log: Vec<(f64, u32)>,
+    }
+
+    impl Component<u32> for Player {
+        fn on_event(&mut self, event: Event<u32>, ctx: &mut EngineCtx<'_, u32>) {
+            self.log.push((event.time.as_ns(), event.payload));
+            if event.payload > 0 {
+                let peer = self.peer.expect("peer wired");
+                ctx.schedule_in(2.5, peer, event.payload - 1);
+            }
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+            self
+        }
+    }
+
+    #[test]
+    fn ping_pong_alternates_components() {
+        let mut engine = Engine::new(0);
+        // Ids are assigned sequentially, so peers can be wired ahead.
+        let a = engine.add_component(Player { peer: Some(ComponentId(1)), log: Vec::new() });
+        let b = engine.add_component(Player { peer: Some(ComponentId(0)), log: Vec::new() });
+        assert!(engine.component::<Player>(a).is_some());
+
+        engine.schedule(SimTime::ZERO, a, 4);
+        let n = engine.run_until_idle();
+        assert_eq!(n, 5);
+        let pa: Player = engine.extract(a).unwrap();
+        let pb: Player = engine.extract(b).unwrap();
+        assert_eq!(pa.log, vec![(0.0, 4), (5.0, 2), (10.0, 0)]);
+        assert_eq!(pb.log, vec![(2.5, 3), (7.5, 1)]);
+        assert_eq!(engine.now(), SimTime::from_ns(10.0));
+    }
+
+    #[test]
+    fn clock_is_monotone_and_processed_counts() {
+        struct Sink;
+        impl Component<()> for Sink {
+            fn on_event(&mut self, _: Event<()>, _: &mut EngineCtx<'_, ()>) {}
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+        }
+        let mut engine = Engine::new(1);
+        let id = engine.add_component(Sink);
+        for t in [5.0, 1.0, 3.0] {
+            engine.schedule(SimTime::from_ns(t), id, ());
+        }
+        assert_eq!(engine.run_until_idle(), 3);
+        assert_eq!(engine.processed(), 3);
+        assert_eq!(engine.now(), SimTime::from_ns(5.0));
+    }
+}

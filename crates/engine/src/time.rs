@@ -1,0 +1,131 @@
+//! Simulation time as a totally ordered newtype.
+//!
+//! Raw `f64` timestamps have two footguns for an event queue: `NaN`
+//! poisons every comparison, and ad-hoc `max`/`<` bookkeeping spreads
+//! through simulator code. [`SimTime`] is a nanosecond timestamp that
+//! is guaranteed finite and non-negative at construction, so it can
+//! implement [`Ord`] honestly and key a binary heap.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point in simulated time, in nanoseconds from simulation start.
+///
+/// Always finite and non-negative; construction panics otherwise, so
+/// every arithmetic bug surfaces at its source instead of corrupting
+/// the event queue's ordering.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is NaN, infinite, or negative.
+    pub fn from_ns(ns: f64) -> Self {
+        assert!(ns.is_finite(), "non-finite simulation time {ns}");
+        assert!(ns >= 0.0, "negative simulation time {ns}");
+        // Normalize -0.0 so bit-level comparisons cannot diverge.
+        Self(ns + 0.0)
+    }
+
+    /// The timestamp in nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0
+    }
+
+    /// This time advanced by `delta_ns` nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would be non-finite or negative.
+    pub fn advance(self, delta_ns: f64) -> Self {
+        Self::from_ns(self.0 + delta_ns)
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: Self) -> Self {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Finite + non-negative makes total_cmp agree with numeric
+        // comparison.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, delta_ns: f64) -> SimTime {
+        self.advance(delta_ns)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+
+    fn sub(self, earlier: SimTime) -> f64 {
+        self.0 - earlier.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ns", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_numeric() {
+        let mut times =
+            [SimTime::from_ns(3.0), SimTime::ZERO, SimTime::from_ns(1.5), SimTime::from_ns(1.5)];
+        times.sort();
+        assert_eq!(times[0], SimTime::ZERO);
+        assert_eq!(times[3], SimTime::from_ns(3.0));
+    }
+
+    #[test]
+    fn negative_zero_normalizes() {
+        assert_eq!(SimTime::from_ns(-0.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_ns(-0.0).cmp(&SimTime::ZERO), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        let _ = SimTime::from_ns(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_rejected() {
+        let _ = SimTime::from_ns(-1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ns(10.0) + 2.5;
+        assert_eq!(t.as_ns(), 12.5);
+        assert_eq!(t - SimTime::from_ns(10.0), 2.5);
+        assert_eq!(t.max(SimTime::from_ns(99.0)).as_ns(), 99.0);
+    }
+}

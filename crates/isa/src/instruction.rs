@@ -4,9 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a PIM core on the chip.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CoreId(pub usize);
 
 impl CoreId {
@@ -23,9 +21,7 @@ impl fmt::Display for CoreId {
 }
 
 /// Matching tag for a [`Instruction::Send`]/[`Instruction::Recv`] pair.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Tag(pub u64);
 
 impl fmt::Display for Tag {
@@ -209,14 +205,8 @@ mod tests {
     #[test]
     fn mnemonics_match_figure3() {
         assert_eq!(Instruction::LoadWeight { bytes: 1 }.mnemonic(), "LOAD_WEIGHT");
-        assert_eq!(
-            Instruction::WriteWeight { bits: 1, crossbars: 1 }.mnemonic(),
-            "WRITE_WEIGHT"
-        );
-        assert_eq!(
-            Instruction::Mvmul { waves: 1, activations: 1, node: 0 }.mnemonic(),
-            "MVMUL"
-        );
+        assert_eq!(Instruction::WriteWeight { bits: 1, crossbars: 1 }.mnemonic(), "WRITE_WEIGHT");
+        assert_eq!(Instruction::Mvmul { waves: 1, activations: 1, node: 0 }.mnemonic(), "MVMUL");
         assert_eq!(
             Instruction::Send { to: CoreId(1), bytes: 1, tag: Tag(0) }.mnemonic(),
             "SEND_DATA"

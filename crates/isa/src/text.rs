@@ -94,10 +94,8 @@ pub fn parse(text: &str, cores: usize) -> Result<ChipProgram, ParseAsmError> {
         }
         let err = |detail: String| ParseAsmError { line: line_no, detail };
         if let Some(rest) = line.strip_prefix(".core") {
-            let id: usize = rest
-                .trim()
-                .parse()
-                .map_err(|_| err(format!("bad core id {rest:?}")))?;
+            let id: usize =
+                rest.trim().parse().map_err(|_| err(format!("bad core id {rest:?}")))?;
             if id >= cores {
                 return Err(err(format!("core {id} out of range (chip has {cores})")));
             }
@@ -116,9 +114,8 @@ pub fn parse(text: &str, cores: usize) -> Result<ChipProgram, ParseAsmError> {
 }
 
 fn parse_instruction(mnemonic: &str, operands: &[&str]) -> Result<Instruction, String> {
-    let number = |s: &str| -> Result<usize, String> {
-        s.parse().map_err(|_| format!("bad number {s:?}"))
-    };
+    let number =
+        |s: &str| -> Result<usize, String> { s.parse().map_err(|_| format!("bad number {s:?}")) };
     let core = |s: &str| -> Result<CoreId, String> {
         s.strip_prefix("core")
             .and_then(|n| n.parse().ok())

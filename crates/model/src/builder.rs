@@ -112,7 +112,12 @@ impl NetworkBuilder {
     }
 
     /// Adds a fully-connected layer.
-    pub fn linear(&mut self, name: impl Into<String>, input: NodeId, out_features: usize) -> NodeId {
+    pub fn linear(
+        &mut self,
+        name: impl Into<String>,
+        input: NodeId,
+        out_features: usize,
+    ) -> NodeId {
         let in_features = self.shape(input).elements();
         self.add_node(name, LayerKind::Linear { in_features, out_features }, vec![input])
     }

@@ -119,8 +119,7 @@ impl Weights {
                 state ^= state >> 12;
                 state ^= state << 25;
                 state ^= state >> 27;
-                let r = (state.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f32
-                    / (1u64 << 24) as f32;
+                let r = (state.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f32 / (1u64 << 24) as f32;
                 values.push((r - 0.5) * 2.0 * scale);
             }
             tensors.insert(node.id, values);
@@ -238,26 +237,37 @@ pub fn execute(
         let value = match &node.kind {
             LayerKind::Input { shape } => {
                 if input.shape() != *shape {
-                    return Err(ExecError::InputShape {
-                        expected: *shape,
-                        actual: input.shape(),
-                    });
+                    return Err(ExecError::InputShape { expected: *shape, actual: input.shape() });
                 }
                 input.clone()
             }
             LayerKind::Conv2d { in_channels, out_channels, kernel, stride, padding } => {
                 let x = &outputs[node.inputs[0].index()];
                 let w = weights.get(node.id).ok_or(ExecError::MissingWeights(node.id))?;
-                conv2d(x, w, *in_channels, *out_channels, *kernel, *stride, *padding, node.output_shape)
+                conv2d(
+                    x,
+                    w,
+                    *in_channels,
+                    *out_channels,
+                    *kernel,
+                    *stride,
+                    *padding,
+                    node.output_shape,
+                )
             }
             LayerKind::Linear { in_features, out_features } => {
                 let x = &outputs[node.inputs[0].index()];
                 let w = weights.get(node.id).ok_or(ExecError::MissingWeights(node.id))?;
                 linear(x, w, *in_features, *out_features)
             }
-            LayerKind::Pool2d { kind, kernel, stride, padding } => {
-                pool2d(&outputs[node.inputs[0].index()], *kind, *kernel, *stride, *padding, node.output_shape)
-            }
+            LayerKind::Pool2d { kind, kernel, stride, padding } => pool2d(
+                &outputs[node.inputs[0].index()],
+                *kind,
+                *kernel,
+                *stride,
+                *padding,
+                node.output_shape,
+            ),
             LayerKind::GlobalAvgPool => {
                 let x = &outputs[node.inputs[0].index()];
                 let spatial = x.shape().spatial() as f32;
@@ -340,8 +350,7 @@ fn conv2d(
                         for kw in 0..kernel {
                             let ih = (oh * stride + kh) as isize - padding as isize;
                             let iw = (ow * stride + kw) as isize - padding as isize;
-                            let weight =
-                                w[((oc * in_channels + ic) * kernel + kh) * kernel + kw];
+                            let weight = w[((oc * in_channels + ic) * kernel + kh) * kernel + kw];
                             acc += weight * x.at_padded(ic, ih, iw);
                         }
                     }
@@ -456,9 +465,8 @@ mod tests {
     fn residual_add_and_concat() {
         let net = zoo::tiny_resnet();
         let weights = Weights::synthetic(&net, 1);
-        let x = Tensor::from_fn(TensorShape::new(3, 32, 32), |c, h, w| {
-            ((c + h + w) % 7) as f32 / 7.0
-        });
+        let x =
+            Tensor::from_fn(TensorShape::new(3, 32, 32), |c, h, w| ((c + h + w) % 7) as f32 / 7.0);
         let outs = execute(&net, &weights, &x).unwrap();
         let last = outs.last().unwrap();
         assert_eq!(last.shape(), TensorShape::features(10));
@@ -492,10 +500,7 @@ mod tests {
         let net = zoo::tiny_cnn();
         let weights = Weights::new();
         let x = Tensor::zeros(TensorShape::new(3, 32, 32));
-        assert!(matches!(
-            execute(&net, &weights, &x),
-            Err(ExecError::MissingWeights(_))
-        ));
+        assert!(matches!(execute(&net, &weights, &x), Err(ExecError::MissingWeights(_))));
     }
 
     #[test]
@@ -516,10 +521,7 @@ mod tests {
             Err(ExecError::WeightSize { .. })
         ));
         let relu = net.nodes().iter().find(|n| n.kind == LayerKind::ReLU).unwrap().id;
-        assert!(matches!(
-            weights.set(&net, relu, vec![]),
-            Err(ExecError::NotWeighted(_))
-        ));
+        assert!(matches!(weights.set(&net, relu, vec![]), Err(ExecError::NotWeighted(_))));
     }
 
     #[test]

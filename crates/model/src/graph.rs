@@ -11,9 +11,7 @@ use std::fmt;
 /// Node ids are dense indices assigned in construction order, which is
 /// also a valid topological order (a node may only consume
 /// already-created nodes).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub usize);
 
 impl NodeId {
@@ -305,9 +303,7 @@ pub(crate) fn infer_shape(
             if input.channels != *channels {
                 return Err(BuildNetworkError::ShapeMismatch {
                     node: id,
-                    detail: format!(
-                        "batchnorm over {channels} channels applied to {input}"
-                    ),
+                    detail: format!("batchnorm over {channels} channels applied to {input}"),
                 });
             }
             Ok(input)
@@ -439,7 +435,13 @@ mod tests {
         // c2 claims 32 in-channels but receives 16.
         let _ = b.add_node(
             "c2",
-            LayerKind::Conv2d { in_channels: 32, out_channels: 8, kernel: 3, stride: 1, padding: 1 },
+            LayerKind::Conv2d {
+                in_channels: 32,
+                out_channels: 8,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
             vec![c1],
         );
         assert!(matches!(b.build().unwrap_err(), BuildNetworkError::ShapeMismatch { .. }));
@@ -455,10 +457,7 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(
-            Network::from_nodes("empty", Vec::new()).unwrap_err(),
-            BuildNetworkError::Empty
-        );
+        assert_eq!(Network::from_nodes("empty", Vec::new()).unwrap_err(), BuildNetworkError::Empty);
     }
 
     #[test]

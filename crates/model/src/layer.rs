@@ -119,9 +119,7 @@ impl LayerKind {
             LayerKind::Conv2d { in_channels, out_channels, kernel, .. } => {
                 Some((in_channels * kernel * kernel, *out_channels))
             }
-            LayerKind::Linear { in_features, out_features } => {
-                Some((*in_features, *out_features))
-            }
+            LayerKind::Linear { in_features, out_features } => Some((*in_features, *out_features)),
             _ => None,
         }
     }
@@ -180,10 +178,9 @@ impl LayerKind {
 impl fmt::Display for LayerKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LayerKind::Conv2d { in_channels, out_channels, kernel, stride, padding } => write!(
-                f,
-                "conv {in_channels}->{out_channels} k{kernel} s{stride} p{padding}"
-            ),
+            LayerKind::Conv2d { in_channels, out_channels, kernel, stride, padding } => {
+                write!(f, "conv {in_channels}->{out_channels} k{kernel} s{stride} p{padding}")
+            }
             LayerKind::Linear { in_features, out_features } => {
                 write!(f, "linear {in_features}->{out_features}")
             }
@@ -199,13 +196,8 @@ impl fmt::Display for LayerKind {
 mod tests {
     use super::*;
 
-    const CONV: LayerKind = LayerKind::Conv2d {
-        in_channels: 64,
-        out_channels: 128,
-        kernel: 3,
-        stride: 1,
-        padding: 1,
-    };
+    const CONV: LayerKind =
+        LayerKind::Conv2d { in_channels: 64, out_channels: 128, kernel: 3, stride: 1, padding: 1 };
 
     #[test]
     fn weighted_classification() {
@@ -255,8 +247,7 @@ mod tests {
     fn display_is_informative() {
         assert_eq!(CONV.to_string(), "conv 64->128 k3 s1 p1");
         assert_eq!(
-            LayerKind::Pool2d { kind: PoolKind::Max, kernel: 2, stride: 2, padding: 0 }
-                .to_string(),
+            LayerKind::Pool2d { kind: PoolKind::Max, kernel: 2, stride: 2, padding: 0 }.to_string(),
             "maxpool k2 s2"
         );
     }

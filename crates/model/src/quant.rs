@@ -153,8 +153,7 @@ mod tests {
             max_abs / range < 0.75,
             "4-bit logits should stay in the same regime (max err {max_abs} vs range {range})"
         );
-        let dot: f32 =
-            logits_full.data().iter().zip(logits_quant.data()).map(|(a, b)| a * b).sum();
+        let dot: f32 = logits_full.data().iter().zip(logits_quant.data()).map(|(a, b)| a * b).sum();
         let na: f32 = logits_full.data().iter().map(|a| a * a).sum::<f32>().sqrt();
         let nb: f32 = logits_quant.data().iter().map(|b| b * b).sum::<f32>().sqrt();
         let cosine = dot / (na * nb).max(1e-9);

@@ -60,7 +60,12 @@ impl TensorShape {
 
     /// Output spatial extent of a square convolution/pool window applied
     /// along one dimension.
-    pub(crate) const fn conv_out(dim: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    pub(crate) const fn conv_out(
+        dim: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> usize {
         (dim + 2 * padding - kernel) / stride + 1
     }
 }

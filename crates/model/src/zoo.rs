@@ -16,10 +16,7 @@ use crate::shape::TensorShape;
 /// 65.97 MiB — far beyond every chip configuration, so it *requires*
 /// COMPASS-style weight replacement.
 pub fn vgg16() -> Network {
-    vgg(
-        "vgg16",
-        &[&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]],
-    )
+    vgg("vgg16", &[&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]])
 }
 
 /// VGG11 ("configuration A"): 8 convolutions + the standard VGG
@@ -259,14 +256,10 @@ mod tests {
     #[test]
     fn vgg16_structure() {
         let net = vgg16();
-        let convs = net
-            .weighted_nodes()
-            .filter(|n| matches!(n.kind, LayerKind::Conv2d { .. }))
-            .count();
-        let linears = net
-            .weighted_nodes()
-            .filter(|n| matches!(n.kind, LayerKind::Linear { .. }))
-            .count();
+        let convs =
+            net.weighted_nodes().filter(|n| matches!(n.kind, LayerKind::Conv2d { .. })).count();
+        let linears =
+            net.weighted_nodes().filter(|n| matches!(n.kind, LayerKind::Linear { .. })).count();
         assert_eq!(convs, 13);
         assert_eq!(linears, 3);
         // Feature map entering the classifier is 512x7x7.
@@ -277,10 +270,8 @@ mod tests {
     #[test]
     fn resnet18_structure() {
         let net = resnet18();
-        let convs = net
-            .weighted_nodes()
-            .filter(|n| matches!(n.kind, LayerKind::Conv2d { .. }))
-            .count();
+        let convs =
+            net.weighted_nodes().filter(|n| matches!(n.kind, LayerKind::Conv2d { .. })).count();
         // 1 stem + 16 block convs + 3 downsample convs = 20.
         assert_eq!(convs, 20);
         let adds = net.nodes().iter().filter(|n| n.kind == LayerKind::Add).count();
@@ -293,17 +284,13 @@ mod tests {
     #[test]
     fn squeezenet_structure() {
         let net = squeezenet();
-        let convs = net
-            .weighted_nodes()
-            .filter(|n| matches!(n.kind, LayerKind::Conv2d { .. }))
-            .count();
+        let convs =
+            net.weighted_nodes().filter(|n| matches!(n.kind, LayerKind::Conv2d { .. })).count();
         // conv1 + 8 fires x 3 convs + conv10 = 26.
         assert_eq!(convs, 26);
         // No linear layers (paper Table II: Linear 0.0 MB).
         assert_eq!(
-            net.weighted_nodes()
-                .filter(|n| matches!(n.kind, LayerKind::Linear { .. }))
-                .count(),
+            net.weighted_nodes().filter(|n| matches!(n.kind, LayerKind::Linear { .. })).count(),
             0
         );
         // fire9 concat output is 512x13x13.
@@ -340,13 +327,9 @@ mod tests {
             .collect();
         assert!(sizes.windows(2).all(|w| w[0] < w[1]), "{sizes:?}");
         // VGG11/13/16/19 conv layer counts: 8, 10, 13, 16.
-        for (net, convs) in
-            [(vgg11(), 8), (vgg13(), 10), (vgg16(), 13), (vgg19(), 16)]
-        {
-            let count = net
-                .weighted_nodes()
-                .filter(|n| matches!(n.kind, LayerKind::Conv2d { .. }))
-                .count();
+        for (net, convs) in [(vgg11(), 8), (vgg13(), 10), (vgg16(), 13), (vgg19(), 16)] {
+            let count =
+                net.weighted_nodes().filter(|n| matches!(n.kind, LayerKind::Conv2d { .. })).count();
             assert_eq!(count, convs, "{}", net.name());
         }
     }
@@ -369,10 +352,8 @@ mod tests {
     #[test]
     fn resnet34_structure() {
         let net = resnet34();
-        let convs = net
-            .weighted_nodes()
-            .filter(|n| matches!(n.kind, LayerKind::Conv2d { .. }))
-            .count();
+        let convs =
+            net.weighted_nodes().filter(|n| matches!(n.kind, LayerKind::Conv2d { .. })).count();
         // 1 stem + 2*(3+4+6+3) block convs + 3 downsamples = 36.
         assert_eq!(convs, 36);
         let adds = net.nodes().iter().filter(|n| n.kind == LayerKind::Add).count();

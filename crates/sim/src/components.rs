@@ -1,0 +1,501 @@
+//! The chip simulator's engine components and event protocol.
+//!
+//! Every piece of shared hardware is a [`pim_engine::Component`]:
+//! per-core sequencers, the global-memory channel, the arbitrated
+//! core-to-core bus, the SEND/RECV rendezvous, and (optionally) the
+//! in-line LPDDR3 controller. They interact only by scheduling
+//! [`ChipEvent`]s, so simulated time advances exclusively through the
+//! engine's `(time, sequence)`-ordered queue.
+
+use crate::report::CoreActivity;
+use pim_arch::{ChipSpec, InterconnectSpec};
+use pim_dram::{DrainLatch, DramConfig, DramSimulator, Request, RequestKind, TraceStats};
+use pim_engine::{Component, ComponentId, EngineCtx, Event, SimTime};
+use pim_isa::{Instruction, Tag};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// The event protocol between chip components.
+#[derive(Debug, Clone)]
+pub(crate) enum ChipEvent {
+    /// A core executes its next instruction; the event time is the
+    /// core's clock.
+    Step,
+    /// A core asks the global-memory channel for a transfer.
+    MemRequest {
+        /// Requesting core (reply address).
+        core: ComponentId,
+        /// Transfer size.
+        bytes: usize,
+        /// Read (loads) or write (stores).
+        kind: RequestKind,
+        /// Weight stream (bulk-sequential) vs activation traffic.
+        weight: bool,
+    },
+    /// Channel grant: the transfer finished at the event time.
+    MemDone {
+        /// Stall before the channel was free, ns.
+        wait_ns: f64,
+        /// Transfer occupancy (latency + data), ns.
+        busy_ns: f64,
+    },
+    /// A core asks the bus to carry a SEND.
+    BusRequest {
+        /// Sending core (reply address).
+        core: ComponentId,
+        /// Payload size.
+        bytes: usize,
+        /// Rendezvous tag.
+        tag: Tag,
+    },
+    /// Bus grant: the sender may proceed at the event time (buffered
+    /// send — only arbitration is on the critical path).
+    BusDone {
+        /// Queueing + arbitration time charged to the sender, ns.
+        occupancy_ns: f64,
+    },
+    /// The bus announces a tag's delivery time to the rendezvous.
+    Deliver {
+        /// Rendezvous tag.
+        tag: Tag,
+        /// When the transfer's data lands, ns.
+        at_ns: f64,
+    },
+    /// A core blocks on a RECV until its tag is delivered.
+    AwaitTag {
+        /// Receiving core (reply address).
+        core: ComponentId,
+        /// Rendezvous tag.
+        tag: Tag,
+        /// The receiver's clock when it blocked, ns.
+        since_ns: f64,
+    },
+    /// Rendezvous completion: the receiver resumes at the event time.
+    RecvDone {
+        /// Stall spent waiting for the matching send, ns.
+        wait_ns: f64,
+    },
+    /// Partition barrier: shared resources reset their availability
+    /// to the barrier time (matching the full-chip drain between
+    /// partitions).
+    Barrier,
+    /// A chunk of DRAM traffic reaches the in-line controller.
+    DramRequest {
+        /// Byte address (from the channel's bump allocators).
+        addr: u64,
+        /// Read or write.
+        kind: RequestKind,
+        /// Chunk size.
+        bytes: usize,
+    },
+    /// The in-line controller services everything that has arrived.
+    DramDrain,
+}
+
+/// Per-core timing parameters copied out of the [`ChipSpec`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CoreTiming {
+    mvm_latency_ns: f64,
+    vfu_rate: f64,
+    full_write_latency_ns: f64,
+}
+
+impl CoreTiming {
+    pub(crate) fn of(chip: &ChipSpec) -> Self {
+        Self {
+            mvm_latency_ns: chip.crossbar.mvm_latency_ns,
+            vfu_rate: chip.core.vfu_throughput_per_ns(),
+            full_write_latency_ns: chip.crossbar.full_write_latency_ns(),
+        }
+    }
+}
+
+/// One core stepping through its instruction stream.
+pub(crate) struct CoreComponent {
+    program: Vec<Instruction>,
+    pc: usize,
+    /// The core's clock, ns (updated from event times only).
+    pub(crate) clock_ns: f64,
+    pub(crate) activity: CoreActivity,
+    pub(crate) replace_done_ns: f64,
+    /// The tag this core is blocked on (deadlock diagnostics).
+    pub(crate) blocked: Option<Tag>,
+    pub(crate) finished: bool,
+    timing: CoreTiming,
+    channel: ComponentId,
+    bus: ComponentId,
+    rendezvous: ComponentId,
+}
+
+impl CoreComponent {
+    pub(crate) fn new(
+        program: Vec<Instruction>,
+        start: SimTime,
+        timing: CoreTiming,
+        channel: ComponentId,
+        bus: ComponentId,
+        rendezvous: ComponentId,
+    ) -> Self {
+        Self {
+            program,
+            pc: 0,
+            clock_ns: start.as_ns(),
+            activity: CoreActivity::default(),
+            replace_done_ns: start.as_ns(),
+            blocked: None,
+            finished: false,
+            timing,
+            channel,
+            bus,
+            rendezvous,
+        }
+    }
+
+    /// Issues the instruction at `pc`: local ops schedule the next
+    /// `Step` on this core; shared-resource ops send a request and
+    /// park until the reply event.
+    fn issue(&mut self, me: ComponentId, ctx: &mut EngineCtx<'_, ChipEvent>) {
+        let Some(&instr) = self.program.get(self.pc) else {
+            self.finished = true;
+            return;
+        };
+        let now = ctx.now();
+        match instr {
+            Instruction::LoadWeight { bytes } => {
+                ctx.schedule(
+                    now,
+                    self.channel,
+                    ChipEvent::MemRequest {
+                        core: me,
+                        bytes,
+                        kind: RequestKind::Read,
+                        weight: true,
+                    },
+                );
+            }
+            Instruction::LoadData { bytes } => {
+                ctx.schedule(
+                    now,
+                    self.channel,
+                    ChipEvent::MemRequest {
+                        core: me,
+                        bytes,
+                        kind: RequestKind::Read,
+                        weight: false,
+                    },
+                );
+            }
+            Instruction::StoreData { bytes } => {
+                ctx.schedule(
+                    now,
+                    self.channel,
+                    ChipEvent::MemRequest {
+                        core: me,
+                        bytes,
+                        kind: RequestKind::Write,
+                        weight: false,
+                    },
+                );
+            }
+            Instruction::WriteWeight { crossbars, .. } => {
+                // Crossbars within a core write sequentially.
+                let dur = crossbars as f64 * self.timing.full_write_latency_ns;
+                self.activity.write_ns += dur;
+                self.replace_done_ns = self.replace_done_ns.max(self.clock_ns + dur);
+                self.pc += 1;
+                ctx.schedule(now.advance(dur), me, ChipEvent::Step);
+            }
+            Instruction::Mvmul { waves, .. } => {
+                let dur = waves as f64 * self.timing.mvm_latency_ns;
+                self.activity.mvm_ns += dur;
+                self.pc += 1;
+                ctx.schedule(now.advance(dur), me, ChipEvent::Step);
+            }
+            Instruction::VectorOp { elements, .. } => {
+                let dur = elements as f64 / self.timing.vfu_rate;
+                self.activity.vfu_ns += dur;
+                self.pc += 1;
+                ctx.schedule(now.advance(dur), me, ChipEvent::Step);
+            }
+            Instruction::Send { bytes, tag, .. } => {
+                ctx.schedule(now, self.bus, ChipEvent::BusRequest { core: me, bytes, tag });
+            }
+            Instruction::Recv { tag, .. } => {
+                self.blocked = Some(tag);
+                ctx.schedule(
+                    now,
+                    self.rendezvous,
+                    ChipEvent::AwaitTag { core: me, tag, since_ns: self.clock_ns },
+                );
+            }
+        }
+    }
+}
+
+impl Component<ChipEvent> for CoreComponent {
+    fn on_event(&mut self, event: Event<ChipEvent>, ctx: &mut EngineCtx<'_, ChipEvent>) {
+        self.clock_ns = event.time.as_ns();
+        match event.payload {
+            ChipEvent::Step => {}
+            ChipEvent::MemDone { wait_ns, busy_ns } => {
+                self.activity.dram_wait_ns += wait_ns;
+                self.activity.dram_ns += busy_ns;
+                self.pc += 1;
+            }
+            ChipEvent::BusDone { occupancy_ns } => {
+                self.activity.send_ns += occupancy_ns;
+                self.pc += 1;
+            }
+            ChipEvent::RecvDone { wait_ns } => {
+                self.activity.recv_wait_ns += wait_ns;
+                self.blocked = None;
+                self.pc += 1;
+            }
+            other => unreachable!("core received {other:?}"),
+        }
+        self.issue(event.target, ctx);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Chunk sizes for the in-line DRAM traffic, reproducing the
+/// row-buffer locality of bulk weight streams vs scattered
+/// activations.
+const WEIGHT_CHUNK: usize = 1 << 20;
+const ACTIVATION_CHUNK: usize = 64 << 10;
+
+/// The single global-memory channel: serializes block transfers,
+/// charges first-access latency, and feeds the in-line DRAM model.
+pub(crate) struct MemChannel {
+    free_ns: f64,
+    bandwidth_gbps: f64,
+    access_latency_ns: f64,
+    /// Bump allocators giving weights and activations disjoint
+    /// sequential regions.
+    weight_addr: u64,
+    activation_addr: u64,
+    pub(crate) stats: TraceStats,
+    dram: Option<ComponentId>,
+}
+
+impl MemChannel {
+    pub(crate) fn new(chip: &ChipSpec, dram: Option<ComponentId>) -> Self {
+        Self {
+            free_ns: 0.0,
+            bandwidth_gbps: chip.memory.bandwidth_gbps,
+            access_latency_ns: chip.memory.access_latency_ns,
+            weight_addr: 0,
+            activation_addr: 1 << 32,
+            stats: TraceStats::default(),
+            dram,
+        }
+    }
+}
+
+impl Component<ChipEvent> for MemChannel {
+    fn on_event(&mut self, event: Event<ChipEvent>, ctx: &mut EngineCtx<'_, ChipEvent>) {
+        match event.payload {
+            ChipEvent::Barrier => {
+                self.free_ns = event.time.as_ns();
+            }
+            ChipEvent::MemRequest { core, bytes, kind, weight } => {
+                let now = event.time.as_ns();
+                let start = now.max(self.free_ns);
+                let stream_ns = bytes as f64 / self.bandwidth_gbps;
+                let dur = self.access_latency_ns + stream_ns;
+                self.free_ns = start + stream_ns;
+
+                let (addr, chunk) = if weight {
+                    (&mut self.weight_addr, WEIGHT_CHUNK)
+                } else {
+                    (&mut self.activation_addr, ACTIVATION_CHUNK)
+                };
+                // Forward the transfer to the in-line DRAM model in
+                // row-friendly chunks, all issued at the grant time —
+                // the same request stream the trace replay used to
+                // rebuild after the fact.
+                let mut offset = 0usize;
+                while offset < bytes {
+                    let take = chunk.min(bytes - offset);
+                    if let Some(dram) = self.dram {
+                        ctx.schedule(
+                            SimTime::from_ns(start),
+                            dram,
+                            ChipEvent::DramRequest {
+                                addr: *addr + offset as u64,
+                                kind,
+                                bytes: take,
+                            },
+                        );
+                    }
+                    self.stats.requests += 1;
+                    offset += take;
+                }
+                *addr += bytes as u64;
+                match kind {
+                    RequestKind::Read => self.stats.read_bytes += bytes,
+                    RequestKind::Write => self.stats.write_bytes += bytes,
+                }
+
+                ctx.schedule(
+                    SimTime::from_ns(start + dur),
+                    core,
+                    ChipEvent::MemDone { wait_ns: start - now, busy_ns: dur },
+                );
+            }
+            other => unreachable!("memory channel received {other:?}"),
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// The shared arbitrated core-to-core bus.
+pub(crate) struct BusComponent {
+    free_ns: f64,
+    spec: InterconnectSpec,
+    rendezvous: ComponentId,
+}
+
+impl BusComponent {
+    pub(crate) fn new(chip: &ChipSpec, rendezvous: ComponentId) -> Self {
+        Self { free_ns: 0.0, spec: chip.interconnect, rendezvous }
+    }
+}
+
+impl Component<ChipEvent> for BusComponent {
+    fn on_event(&mut self, event: Event<ChipEvent>, ctx: &mut EngineCtx<'_, ChipEvent>) {
+        match event.payload {
+            ChipEvent::Barrier => {
+                self.free_ns = event.time.as_ns();
+            }
+            ChipEvent::BusRequest { core, bytes, tag } => {
+                let now = event.time.as_ns();
+                let start = now.max(self.free_ns);
+                let granted = start + self.spec.arbitration_ns;
+                let done = granted + self.spec.transfer_ns(bytes);
+                self.free_ns = done;
+                // Delivery is announced immediately; the data lands at
+                // `done`.
+                ctx.schedule(event.time, self.rendezvous, ChipEvent::Deliver { tag, at_ns: done });
+                // Buffered send: the sender only pays arbitration.
+                ctx.schedule(
+                    SimTime::from_ns(granted),
+                    core,
+                    ChipEvent::BusDone { occupancy_ns: granted - now },
+                );
+            }
+            other => unreachable!("bus received {other:?}"),
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// SEND/RECV tag matching. A tag may have several blocked receivers
+/// (e.g. a broadcast-style schedule); all of them wake on delivery, in
+/// the order they blocked.
+#[derive(Default)]
+pub(crate) struct Rendezvous {
+    delivered: HashMap<Tag, f64>,
+    waiting: HashMap<Tag, Vec<(ComponentId, f64)>>,
+}
+
+impl Rendezvous {
+    fn complete(
+        &mut self,
+        core: ComponentId,
+        since_ns: f64,
+        at_ns: f64,
+        ctx: &mut EngineCtx<'_, ChipEvent>,
+    ) {
+        let resume = since_ns.max(at_ns);
+        let wait_ns = (at_ns - since_ns).max(0.0);
+        ctx.schedule(SimTime::from_ns(resume), core, ChipEvent::RecvDone { wait_ns });
+    }
+}
+
+impl Component<ChipEvent> for Rendezvous {
+    fn on_event(&mut self, event: Event<ChipEvent>, ctx: &mut EngineCtx<'_, ChipEvent>) {
+        match event.payload {
+            ChipEvent::Barrier => {
+                self.delivered.clear();
+                debug_assert!(self.waiting.is_empty(), "barrier with blocked receivers");
+            }
+            ChipEvent::Deliver { tag, at_ns } => {
+                self.delivered.insert(tag, at_ns);
+                if let Some(waiters) = self.waiting.remove(&tag) {
+                    for (core, since_ns) in waiters {
+                        self.complete(core, since_ns, at_ns, ctx);
+                    }
+                }
+            }
+            ChipEvent::AwaitTag { core, tag, since_ns } => {
+                if let Some(&at_ns) = self.delivered.get(&tag) {
+                    self.complete(core, since_ns, at_ns, ctx);
+                } else {
+                    self.waiting.entry(tag).or_default().push((core, since_ns));
+                }
+            }
+            other => unreachable!("rendezvous received {other:?}"),
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// The in-line LPDDR3 model: consumes the channel's request stream as
+/// it is generated (replacing the old post-hoc trace replay) and
+/// accumulates refined DRAM energy. Chip timing is not affected — the
+/// analytic channel model owns the critical path, the controller
+/// refines energy, exactly as the trace replay did.
+pub(crate) struct InlineDram {
+    pub(crate) sim: DramSimulator,
+    pub(crate) requests: usize,
+    latch: DrainLatch,
+}
+
+impl InlineDram {
+    pub(crate) fn new() -> Self {
+        Self {
+            sim: DramSimulator::new(DramConfig::lpddr3_1600()),
+            requests: 0,
+            latch: DrainLatch::default(),
+        }
+    }
+}
+
+impl Component<ChipEvent> for InlineDram {
+    fn on_event(&mut self, event: Event<ChipEvent>, ctx: &mut EngineCtx<'_, ChipEvent>) {
+        match event.payload {
+            ChipEvent::DramRequest { addr, kind, bytes } => {
+                self.sim.enqueue(Request::at_ns(event.time.as_ns(), addr, kind, bytes));
+                self.requests += 1;
+                if self.latch.arm() {
+                    ctx.schedule(event.time, event.target, ChipEvent::DramDrain);
+                }
+            }
+            ChipEvent::DramDrain => {
+                self.latch.release();
+                // Completions are absorbed into the controller's
+                // energy/bandwidth counters.
+                let _ = self.sim.service_pending();
+            }
+            ChipEvent::Barrier => {}
+            other => unreachable!("dram received {other:?}"),
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}

@@ -30,10 +30,9 @@ impl fmt::Display for SimError {
             SimError::Deadlock { core, tag } => {
                 write!(f, "deadlock: {core} blocked on recv {tag} with no matching send")
             }
-            SimError::CoreCountMismatch { program_cores, chip_cores } => write!(
-                f,
-                "program targets {program_cores} cores but chip has {chip_cores}"
-            ),
+            SimError::CoreCountMismatch { program_cores, chip_cores } => {
+                write!(f, "program targets {program_cores} cores but chip has {chip_cores}")
+            }
         }
     }
 }

@@ -40,6 +40,7 @@
 pub mod report;
 pub mod sim;
 
+mod components;
 mod error;
 
 pub use error::SimError;

@@ -1,19 +1,34 @@
 //! The discrete-event chip simulator.
 
+use crate::components::{
+    BusComponent, ChipEvent, CoreComponent, CoreTiming, InlineDram, MemChannel, Rendezvous,
+};
 use crate::error::SimError;
-use crate::report::{CoreActivity, PartitionSimReport, SimReport};
+use crate::report::{PartitionSimReport, SimReport};
 use pim_arch::{ChipSpec, EnergyModel, PowerBreakdown};
-use pim_dram::{DramConfig, DramSimulator, RequestKind, Trace, TraceStats};
-use pim_isa::{ChipProgram, CoreId, Instruction, Tag};
-use std::collections::HashMap;
+use pim_dram::TraceStats;
+use pim_engine::{ComponentId, Engine, SimTime};
+use pim_isa::{ChipProgram, CoreId};
 
-/// Event-driven simulator for one chip.
+/// Event-driven simulator for one chip, built on the shared
+/// [`pim_engine`] discrete-event core.
 ///
-/// Shared resources: one global-memory channel (bandwidth +
-/// first-access latency per block transfer) and one arbitrated bus for
-/// core-to-core sends. `SEND` is buffered (the sender proceeds after
-/// the bus transfer); `RECV` blocks until the matching send has
-/// delivered. Partitions are separated by full-chip barriers.
+/// Every hardware resource is an engine component: per-core
+/// sequencers, one global-memory channel (bandwidth + first-access
+/// latency per block transfer), one arbitrated bus for core-to-core
+/// sends, the SEND/RECV rendezvous, and the in-line LPDDR3 controller.
+/// `SEND` is buffered (the sender proceeds after arbitration); `RECV`
+/// blocks until the matching send has delivered. Partitions are
+/// separated by full-chip barriers, and time advances exclusively
+/// through the engine's `(time, sequence)`-ordered event queue, so a
+/// fixed seed and program give bit-identical reports.
+///
+/// Same-instant contention for a shared resource resolves in event
+/// schedule order (fully deterministic). This can differ from the
+/// retired hand-rolled loop, which broke exact time ties by lowest
+/// core index; programs without exact `f64` ties — in particular the
+/// regression fixture in `tests/engine_determinism.rs` — time out
+/// identically under both policies.
 #[derive(Debug, Clone)]
 pub struct ChipSimulator {
     chip: ChipSpec,
@@ -21,13 +36,15 @@ pub struct ChipSimulator {
 }
 
 impl ChipSimulator {
-    /// Creates a simulator for `chip` with DRAM-trace replay enabled.
+    /// Creates a simulator for `chip` with the in-line DRAM model
+    /// enabled.
     pub fn new(chip: ChipSpec) -> Self {
         Self { chip, replay_dram: true }
     }
 
-    /// Enables or disables the `pim-dram` trace replay (replay refines
-    /// DRAM energy but costs simulation time).
+    /// Enables or disables the in-line `pim-dram` model (it refines
+    /// DRAM energy but costs simulation time; chip timing is
+    /// identical either way).
     pub fn with_dram_replay(mut self, enabled: bool) -> Self {
         self.replay_dram = enabled;
         self
@@ -43,14 +60,15 @@ impl ChipSimulator {
     /// the chip.
     pub fn run(&self, programs: &[ChipProgram], batch: usize) -> Result<SimReport, SimError> {
         let energy_model = EnergyModel::new(&self.chip);
-        let mut now = 0.0f64;
+        let timing = CoreTiming::of(&self.chip);
+        let mut engine: Engine<ChipEvent> = Engine::new(0);
+        let dram = self.replay_dram.then(|| engine.add_component(InlineDram::new()));
+        let rendezvous = engine.add_component(Rendezvous::default());
+        let channel = engine.add_component(MemChannel::new(&self.chip, dram));
+        let bus = engine.add_component(BusComponent::new(&self.chip, rendezvous));
+
+        let mut now = SimTime::ZERO;
         let mut partitions = Vec::with_capacity(programs.len());
-        let mut trace = Trace::new();
-        // Simple bump allocators give weights and activations disjoint
-        // sequential regions, reproducing the row-buffer locality of
-        // bulk weight streams.
-        let mut weight_addr: u64 = 0;
-        let mut activation_addr: u64 = 1 << 32;
 
         for (index, program) in programs.iter().enumerate() {
             if program.cores() > self.chip.cores {
@@ -59,198 +77,92 @@ impl ChipSimulator {
                     chip_cores: self.chip.cores,
                 });
             }
-            let outcome = self.run_partition(
-                program,
-                now,
-                &mut trace,
-                &mut weight_addr,
-                &mut activation_addr,
-            )?;
+            // Full-chip barrier: shared resources come free at the
+            // partition boundary. Barriers are scheduled first, so
+            // the (time, seq) order guarantees they run before any
+            // same-time core activity.
+            for shared in [channel, bus, rendezvous] {
+                engine.schedule(now, shared, ChipEvent::Barrier);
+            }
+            let core_ids: Vec<ComponentId> = (0..program.cores())
+                .map(|c| {
+                    let stream = program.core(CoreId(c)).instructions().to_vec();
+                    let id = engine.add_component(CoreComponent::new(
+                        stream, now, timing, channel, bus, rendezvous,
+                    ));
+                    engine.schedule(now, id, ChipEvent::Step);
+                    id
+                })
+                .collect();
+            engine.run_until_idle();
+
+            // Drain the per-partition cores and fold up the outcome.
+            let start_ns = now.as_ns();
+            let mut end_ns = start_ns;
+            let mut replace_done_ns = start_ns;
+            let mut activity = Vec::with_capacity(core_ids.len());
+            let mut deadlock = None;
+            for (i, &id) in core_ids.iter().enumerate() {
+                let core: CoreComponent =
+                    engine.extract(id).expect("core component survives the run");
+                if !core.finished && deadlock.is_none() {
+                    let tag = core.blocked.expect("unfinished cores block on recv");
+                    deadlock = Some(SimError::Deadlock { core: CoreId(i), tag });
+                }
+                end_ns = end_ns.max(core.clock_ns);
+                replace_done_ns = replace_done_ns.max(core.replace_done_ns);
+                activity.push(core.activity);
+            }
+            if let Some(error) = deadlock {
+                return Err(error);
+            }
+
             let stats = program.stats();
             let mut energy = PowerBreakdown::new();
             energy.mvm_nj = energy_model.mvm_energy_nj(stats.mvm_activations);
-            energy.weight_write_nj =
-                energy_model.weight_write_energy_nj(stats.weight_write_bits);
+            energy.weight_write_nj = energy_model.weight_write_energy_nj(stats.weight_write_bits);
             energy.weight_load_nj = energy_model.dram_energy_nj(stats.weight_load_bytes * 8);
-            energy.activation_dram_nj = energy_model
-                .dram_energy_nj((stats.data_load_bytes + stats.data_store_bytes) * 8);
+            energy.activation_dram_nj =
+                energy_model.dram_energy_nj((stats.data_load_bytes + stats.data_store_bytes) * 8);
             energy.interconnect_nj = energy_model.bus_energy_nj(stats.interconnect_bytes);
             energy.vfu_nj = energy_model.vfu_energy_nj(stats.vfu_elements);
             partitions.push(PartitionSimReport {
                 index,
-                start_ns: now,
-                end_ns: outcome.end_ns,
-                replace_ns: outcome.replace_done_ns - now,
+                start_ns,
+                end_ns,
+                replace_ns: replace_done_ns - start_ns,
                 stats,
                 energy,
-                core_activity: outcome.activity,
+                core_activity: activity,
             });
-            now = outcome.end_ns;
+            now = SimTime::from_ns(end_ns);
         }
 
-        let mut energy =
-            partitions.iter().fold(PowerBreakdown::new(), |acc, p| acc + p.energy);
-        energy.static_nj = energy_model.static_energy_nj(now);
+        let mut energy = partitions.iter().fold(PowerBreakdown::new(), |acc, p| acc + p.energy);
+        energy.static_nj = energy_model.static_energy_nj(now.as_ns());
 
-        let dram_trace = trace.stats();
-        let dram_energy = if self.replay_dram && !trace.is_empty() {
-            let mut dram = DramSimulator::new(DramConfig::lpddr3_1600());
-            trace.replay(&mut dram);
-            Some(dram.energy())
-        } else {
-            None
-        };
+        let channel: MemChannel = engine.extract(channel).expect("channel survives the run");
+        let dram_energy = dram.and_then(|id| {
+            let dram: InlineDram = engine.extract(id).expect("dram survives the run");
+            (dram.requests > 0).then(|| dram.sim.energy())
+        });
 
         Ok(SimReport {
             batch: batch.max(1),
             partitions,
-            makespan_ns: now,
+            makespan_ns: now.as_ns(),
             energy,
             dram_energy,
-            dram_trace: if self.replay_dram { dram_trace } else { TraceStats::default() },
+            dram_trace: if self.replay_dram { channel.stats } else { TraceStats::default() },
         })
     }
-
-    fn run_partition(
-        &self,
-        program: &ChipProgram,
-        start_ns: f64,
-        trace: &mut Trace,
-        weight_addr: &mut u64,
-        activation_addr: &mut u64,
-    ) -> Result<PartitionOutcome, SimError> {
-        let chip = &self.chip;
-        let cores = program.cores();
-        let mut pc = vec![0usize; cores];
-        let mut time = vec![start_ns; cores];
-        let mut dram_free = start_ns;
-        let mut bus_free = start_ns;
-        let mut deliveries: HashMap<Tag, f64> = HashMap::new();
-        let mut activity = vec![CoreActivity::default(); cores];
-        let mut replace_done = start_ns;
-        let vfu_rate = chip.core.vfu_throughput_per_ns();
-        let dram_bw = chip.memory.bandwidth_gbps;
-        let dram_lat = chip.memory.access_latency_ns;
-        let bus = chip.interconnect;
-
-        loop {
-            // Pick the earliest-time core whose next instruction can
-            // execute.
-            let mut candidate: Option<usize> = None;
-            let mut all_done = true;
-            for core in 0..cores {
-                let stream = program.core(CoreId(core)).instructions();
-                if pc[core] >= stream.len() {
-                    continue;
-                }
-                all_done = false;
-                let ready = match stream[pc[core]] {
-                    Instruction::Recv { tag, .. } => deliveries.contains_key(&tag),
-                    _ => true,
-                };
-                if ready && candidate.map(|c| time[core] < time[c]).unwrap_or(true) {
-                    candidate = Some(core);
-                }
-            }
-            if all_done {
-                break;
-            }
-            let Some(core) = candidate else {
-                // Every unfinished core waits on a recv nobody sent.
-                let core = (0..cores)
-                    .find(|&c| pc[c] < program.core(CoreId(c)).len())
-                    .expect("some core unfinished");
-                let tag = match program.core(CoreId(core)).instructions()[pc[core]] {
-                    Instruction::Recv { tag, .. } => tag,
-                    _ => unreachable!("blocked cores block on recv"),
-                };
-                return Err(SimError::Deadlock { core: CoreId(core), tag });
-            };
-
-            let instr = program.core(CoreId(core)).instructions()[pc[core]];
-            match instr {
-                Instruction::LoadWeight { bytes } => {
-                    let start = time[core].max(dram_free);
-                    let dur = dram_lat + bytes as f64 / dram_bw;
-                    trace.push_stream(start, *weight_addr, RequestKind::Read, bytes, 1 << 20);
-                    *weight_addr += bytes as u64;
-                    dram_free = start + bytes as f64 / dram_bw;
-                    activity[core].dram_wait_ns += start - time[core];
-                    activity[core].dram_ns += dur;
-                    time[core] = start + dur;
-                }
-                Instruction::LoadData { bytes } => {
-                    let start = time[core].max(dram_free);
-                    let dur = dram_lat + bytes as f64 / dram_bw;
-                    trace.push_stream(start, *activation_addr, RequestKind::Read, bytes, 64 << 10);
-                    *activation_addr += bytes as u64;
-                    dram_free = start + bytes as f64 / dram_bw;
-                    activity[core].dram_wait_ns += start - time[core];
-                    activity[core].dram_ns += dur;
-                    time[core] = start + dur;
-                }
-                Instruction::StoreData { bytes } => {
-                    let start = time[core].max(dram_free);
-                    let dur = dram_lat + bytes as f64 / dram_bw;
-                    trace.push_stream(start, *activation_addr, RequestKind::Write, bytes, 64 << 10);
-                    *activation_addr += bytes as u64;
-                    dram_free = start + bytes as f64 / dram_bw;
-                    activity[core].dram_wait_ns += start - time[core];
-                    activity[core].dram_ns += dur;
-                    time[core] = start + dur;
-                }
-                Instruction::WriteWeight { crossbars, .. } => {
-                    // Crossbars within a core write sequentially.
-                    let dur = crossbars as f64 * chip.crossbar.full_write_latency_ns();
-                    activity[core].write_ns += dur;
-                    time[core] += dur;
-                    replace_done = replace_done.max(time[core]);
-                }
-                Instruction::Mvmul { waves, .. } => {
-                    let dur = waves as f64 * chip.crossbar.mvm_latency_ns;
-                    activity[core].mvm_ns += dur;
-                    time[core] += dur;
-                }
-                Instruction::VectorOp { elements, .. } => {
-                    let dur = elements as f64 / vfu_rate;
-                    activity[core].vfu_ns += dur;
-                    time[core] += dur;
-                }
-                Instruction::Send { bytes, tag, .. } => {
-                    let start = time[core].max(bus_free);
-                    let done = start + bus.arbitration_ns + bus.transfer_ns(bytes);
-                    bus_free = done;
-                    deliveries.insert(tag, done);
-                    // Buffered send: the core only pays arbitration.
-                    activity[core].send_ns += start + bus.arbitration_ns - time[core];
-                    time[core] = start + bus.arbitration_ns;
-                }
-                Instruction::Recv { tag, .. } => {
-                    let delivered = deliveries[&tag];
-                    if delivered > time[core] {
-                        activity[core].recv_wait_ns += delivered - time[core];
-                        time[core] = delivered;
-                    }
-                }
-            }
-            pc[core] += 1;
-        }
-
-        let end_ns = time.into_iter().fold(start_ns, f64::max);
-        Ok(PartitionOutcome { end_ns, replace_done_ns: replace_done, activity })
-    }
-}
-
-struct PartitionOutcome {
-    end_ns: f64,
-    replace_done_ns: f64,
-    activity: Vec<CoreActivity>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use compass::{CompileOptions, Compiler, GaParams, Strategy};
+    use pim_isa::Tag;
     use pim_model::zoo;
 
     fn compile(
@@ -322,10 +234,8 @@ mod tests {
         assert!(with.dram_energy.is_some());
         assert!(with.dram_energy.unwrap().total_nj() > 0.0);
         assert!(with.dram_trace.total_bytes() > 0);
-        let without = ChipSimulator::new(chip)
-            .with_dram_replay(false)
-            .run(compiled.programs(), 1)
-            .unwrap();
+        let without =
+            ChipSimulator::new(chip).with_dram_replay(false).run(compiled.programs(), 1).unwrap();
         assert!(without.dram_energy.is_none());
         // Timing is identical either way (replay refines energy only).
         assert!((with.makespan_ns - without.makespan_ns).abs() < 1e-9);
@@ -346,17 +256,33 @@ mod tests {
             for a in &p.core_activity {
                 assert!(a.busy_ns() >= 0.0);
                 // A core can never be busy longer than the partition ran.
-                assert!(
-                    a.busy_ns() <= span + 1e-6,
-                    "busy {} exceeds span {span}",
-                    a.busy_ns()
-                );
+                assert!(a.busy_ns() <= span + 1e-6, "busy {} exceeds span {span}", a.busy_ns());
                 assert!(a.utilization(span) <= 1.0);
                 any_mvm |= a.mvm_ns > 0.0;
             }
             assert!(p.mean_utilization() > 0.0, "some core must have worked");
         }
         assert!(any_mvm, "MVM busy time must be recorded somewhere");
+    }
+
+    #[test]
+    fn one_send_wakes_every_receiver_of_the_tag() {
+        // Broadcast-style schedule: two cores block on the same tag
+        // before the producer's send reaches the bus. Both must wake.
+        use pim_isa::Instruction as I;
+        let chip = ChipSpec::chip_s();
+        let mut program = ChipProgram::new(chip.cores);
+        program.core_mut(CoreId(0)).push(I::Send { to: CoreId(1), bytes: 64, tag: Tag(7) });
+        program.core_mut(CoreId(1)).push(I::Recv { from: CoreId(0), bytes: 64, tag: Tag(7) });
+        program.core_mut(CoreId(2)).push(I::Recv { from: CoreId(0), bytes: 64, tag: Tag(7) });
+        let report = ChipSimulator::new(chip.clone())
+            .with_dram_replay(false)
+            .run(&[program], 1)
+            .expect("broadcast recv must not deadlock");
+        let activity = &report.partitions[0].core_activity;
+        // Both receivers stalled until the same delivery instant.
+        assert!(activity[1].recv_wait_ns > 0.0);
+        assert_eq!(activity[1].recv_wait_ns, activity[2].recv_wait_ns);
     }
 
     #[test]
@@ -400,35 +326,14 @@ mod tests {
         let mut program = ChipProgram::new(chip.cores);
         let chunks = 8u64;
         for c in 0..chunks {
-            program.core_mut(CoreId(0)).push(I::Mvmul {
-                waves: 10,
-                activations: 10,
-                node: 0,
-            });
-            program.core_mut(CoreId(0)).push(I::Send {
-                to: CoreId(1),
-                bytes: 64,
-                tag: Tag(c),
-            });
-            program.core_mut(CoreId(1)).push(I::Recv {
-                from: CoreId(0),
-                bytes: 64,
-                tag: Tag(c),
-            });
-            program.core_mut(CoreId(1)).push(I::Mvmul {
-                waves: 10,
-                activations: 10,
-                node: 1,
-            });
-            program.core_mut(CoreId(1)).push(I::VectorOp {
-                op: VectorOpKind::Relu,
-                elements: 12,
-            });
+            program.core_mut(CoreId(0)).push(I::Mvmul { waves: 10, activations: 10, node: 0 });
+            program.core_mut(CoreId(0)).push(I::Send { to: CoreId(1), bytes: 64, tag: Tag(c) });
+            program.core_mut(CoreId(1)).push(I::Recv { from: CoreId(0), bytes: 64, tag: Tag(c) });
+            program.core_mut(CoreId(1)).push(I::Mvmul { waves: 10, activations: 10, node: 1 });
+            program.core_mut(CoreId(1)).push(I::VectorOp { op: VectorOpKind::Relu, elements: 12 });
         }
-        let report = ChipSimulator::new(chip.clone())
-            .with_dram_replay(false)
-            .run(&[program], 1)
-            .unwrap();
+        let report =
+            ChipSimulator::new(chip.clone()).with_dram_replay(false).run(&[program], 1).unwrap();
         let serial = 2.0 * chunks as f64 * 10.0 * chip.crossbar.mvm_latency_ns;
         assert!(
             report.makespan_ns < serial,

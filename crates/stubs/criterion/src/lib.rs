@@ -1,0 +1,169 @@
+//! Offline polyfill of the `criterion` benchmarking surface this
+//! workspace uses: `criterion_group!`/`criterion_main!`, benchmark
+//! groups, `bench_function`, `bench_with_input`, `BenchmarkId`, and
+//! `Bencher::iter`.
+//!
+//! Timing is a simple calibrated loop (warm-up, then enough
+//! iterations to fill ~200 ms) reporting mean wall time per
+//! iteration. It is not statistically rigorous like real criterion,
+//! but gives stable comparative numbers and exercises the same code
+//! paths.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Formats a per-iteration duration in adaptive units.
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f`: a short warm-up sizes the batch, then the batch
+    /// runs long enough for a stable mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: find the per-iteration cost scale.
+        let warmup_deadline = Instant::now() + Duration::from_millis(50);
+        let mut warmup_iters = 0u64;
+        let warmup_start = Instant::now();
+        while Instant::now() < warmup_deadline {
+            std_black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let target = 0.2f64; // seconds of measurement
+        let iters = ((target / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(f());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        self.mean_ns = elapsed * 1e9 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Benchmark identifier, e.g. `from_parameter(64)`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+
+    /// An id with a function name and parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes the CLI benchname filter (plus harness flags)
+        // straight to the bench binary.
+        let filters = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+        Self { filters }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if !self.enabled(name) {
+            return;
+        }
+        let mut b = Bencher { mean_ns: 0.0, iters: 0 };
+        f(&mut b);
+        println!("{name:<50} {:>12} /iter  ({} iters)", fmt_time(b.mean_ns), b.iters);
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($bench(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

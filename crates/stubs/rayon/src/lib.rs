@@ -1,0 +1,110 @@
+//! Offline polyfill of the `rayon` subset this workspace uses:
+//! `into_par_iter().map(..).collect::<Vec<_>>()`.
+//!
+//! Work is split into contiguous chunks across `std::thread::scope`
+//! threads (one per available core), and results are concatenated in
+//! input order, so output ordering matches sequential execution.
+
+/// Converts a collection into a "parallel" iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter;
+
+    /// Consumes the collection.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f` on a worker thread.
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// The result of [`ParIter::map`], awaiting collection.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Runs the map across threads and gathers results in input order.
+    pub fn collect<C, U>(self) -> C
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n = self.items.len();
+        if threads <= 1 || n <= 1 {
+            let f = self.f;
+            return self.items.into_iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut items = self.items;
+        while !items.is_empty() {
+            let rest = items.split_off(chunk.min(items.len()));
+            chunks.push(items);
+            items = rest;
+        }
+        let mut results: Vec<Vec<U>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            for handle in handles {
+                results.push(handle.join().expect("worker thread panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+/// Glob import target mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let out: Vec<usize> =
+            (0..1000).collect::<Vec<_>>().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_small_inputs() {
+        let out: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+        let empty: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,281 @@
+//! A small JSON value model and recursive-descent parser backing the
+//! polyfilled `Serialize`/`Deserialize` traits.
+
+use std::error::Error;
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw text so integers beyond f64 range
+    /// survive round trips.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    detail: String,
+}
+
+impl JsonError {
+    /// Creates an error with a free-form message.
+    pub fn new(detail: impl Into<String>) -> Self {
+        Self { detail: detail.into() }
+    }
+
+    /// Creates a type-mismatch error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self::new(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.detail)
+    }
+}
+
+impl Error for JsonError {}
+
+/// Looks up a field of a JSON object.
+pub fn field<'a>(value: &'a Value, name: &str) -> Result<&'a Value, JsonError> {
+    match value {
+        Value::Obj(entries) => entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| JsonError::new(format!("missing field {name:?}"))),
+        other => Err(JsonError::expected("object", other)),
+    }
+}
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document.
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError::new(format!("trailing input at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(JsonError::new("unexpected end of input"));
+    };
+    match b {
+        b'n' => expect_lit(bytes, pos, "null", Value::Null),
+        b't' => expect_lit(bytes, pos, "true", Value::Bool(true)),
+        b'f' => expect_lit(bytes, pos, "false", Value::Bool(false)),
+        b'"' => parse_string(bytes, pos).map(Value::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(JsonError::new(format!("bad array at byte {pos}"))),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(JsonError::new(format!("expected ':' at byte {pos}")));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(entries));
+                    }
+                    _ => return Err(JsonError::new(format!("bad object at byte {pos}"))),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            let raw = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|_| JsonError::new("non-utf8 number"))?;
+            Ok(Value::Num(raw.to_string()))
+        }
+        other => Err(JsonError::new(format!("unexpected byte {other:#x} at {pos}"))),
+    }
+}
+
+fn expect_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(JsonError::new(format!("expected {lit} at byte {pos}")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(JsonError::new(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    let mut chunk_start = *pos;
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                out.push_str(
+                    std::str::from_utf8(&bytes[chunk_start..*pos])
+                        .map_err(|_| JsonError::new("non-utf8 string"))?,
+                );
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                out.push_str(
+                    std::str::from_utf8(&bytes[chunk_start..*pos])
+                        .map_err(|_| JsonError::new("non-utf8 string"))?,
+                );
+                *pos += 1;
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(JsonError::new("unterminated escape"));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| JsonError::new("bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError::new("bad \\u escape"))?;
+                        *pos += 4;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| JsonError::new("bad \\u code point"))?,
+                        );
+                    }
+                    other => return Err(JsonError::new(format!("bad escape {:?}", other as char))),
+                }
+                chunk_start = *pos;
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err(JsonError::new("unterminated string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a":[1,2.5,null],"b":{"c":"x\ny"},"d":true}"#).unwrap();
+        assert_eq!(field(&v, "d"), Ok(&Value::Bool(true)));
+        let a = field(&v, "a").unwrap();
+        assert_eq!(
+            a,
+            &Value::Arr(vec![Value::Num("1".into()), Value::Num("2.5".into()), Value::Null,])
+        );
+        let b = field(&v, "b").unwrap();
+        assert_eq!(field(b, "c"), Ok(&Value::Str("x\ny".into())));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("\"abc").is_err());
+    }
+}

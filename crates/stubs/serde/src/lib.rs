@@ -1,0 +1,349 @@
+//! Offline polyfill of the `serde` facade.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! carries a minimal, API-compatible subset of serde: `Serialize` /
+//! `Deserialize` traits (JSON-backed rather than format-generic),
+//! derive macros, and the container/primitive impls the workspace
+//! actually uses. `serde_json` in `crates/stubs/serde_json` provides
+//! the familiar `to_string` / `from_str` entry points.
+//!
+//! The serialized form is ordinary JSON: structs become objects with
+//! fields in declaration order (so output is byte-deterministic),
+//! newtype structs are transparent, enums use external tagging —
+//! matching real serde's defaults closely enough that swapping the
+//! real crates back in is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+use json::{JsonError, Value};
+
+/// A type that can render itself as JSON text.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// A type that can reconstruct itself from a parsed JSON value.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from `value`.
+    fn deserialize_json(value: &Value) -> Result<Self, JsonError>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(value: &Value) -> Result<Self, JsonError> {
+                match value {
+                    Value::Num(raw) => raw
+                        .parse::<$t>()
+                        .map_err(|_| JsonError::new(format!(
+                            "number {raw:?} out of range for {}", stringify!($t)
+                        ))),
+                    other => Err(JsonError::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                // `{:?}` is the shortest representation that parses
+                // back to the identical bit pattern.
+                out.push_str(&format!("{:?}", self));
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(value: &Value) -> Result<Self, JsonError> {
+                match value {
+                    Value::Num(raw) => raw
+                        .parse::<$t>()
+                        .map_err(|_| JsonError::new(format!("bad float {raw:?}"))),
+                    other => Err(JsonError::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(JsonError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_escaped(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::write_escaped(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Arr(items) => items.iter().map(T::deserialize_json).collect(),
+            other => Err(JsonError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_json(value: &Value) -> Result<Self, JsonError> {
+        let items = Vec::<T>::deserialize_json(value)?;
+        let len = items.len();
+        items.try_into().map_err(|_| JsonError::new(format!("expected array of {N}, found {len}")))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_json(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Arr(items) if items.len() == 2 => {
+                Ok((A::deserialize_json(&items[0])?, B::deserialize_json(&items[1])?))
+            }
+            other => Err(JsonError::expected("2-element array", other)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(',');
+        self.2.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize_json(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Arr(items) if items.len() == 3 => Ok((
+                A::deserialize_json(&items[0])?,
+                B::deserialize_json(&items[1])?,
+                C::deserialize_json(&items[2])?,
+            )),
+            other => Err(JsonError::expected("3-element array", other)),
+        }
+    }
+}
+
+/// Ranges serialize as `{"start":..,"end":..}`, like real serde.
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"start\":");
+        self.start.serialize_json(out);
+        out.push_str(",\"end\":");
+        self.end.serialize_json(out);
+        out.push('}');
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::ops::Range<T> {
+    fn deserialize_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(T::deserialize_json(json::field(value, "start")?)?
+            ..T::deserialize_json(json::field(value, "end")?)?)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_json(value: &Value) -> Result<Self, JsonError> {
+        T::deserialize_json(value).map(Box::new)
+    }
+}
+
+/// Maps serialize as JSON objects; keys render through their own
+/// `Serialize` impl and are stringified (so integer newtype keys work,
+/// matching serde_json's behaviour for integer-keyed maps).
+impl<K, V> Serialize for std::collections::BTreeMap<K, V>
+where
+    K: Serialize,
+    V: Serialize,
+{
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut key = String::new();
+            k.serialize_json(&mut key);
+            if key.starts_with('"') {
+                out.push_str(&key);
+            } else {
+                json::write_escaped(&key, out);
+            }
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn deserialize_json(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Obj(entries) => {
+                let mut map = std::collections::BTreeMap::new();
+                for (raw_key, v) in entries {
+                    // Keys were stringified on the way out; re-parse
+                    // the key text as a JSON scalar first, falling
+                    // back to treating it as a plain string.
+                    let key_value =
+                        json::parse(raw_key).unwrap_or_else(|_| Value::Str(raw_key.clone()));
+                    let key = K::deserialize_json(&key_value)
+                        .or_else(|_| K::deserialize_json(&Value::Str(raw_key.clone())))?;
+                    map.insert(key, V::deserialize_json(v)?);
+                }
+                Ok(map)
+            }
+            other => Err(JsonError::expected("object", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        let parsed = json::parse(&s).expect("parses");
+        let back = T::deserialize_json(&parsed).expect("deserializes");
+        assert_eq!(v, back, "round trip through {s}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(42usize);
+        round_trip(-7i64);
+        round_trip(u64::MAX);
+        round_trip(2.5f64);
+        round_trip(0.1f64);
+        round_trip(1e300f64);
+        round_trip(true);
+        round_trip(String::from("hi \"there\"\n"));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Some(5u8));
+        round_trip(Option::<u8>::None);
+        round_trip([1.5f64, 2.5]);
+        round_trip((1usize, String::from("x")));
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(3u64, vec![1.0f32, 2.0]);
+        round_trip(m);
+    }
+}

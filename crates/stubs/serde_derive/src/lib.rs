@@ -1,0 +1,407 @@
+//! Offline polyfill of `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Implements just enough of a derive to cover this workspace: plain
+//! (non-generic) structs and enums with no `#[serde(...)]` attributes.
+//! The item is parsed directly from the `proc_macro::TokenStream`
+//! (neither `syn` nor `quote` is available offline) and the generated
+//! impl is rendered as source text.
+//!
+//! Encoding rules (matching real serde's defaults):
+//! * named-field struct -> object with fields in declaration order
+//! * newtype struct -> transparent (the inner value)
+//! * tuple struct -> array
+//! * unit enum variant -> `"Name"`
+//! * newtype enum variant -> `{"Name": value}`
+//! * tuple enum variant -> `{"Name": [..]}`
+//! * struct enum variant -> `{"Name": {..}}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (arity only).
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("derive polyfill does not support generic type {name}");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(tuple_arity(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unsupported struct body for {name}: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for {name}, found {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("cannot derive for {other} {name}"),
+    }
+}
+
+/// Extracts field names from the token stream of a `{ .. }` struct
+/// body. A field is an identifier followed by `:` at angle-bracket
+/// depth zero; everything else (attributes, visibility, the type) is
+/// skipped.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.next() else { break };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field {id}, found {other:?}"),
+        }
+        fields.push(id.to_string());
+        // Skip the type up to the next comma at angle depth 0.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant body `( .. )`.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments desugar to attributes).
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.next() else { break };
+        let name = id.to_string();
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                tokens.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(tuple_arity(g.stream()));
+                tokens.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an explicit discriminant and the trailing comma.
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
+
+/// Emits `out.push_str(..)` / field-serialize statements for an object
+/// body `{"f1":..,"f2":..}` reading fields through `access` (e.g.
+/// `&self.` or a pattern binding prefix).
+fn object_body(fields: &[String], access: &dyn Fn(&str) -> String) -> String {
+    let mut code = String::from("out.push('{');\n");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            code.push_str("out.push(',');\n");
+        }
+        code.push_str(&format!(
+            "out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::serialize_json({}, out);\n",
+            access(f)
+        ));
+    }
+    code.push_str("out.push('}');\n");
+    code
+}
+
+fn render_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "out.push_str(\"null\");".to_string(),
+                Fields::Named(fields) => object_body(fields, &|f| format!("&self.{f}")),
+                Fields::Tuple(1) => "::serde::Serialize::serialize_json(&self.0, out);".to_string(),
+                Fields::Tuple(n) => {
+                    let mut code = String::from("out.push('[');\n");
+                    for i in 0..*n {
+                        if i > 0 {
+                            code.push_str("out.push(',');\n");
+                        }
+                        code.push_str(&format!(
+                            "::serde::Serialize::serialize_json(&self.{i}, out);\n"
+                        ));
+                    }
+                    code.push_str("out.push(']');\n");
+                    code
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_json(&self, out: &mut String) {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "Self::{vname} => out.push_str(\"\\\"{vname}\\\"\"),\n"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let body = object_body(fields, &|f| f.to_string());
+                        arms.push_str(&format!(
+                            "Self::{vname} {{ {bindings} }} => {{\n\
+                             out.push_str(\"{{\\\"{vname}\\\":\");\n{body}\
+                             out.push('}}');\n}}\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let mut body = String::new();
+                        if *n == 1 {
+                            body.push_str("::serde::Serialize::serialize_json(f0, out);\n");
+                        } else {
+                            body.push_str("out.push('[');\n");
+                            for (i, b) in bindings.iter().enumerate() {
+                                if i > 0 {
+                                    body.push_str("out.push(',');\n");
+                                }
+                                body.push_str(&format!(
+                                    "::serde::Serialize::serialize_json({b}, out);\n"
+                                ));
+                            }
+                            body.push_str("out.push(']');\n");
+                        }
+                        arms.push_str(&format!(
+                            "Self::{vname}({}) => {{\n\
+                             out.push_str(\"{{\\\"{vname}\\\":\");\n{body}\
+                             out.push('}}');\n}}\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_json(&self, out: &mut String) {{\nmatch self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    }
+}
+
+/// Emits the `Ok(..)` constructor expression for a set of named fields
+/// read from the object `src`.
+fn named_constructor(path: &str, fields: &[String], src: &str) -> String {
+    let mut code = format!("Ok({path} {{\n");
+    for f in fields {
+        code.push_str(&format!(
+            "{f}: ::serde::Deserialize::deserialize_json(\
+             ::serde::json::field({src}, \"{f}\")?)?,\n"
+        ));
+    }
+    code.push_str("})");
+    code
+}
+
+fn tuple_constructor(path: &str, arity: usize, src: &str) -> String {
+    let mut code = format!(
+        "match {src} {{\n::serde::json::Value::Arr(items) if items.len() == {arity} => \
+         Ok({path}(\n"
+    );
+    for i in 0..arity {
+        code.push_str(&format!("::serde::Deserialize::deserialize_json(&items[{i}])?,\n"));
+    }
+    code.push_str(&format!(
+        ")),\nother => Err(::serde::json::JsonError::expected(\
+         \"{arity}-element array\", other)),\n}}"
+    ));
+    code
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!("let _ = value; Ok({name})"),
+            Fields::Named(fields) => named_constructor(name, fields, "value"),
+            Fields::Tuple(1) => {
+                format!("Ok({name}(::serde::Deserialize::deserialize_json(value)?))")
+            }
+            Fields::Tuple(n) => tuple_constructor(name, *n, "value"),
+        },
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    Fields::Named(fields) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => {},\n",
+                            named_constructor(&format!("{name}::{vname}"), fields, "payload")
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::Deserialize::deserialize_json(payload)?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => {},\n",
+                            tuple_constructor(&format!("{name}::{vname}"), *n, "payload")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 ::serde::json::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::json::JsonError::new(\
+                 format!(\"unknown variant {{other:?}} of {name}\"))),\n}},\n\
+                 ::serde::json::Value::Obj(entries) if entries.len() == 1 => {{\n\
+                 let (variant, payload) = &entries[0];\n\
+                 match variant.as_str() {{\n{payload_arms}\
+                 other => Err(::serde::json::JsonError::new(\
+                 format!(\"unknown variant {{other:?}} of {name}\"))),\n}}\n}},\n\
+                 other => Err(::serde::json::JsonError::expected(\"{name} variant\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_json(value: &::serde::json::Value) \
+         -> Result<Self, ::serde::json::JsonError> {{\n{body}\n}}\n}}"
+    )
+}

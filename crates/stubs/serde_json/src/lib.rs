@@ -1,0 +1,39 @@
+//! Offline polyfill of the `serde_json` entry points used by this
+//! workspace: [`to_string`] and [`from_str`], backed by the JSON
+//! machinery in the polyfilled `serde` crate.
+
+pub use serde::json::{JsonError as Error, Value};
+
+/// Serializes `value` to a JSON string.
+///
+/// # Errors
+///
+/// Infallible for the types in this workspace; the `Result` mirrors
+/// the real serde_json signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::json::parse(text)?;
+    T::deserialize_json(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn string_round_trip() {
+        let v = vec![1u64, 2, 3];
+        let s = super::to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        let back: Vec<u64> = super::from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -39,10 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TuneObjective::ThroughputUnderLatencyMs(10.0),
     )?;
     println!("sweep (ResNet18 on {chip}):");
-    println!(
-        "{:>6} {:>12} {:>12} {:>12} {:>12}",
-        "batch", "inf/s", "latency ms", "uJ/inf", "EDP"
-    );
+    println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "batch", "inf/s", "latency ms", "uJ/inf", "EDP");
     for p in &result.sweep {
         let marker = if p.batch == result.batch { " <- chosen" } else { "" };
         println!(
@@ -52,8 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nbest batch under 10 ms end-to-end budget: {}", result.batch);
 
-    let edp_result =
-        tune_batch(&compiler, &network, &options, &candidates, TuneObjective::MinEdp)?;
+    let edp_result = tune_batch(&compiler, &network, &options, &candidates, TuneObjective::MinEdp)?;
     println!("minimum-EDP batch: {}", edp_result.batch);
 
     println!("\ncompilation report for the latency-budget winner:\n");

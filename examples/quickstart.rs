@@ -23,10 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Compile with the COMPASS genetic algorithm.
     let compiler = Compiler::new(chip.clone());
-    let options = CompileOptions::new()
-        .with_batch_size(8)
-        .with_ga(GaParams::fast())
-        .with_seed(42);
+    let options = CompileOptions::new().with_batch_size(8).with_ga(GaParams::fast()).with_seed(42);
     let compiled = compiler.compile(&network, &options)?;
 
     println!("\n{compiled}\n");

@@ -39,10 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let batch = 16;
     let compiled = Compiler::new(chip.clone()).compile(
         &network,
-        &CompileOptions::new()
-            .with_batch_size(batch)
-            .with_ga(GaParams::fast())
-            .with_seed(11),
+        &CompileOptions::new().with_batch_size(batch).with_ga(GaParams::fast()).with_seed(11),
     )?;
     println!(
         "\nCOMPASS chose {} partitions (weights rewritten {} times per batch of {batch})",

@@ -13,15 +13,11 @@ fn identical_seeds_identical_results_across_full_pipeline() {
         let compiled = Compiler::new(chip.clone())
             .compile(
                 &net,
-                &CompileOptions::new()
-                    .with_batch_size(4)
-                    .with_ga(GaParams::fast())
-                    .with_seed(123),
+                &CompileOptions::new().with_batch_size(4).with_ga(GaParams::fast()).with_seed(123),
             )
             .expect("compiles");
-        let report = ChipSimulator::new(chip.clone())
-            .run(compiled.programs(), 4)
-            .expect("simulates");
+        let report =
+            ChipSimulator::new(chip.clone()).run(compiled.programs(), 4).expect("simulates");
         (compiled.group().clone(), report.makespan_ns, report.energy.total_nj())
     };
     let (g1, t1, e1) = run();
@@ -39,10 +35,7 @@ fn different_seeds_explore_different_groups() {
         Compiler::new(chip.clone())
             .compile(
                 &net,
-                &CompileOptions::new()
-                    .with_batch_size(4)
-                    .with_ga(GaParams::fast())
-                    .with_seed(seed),
+                &CompileOptions::new().with_batch_size(4).with_ga(GaParams::fast()).with_seed(seed),
             )
             .expect("compiles")
             .group()

@@ -54,9 +54,8 @@ fn compass_beats_baselines_in_simulation_resnet18_m_16() {
     let chip = ChipSpec::chip_m();
     let net = zoo::resnet18();
     let run = |strategy| {
-        let compiled = Compiler::new(chip.clone())
-            .compile(&net, &options(strategy, 16))
-            .expect("compiles");
+        let compiled =
+            Compiler::new(chip.clone()).compile(&net, &options(strategy, 16)).expect("compiles");
         ChipSimulator::new(chip.clone())
             .with_dram_replay(false)
             .run(compiled.programs(), 16)
@@ -66,10 +65,7 @@ fn compass_beats_baselines_in_simulation_resnet18_m_16() {
     let compass = run(Strategy::Compass);
     let greedy = run(Strategy::Greedy);
     let layerwise = run(Strategy::Layerwise);
-    assert!(
-        compass > greedy,
-        "COMPASS {compass:.0} must beat greedy {greedy:.0} on ResNet18-M-16"
-    );
+    assert!(compass > greedy, "COMPASS {compass:.0} must beat greedy {greedy:.0} on ResNet18-M-16");
     assert!(
         compass > layerwise,
         "COMPASS {compass:.0} must beat layerwise {layerwise:.0} on ResNet18-M-16"
@@ -104,14 +100,11 @@ fn weight_traffic_equals_model_size_per_batch_cycle() {
     // per batch cycle (replicas are broadcast on chip, not re-read).
     let chip = ChipSpec::chip_s();
     let net = zoo::resnet18();
-    let compiled = Compiler::new(chip.clone())
-        .compile(&net, &options(Strategy::Greedy, 2))
-        .expect("compiles");
+    let compiled =
+        Compiler::new(chip.clone()).compile(&net, &options(Strategy::Greedy, 2)).expect("compiles");
     let report = ChipSimulator::new(chip.clone()).run(compiled.programs(), 2).expect("simulates");
-    let model_bytes =
-        pim_model::stats::NetworkStats::of(&net, chip.precision).total_weight_bytes();
-    let loaded: usize =
-        compiled.programs().iter().map(|p| p.stats().weight_load_bytes).sum();
+    let model_bytes = pim_model::stats::NetworkStats::of(&net, chip.precision).total_weight_bytes();
+    let loaded: usize = compiled.programs().iter().map(|p| p.stats().weight_load_bytes).sum();
     let tolerance = model_bytes / 100; // rounding of per-unit bit shares
     assert!(
         loaded.abs_diff(model_bytes) <= tolerance,

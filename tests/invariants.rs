@@ -1,109 +1,113 @@
-//! Property-based invariants across the compiler stack: random
-//! networks, random chips, random partition groups — the structural
-//! guarantees must always hold.
+//! Randomized invariants across the compiler stack: random networks,
+//! random chips, random partition groups — the structural guarantees
+//! must always hold.
+//!
+//! Implemented as deterministic seeded sweeps (the offline environment
+//! has no proptest): each property draws a few dozen `(network, chip)`
+//! cases from a seeded generator and asserts on every one.
 
 use compass::plan::GroupPlan;
 use compass::replication::optimize_group;
 use compass::{decompose, PartitionGroup, ValidityMap};
 use pim_arch::ChipSpec;
 use pim_model::{Network, NetworkBuilder, TensorShape};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random plain CNN (conv/relu/pool chain + classifier).
-fn arb_cnn() -> impl Strategy<Value = Network> {
-    (
-        2usize..5,                      // conv stages
-        prop::sample::select(vec![8usize, 16, 24, 32]), // base channels
-        prop::sample::select(vec![16usize, 32]),        // input size
-        any::<bool>(),                  // use pooling
-    )
-        .prop_map(|(stages, base, size, pool)| {
-            let mut b = NetworkBuilder::new("prop_cnn");
-            let input = b.input(TensorShape::new(3, size, size));
-            let mut x = input;
-            for i in 0..stages {
-                let ch = base * (i + 1);
-                let conv = b.conv2d(format!("conv{i}"), x, ch, 3, 1, 1);
-                x = b.relu(format!("relu{i}"), conv);
-                if pool && i % 2 == 1 {
-                    x = b.max_pool2d(format!("pool{i}"), x, 2, 2);
-                }
-            }
-            let gap = b.global_avg_pool("gap", x);
-            let fc = b.linear("fc", gap, 10);
-            let _ = b.softmax("prob", fc);
-            b.build().expect("generated CNN is valid")
-        })
+const CASES: usize = 24;
+
+/// A random plain CNN (conv/relu/pool chain + classifier).
+fn random_cnn(rng: &mut StdRng) -> Network {
+    let stages = rng.gen_range(2usize..5);
+    let base = *[8usize, 16, 24, 32].get(rng.gen_range(0usize..4)).unwrap();
+    let size = *[16usize, 32].get(rng.gen_range(0usize..2)).unwrap();
+    let pool = rng.gen_bool(0.5);
+    let mut b = NetworkBuilder::new("prop_cnn");
+    let input = b.input(TensorShape::new(3, size, size));
+    let mut x = input;
+    for i in 0..stages {
+        let ch = base * (i + 1);
+        let conv = b.conv2d(format!("conv{i}"), x, ch, 3, 1, 1);
+        x = b.relu(format!("relu{i}"), conv);
+        if pool && i % 2 == 1 {
+            x = b.max_pool2d(format!("pool{i}"), x, 2, 2);
+        }
+    }
+    let gap = b.global_avg_pool("gap", x);
+    let fc = b.linear("fc", gap, 10);
+    let _ = b.softmax("prob", fc);
+    b.build().expect("generated CNN is valid")
 }
 
-/// Strategy: a random (validated) chip configuration.
-fn arb_chip() -> impl Strategy<Value = ChipSpec> {
-    (2usize..20, 2usize..18).prop_map(|(cores, xbars)| {
-        let mut chip = ChipSpec::chip_s();
-        chip.name = format!("prop-{cores}x{xbars}");
-        chip.cores = cores;
-        chip.crossbars_per_core = xbars;
-        chip.validate().expect("generated chip is valid");
-        chip
-    })
+/// A random (validated) chip configuration.
+fn random_chip(rng: &mut StdRng) -> ChipSpec {
+    let cores = rng.gen_range(2usize..20);
+    let xbars = rng.gen_range(2usize..18);
+    let mut chip = ChipSpec::chip_s();
+    chip.name = format!("prop-{cores}x{xbars}");
+    chip.cores = cores;
+    chip.crossbars_per_core = xbars;
+    chip.validate().expect("generated chip is valid");
+    chip
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn units_always_fit_one_core(net in arb_cnn(), chip in arb_chip()) {
+#[test]
+fn units_always_fit_one_core() {
+    let mut rng = StdRng::seed_from_u64(0xA0);
+    for _ in 0..CASES {
+        let (net, chip) = (random_cnn(&mut rng), random_chip(&mut rng));
         let seq = decompose(&net, &chip);
         for u in seq.units() {
-            prop_assert!(u.crossbars <= chip.crossbars_per_core);
-            prop_assert!(u.crossbars > 0);
+            assert!(u.crossbars <= chip.crossbars_per_core);
+            assert!(u.crossbars > 0);
         }
         // Units cover the model's weight bits exactly.
         let total: usize = seq.units().iter().map(|u| u.weight_bits).sum();
-        let expected = pim_model::stats::NetworkStats::of(&net, chip.precision)
-            .total_weight_bytes() * 8;
-        prop_assert_eq!(total, expected);
+        let expected =
+            pim_model::stats::NetworkStats::of(&net, chip.precision).total_weight_bytes() * 8;
+        assert_eq!(total, expected);
     }
+}
 
-    #[test]
-    fn validity_map_is_prefix_monotone(net in arb_cnn(), chip in arb_chip()) {
+#[test]
+fn validity_map_is_prefix_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xA1);
+    for _ in 0..CASES {
+        let (net, chip) = (random_cnn(&mut rng), random_chip(&mut rng));
         let seq = decompose(&net, &chip);
         let map = ValidityMap::build(&seq, &chip);
         for i in 0..map.len() {
-            prop_assert!(map.max_end(i) > i, "single unit fits");
+            assert!(map.max_end(i) > i, "single unit fits");
             for j in (i + 1)..=map.max_end(i) {
-                prop_assert!(map.is_valid(i, j));
+                assert!(map.is_valid(i, j));
             }
         }
     }
+}
 
-    #[test]
-    fn random_groups_cover_units_and_optimized_plans_fit_chip(
-        net in arb_cnn(),
-        chip in arb_chip(),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn random_groups_cover_units_and_optimized_plans_fit_chip() {
+    let mut rng = StdRng::seed_from_u64(0xA2);
+    for _ in 0..CASES {
+        let (net, chip) = (random_cnn(&mut rng), random_chip(&mut rng));
         let seq = decompose(&net, &chip);
         let validity = ValidityMap::build(&seq, &chip);
-        let mut rng = StdRng::seed_from_u64(seed);
         let group = PartitionGroup::random(&mut rng, &validity);
         // Coverage: partitions tile [0, M).
         let parts = group.partitions();
-        prop_assert_eq!(parts[0].start, 0);
-        prop_assert_eq!(parts.last().unwrap().end, seq.len());
+        assert_eq!(parts[0].start, 0);
+        assert_eq!(parts.last().unwrap().end, seq.len());
         for w in parts.windows(2) {
-            prop_assert_eq!(w[0].end, w[1].start);
+            assert_eq!(w[0].end, w[1].start);
         }
         // Plans and replication respect the chip.
         let mut plans = GroupPlan::build(&net, &seq, &group);
         optimize_group(&mut plans, &chip);
         for p in plans.plans() {
-            prop_assert!(p.replicated_crossbars() <= chip.total_crossbars());
-            prop_assert!(p.packing.is_some());
+            assert!(p.replicated_crossbars() <= chip.total_crossbars());
+            assert!(p.packing.is_some());
             for s in &p.slices {
-                prop_assert!(s.replication >= 1);
+                assert!(s.replication >= 1);
             }
         }
         // Every unit is in exactly one slice.
@@ -115,41 +119,41 @@ proptest! {
                 }
             }
         }
-        prop_assert!(seen.iter().all(|&c| c == 1));
+        assert!(seen.iter().all(|&c| c == 1));
     }
+}
 
-    #[test]
-    fn mutations_preserve_validity_and_coverage(
-        net in arb_cnn(),
-        chip in arb_chip(),
-        seed in 0u64..1000,
-    ) {
-        use compass::mutation::{self, MutationKind};
+#[test]
+fn mutations_preserve_validity_and_coverage() {
+    use compass::mutation::{self, MutationKind};
+    let mut rng = StdRng::seed_from_u64(0xA3);
+    for _ in 0..CASES {
+        let (net, chip) = (random_cnn(&mut rng), random_chip(&mut rng));
         let seq = decompose(&net, &chip);
         let validity = ValidityMap::build(&seq, &chip);
-        let mut rng = StdRng::seed_from_u64(seed);
         let mut group = PartitionGroup::random(&mut rng, &validity);
         for step in 0..40 {
             let kind = MutationKind::ALL[step % 4];
             let scores: Vec<f64> =
                 (0..group.partition_count()).map(|k| 1.0 + (k as f64) * 0.1).collect();
             if let Some(child) = mutation::apply(kind, &group, &scores, &mut rng, &validity) {
-                prop_assert_eq!(child.unit_count(), group.unit_count());
-                prop_assert!(
-                    PartitionGroup::from_cuts(child.cuts().to_vec(), &validity).is_some()
-                );
+                assert_eq!(child.unit_count(), group.unit_count());
+                assert!(PartitionGroup::from_cuts(child.cuts().to_vec(), &validity).is_some());
                 group = child;
             }
         }
     }
+}
 
-    #[test]
-    fn estimator_is_monotone_in_batch(net in arb_cnn(), seed in 0u64..100) {
-        use compass::estimate::Estimator;
+#[test]
+fn estimator_is_monotone_in_batch() {
+    use compass::estimate::Estimator;
+    let mut rng = StdRng::seed_from_u64(0xA4);
+    for _ in 0..CASES {
+        let net = random_cnn(&mut rng);
         let chip = ChipSpec::chip_s();
         let seq = decompose(&net, &chip);
         let validity = ValidityMap::build(&seq, &chip);
-        let mut rng = StdRng::seed_from_u64(seed);
         let group = PartitionGroup::random(&mut rng, &validity);
         let mut plans = GroupPlan::build(&net, &seq, &group);
         optimize_group(&mut plans, &chip);
@@ -158,8 +162,8 @@ proptest! {
         let mut last_energy_per_inf = f64::INFINITY;
         for batch in [1usize, 2, 4, 8, 16] {
             let est = estimator.estimate_group(&plans, batch);
-            prop_assert!(est.batch_latency_ns > last_latency, "latency grows with batch");
-            prop_assert!(
+            assert!(est.batch_latency_ns > last_latency, "latency grows with batch");
+            assert!(
                 est.energy_per_inference_uj() <= last_energy_per_inf * (1.0 + 1e-9),
                 "per-inference energy must not grow with batch"
             );
@@ -172,8 +176,7 @@ proptest! {
 #[test]
 fn scheduled_programs_simulate_for_random_cases() {
     // A deterministic sweep of generated CNNs through the entire
-    // pipeline, including the simulator (kept out of proptest for
-    // runtime).
+    // pipeline, including the simulator.
     use compass::{CompileOptions, Compiler, GaParams, Strategy};
     use pim_sim::ChipSimulator;
     for (cores, xbars, stages) in [(4usize, 4usize, 2usize), (8, 6, 3), (12, 9, 4)] {

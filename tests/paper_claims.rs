@@ -58,8 +58,7 @@ fn table2_prior_compilers_support_only_squeezenet() {
     // resource-constrained chips, while COMPASS allows all three."
     for class in ChipClass::ALL {
         let chip = ChipSpec::preset(class);
-        for (name, prev_supported) in
-            [("vgg16", false), ("resnet18", false), ("squeezenet", true)]
+        for (name, prev_supported) in [("vgg16", false), ("resnet18", false), ("squeezenet", true)]
         {
             let net = match name {
                 "vgg16" => zoo::vgg16(),
@@ -145,9 +144,8 @@ fn fig8_compass_wins_edp_against_layerwise() {
     let chip = ChipSpec::chip_s();
     let net = zoo::resnet18();
     let edp = |strategy| {
-        let compiled = Compiler::new(chip.clone())
-            .compile(&net, &options(strategy, 8))
-            .expect("compiles");
+        let compiled =
+            Compiler::new(chip.clone()).compile(&net, &options(strategy, 8)).expect("compiles");
         ChipSimulator::new(chip.clone())
             .with_dram_replay(false)
             .run(compiled.programs(), 8)

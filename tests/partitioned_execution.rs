@@ -36,12 +36,8 @@ fn execute_partitioned(
 
     for plan in plans.plans() {
         // The nodes this partition computes, in topological order.
-        let mut local_ids: Vec<NodeId> = plan
-            .slices
-            .iter()
-            .map(|s| s.node)
-            .chain(plan.attached.iter().copied())
-            .collect();
+        let mut local_ids: Vec<NodeId> =
+            plan.slices.iter().map(|s| s.node).chain(plan.attached.iter().copied()).collect();
         local_ids.sort_unstable();
         let mut local: BTreeMap<NodeId, Tensor> = BTreeMap::new();
 
@@ -49,7 +45,9 @@ fn execute_partitioned(
         for t in &plan.entries {
             let value = global
                 .get(&t.node)
-                .unwrap_or_else(|| panic!("partition {} loads {} which was never stored", plan.index, t.node))
+                .unwrap_or_else(|| {
+                    panic!("partition {} loads {} which was never stored", plan.index, t.node)
+                })
                 .clone();
             local.insert(t.node, value);
         }
@@ -83,7 +81,9 @@ fn execute_partitioned(
         for t in &plan.exits {
             let value = local
                 .get(&t.node)
-                .unwrap_or_else(|| panic!("partition {} exits uncomputed node {}", plan.index, t.node))
+                .unwrap_or_else(|| {
+                    panic!("partition {} exits uncomputed node {}", plan.index, t.node)
+                })
                 .clone();
             // Cross-check against the whole-graph execution.
             assert_eq!(
@@ -102,12 +102,7 @@ fn execute_partitioned(
 
 /// Evaluates one node given its input tensors, by wrapping it in a
 /// minimal network and running the reference executor.
-fn eval_single(
-    network: &Network,
-    id: NodeId,
-    inputs: &[Tensor],
-    weights: &Weights,
-) -> Tensor {
+fn eval_single(network: &Network, id: NodeId, inputs: &[Tensor], weights: &Weights) -> Tensor {
     use pim_model::NetworkBuilder;
     let node = network.node(id);
     let mut b = NetworkBuilder::new("single");
