@@ -32,6 +32,7 @@ pub mod chip;
 pub mod crossbar;
 pub mod energy;
 pub mod mapping;
+pub mod timing;
 
 mod error;
 
@@ -40,6 +41,7 @@ pub use crossbar::{CellTechnology, CrossbarSpec};
 pub use energy::{EnergyModel, PowerBreakdown};
 pub use error::InvalidConfigError;
 pub use mapping::{crossbars_for_matrix, MatrixFootprint};
+pub use timing::TimingMode;
 
 /// Re-export of the weight precision type shared with `pim-model`.
 pub use pim_model::Precision as WeightPrecision;

@@ -1,0 +1,95 @@
+//! Memory-channel timing fidelity selection.
+//!
+//! The chip model charges memory traffic in one of two ways. `Analytic`
+//! is the paper's methodology: a flat first-access latency plus
+//! bandwidth streaming on the memory channel, with the LPDDR3
+//! controller refining energy only. `ClosedLoop` routes every channel
+//! transfer through the in-line multi-channel LPDDR3 controllers and
+//! blocks the requesting core until the completion event fires, so bank
+//! conflicts, row hits/misses, and channel interleaving shape the
+//! critical path.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// How the memory channel's latency is modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TimingMode {
+    /// Flat per-access latency + bandwidth streaming (the paper's
+    /// methodology; reproduces the paper's tables bit-for-bit).
+    #[default]
+    Analytic,
+    /// Closed-loop timing from the in-line multi-channel LPDDR3
+    /// controllers: cores block until the controller completes.
+    ClosedLoop,
+}
+
+impl TimingMode {
+    /// Both modes, in fidelity order.
+    pub const ALL: [TimingMode; 2] = [TimingMode::Analytic, TimingMode::ClosedLoop];
+
+    /// Reads the mode from the `PIM_TIMING_MODE` environment variable
+    /// (`analytic` / `closed-loop`, case-insensitive), defaulting to
+    /// [`TimingMode::Analytic`] when the variable is unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set to an unrecognized value — a
+    /// misspelled CI matrix leg must fail loudly, not silently run
+    /// the analytic suite twice.
+    pub fn from_env() -> Self {
+        match std::env::var("PIM_TIMING_MODE") {
+            Ok(raw) => raw
+                .parse()
+                .unwrap_or_else(|e| panic!("PIM_TIMING_MODE: {e} (use analytic or closed-loop)")),
+            Err(_) => TimingMode::Analytic,
+        }
+    }
+}
+
+impl fmt::Display for TimingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingMode::Analytic => write!(f, "analytic"),
+            TimingMode::ClosedLoop => write!(f, "closed-loop"),
+        }
+    }
+}
+
+impl FromStr for TimingMode {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        match raw.to_ascii_lowercase().as_str() {
+            "analytic" => Ok(TimingMode::Analytic),
+            "closed-loop" | "closed_loop" | "closedloop" => Ok(TimingMode::ClosedLoop),
+            other => Err(format!("unknown timing mode {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_analytic() {
+        assert_eq!(TimingMode::default(), TimingMode::Analytic);
+    }
+
+    #[test]
+    fn parses_both_spellings() {
+        assert_eq!("analytic".parse::<TimingMode>().unwrap(), TimingMode::Analytic);
+        assert_eq!("closed-loop".parse::<TimingMode>().unwrap(), TimingMode::ClosedLoop);
+        assert_eq!("Closed_Loop".parse::<TimingMode>().unwrap(), TimingMode::ClosedLoop);
+        assert!("cycle-exact".parse::<TimingMode>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for mode in TimingMode::ALL {
+            assert_eq!(mode.to_string().parse::<TimingMode>().unwrap(), mode);
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! | `fig10_convergence` | Fig. 10 (GA fitness evolution) |
 //! | `ablation_mutation` | extension: mutation-operator ablation |
 //! | `technology_sweep` | extension: SRAM/ReRAM/MRAM write-cost sweep |
+//! | `timing_mode_sweep` | extension: analytic vs closed-loop DRAM timing |
 //!
 //! All binaries run in *fast* GA mode by default so the full suite
 //! completes in minutes; pass `--paper` for the paper's GA
@@ -23,7 +24,7 @@
 #![warn(missing_docs)]
 
 use compass::{CompileOptions, CompiledModel, Compiler, GaParams, Strategy};
-use pim_arch::{ChipClass, ChipSpec};
+use pim_arch::{ChipClass, ChipSpec, TimingMode};
 use pim_model::{zoo, Network};
 use pim_sim::{ChipSimulator, SimReport};
 
@@ -101,13 +102,28 @@ impl ConfigResult {
     }
 }
 
-/// Compiles and simulates one configuration.
+/// Compiles and simulates one configuration in the timing mode named
+/// by the `PIM_TIMING_MODE` environment variable (default: analytic —
+/// the paper's methodology). CI runs the suite in both modes.
 pub fn run_config(
     net_name: &str,
     class: ChipClass,
     strategy: Strategy,
     batch: usize,
     mode: BenchMode,
+) -> ConfigResult {
+    run_config_in_mode(net_name, class, strategy, batch, mode, TimingMode::from_env())
+}
+
+/// Compiles and simulates one configuration in an explicit timing
+/// mode.
+pub fn run_config_in_mode(
+    net_name: &str,
+    class: ChipClass,
+    strategy: Strategy,
+    batch: usize,
+    mode: BenchMode,
+    timing: TimingMode,
 ) -> ConfigResult {
     let net = network(net_name);
     let chip = ChipSpec::preset(class);
@@ -118,10 +134,12 @@ pub fn run_config(
                 .with_batch_size(batch)
                 .with_strategy(strategy)
                 .with_ga(mode.ga_params())
-                .with_seed(2025),
+                .with_seed(2025)
+                .with_timing_mode(timing),
         )
         .unwrap_or_else(|e| panic!("{net_name}-{class}-{batch} ({strategy}): {e}"));
     let simulated = ChipSimulator::new(chip)
+        .with_timing_mode(timing)
         .run(compiled.programs(), batch)
         .unwrap_or_else(|e| panic!("{net_name}-{class}-{batch} ({strategy}) sim: {e}"));
     ConfigResult { label: format!("{net_name}-{class}-{batch}"), strategy, compiled, simulated }

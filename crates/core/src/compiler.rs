@@ -12,7 +12,7 @@ use crate::plan::{GroupPlan, PartitionPlan};
 use crate::replication::optimize_group;
 use crate::scheduler::{schedule_group, SchedulerOptions};
 use crate::validity::ValidityMap;
-use pim_arch::ChipSpec;
+use pim_arch::{ChipSpec, TimingMode};
 use pim_isa::ChipProgram;
 use pim_model::Network;
 use rand::rngs::StdRng;
@@ -70,6 +70,9 @@ pub struct CompileOptions {
     pub seed: u64,
     /// Pipeline chunks per sample in the generated programs.
     pub chunks_per_sample: usize,
+    /// Memory timing model the GA fitness and the final estimate are
+    /// computed under ([`TimingMode::Analytic`] reproduces the paper).
+    pub timing_mode: TimingMode,
 }
 
 impl CompileOptions {
@@ -83,6 +86,7 @@ impl CompileOptions {
             ga: GaParams::paper(),
             seed: 0,
             chunks_per_sample: 4,
+            timing_mode: TimingMode::Analytic,
         }
     }
 
@@ -119,6 +123,13 @@ impl CompileOptions {
     /// Sets pipeline chunking granularity.
     pub fn with_chunks_per_sample(mut self, chunks: usize) -> Self {
         self.chunks_per_sample = chunks;
+        self
+    }
+
+    /// Sets the memory timing model the GA tunes against (pair with
+    /// the simulator's matching mode).
+    pub fn with_timing_mode(mut self, mode: TimingMode) -> Self {
+        self.timing_mode = mode;
         self
     }
 
@@ -256,7 +267,8 @@ impl Compiler {
                     &self.chip,
                     options.batch_size,
                     options.fitness,
-                );
+                )
+                .with_timing_mode(options.timing_mode);
                 let mut rng = StdRng::seed_from_u64(options.seed);
                 let (best, trace) = ga::run(&mut ctx, &options.ga, &mut rng);
                 (best.group, Some(trace))
@@ -265,7 +277,9 @@ impl Compiler {
 
         let mut plans = GroupPlan::build(network, &seq, &group);
         optimize_group(&mut plans, &self.chip);
-        let estimate = Estimator::new(&self.chip).estimate_group(&plans, options.batch_size);
+        let estimate = Estimator::new(&self.chip)
+            .with_timing_mode(options.timing_mode)
+            .estimate_group(&plans, options.batch_size);
         let scheduler_options = SchedulerOptions {
             batch: options.batch_size,
             chunks_per_sample: options.chunks_per_sample,

@@ -6,7 +6,7 @@ use crate::partition::PartitionGroup;
 use crate::plan::GroupPlan;
 use crate::replication::optimize_group;
 use crate::validity::ValidityMap;
-use pim_arch::ChipSpec;
+use pim_arch::{ChipSpec, TimingMode};
 use pim_model::Network;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -48,11 +48,13 @@ pub struct FitnessContext<'a> {
     chip: &'a ChipSpec,
     batch: usize,
     kind: FitnessKind,
+    timing_mode: TimingMode,
     cache: HashMap<Vec<usize>, EvaluatedGroup>,
 }
 
 impl<'a> FitnessContext<'a> {
-    /// Creates a context.
+    /// Creates a context scoring with the paper's analytic memory
+    /// model.
     pub fn new(
         network: &'a Network,
         seq: &'a UnitSequence,
@@ -61,7 +63,33 @@ impl<'a> FitnessContext<'a> {
         batch: usize,
         kind: FitnessKind,
     ) -> Self {
-        Self { network, seq, validity, chip, batch, kind, cache: HashMap::new() }
+        Self {
+            network,
+            seq,
+            validity,
+            chip,
+            batch,
+            kind,
+            timing_mode: TimingMode::Analytic,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Scores candidates with the given memory timing mode, so the GA
+    /// tunes partitions against the machine the closed-loop simulator
+    /// will time. Clears the memo cache (cached scores are
+    /// mode-specific).
+    pub fn with_timing_mode(mut self, mode: TimingMode) -> Self {
+        if mode != self.timing_mode {
+            self.cache.clear();
+        }
+        self.timing_mode = mode;
+        self
+    }
+
+    /// The timing mode candidates are scored under.
+    pub fn timing_mode(&self) -> TimingMode {
+        self.timing_mode
     }
 
     /// The validity map (used by mutation operators).
@@ -127,7 +155,9 @@ impl<'a> FitnessContext<'a> {
     fn evaluate_uncached(&self, group: &PartitionGroup) -> EvaluatedGroup {
         let mut plans = GroupPlan::build(self.network, self.seq, group);
         optimize_group(&mut plans, self.chip);
-        let estimate = Estimator::new(self.chip).estimate_group(&plans, self.batch);
+        let estimate = Estimator::new(self.chip)
+            .with_timing_mode(self.timing_mode)
+            .estimate_group(&plans, self.batch);
         let partition_fitness: Vec<f64> = estimate
             .partitions
             .iter()
@@ -237,6 +267,21 @@ mod tests {
         let b = ctx.evaluate(&group);
         assert_eq!(ctx.cache_len(), 1);
         assert_eq!(a.pgf, b.pgf);
+    }
+
+    #[test]
+    fn timing_mode_changes_scores_and_clears_cache() {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(9);
+        let group = PartitionGroup::random(&mut rng, &f.validity);
+        let mut ctx =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
+        let analytic = ctx.evaluate(&group);
+        assert_eq!(ctx.cache_len(), 1);
+        let mut ctx = ctx.with_timing_mode(pim_arch::TimingMode::ClosedLoop);
+        assert_eq!(ctx.cache_len(), 0, "mode switch must invalidate memoized scores");
+        let closed = ctx.evaluate(&group);
+        assert_ne!(analytic.pgf, closed.pgf);
     }
 
     #[test]

@@ -74,3 +74,7 @@ pub use plan::{GroupPlan, PartitionPlan};
 pub use report::CompileReport;
 pub use tuner::{tune_batch, TuneObjective, TuneResult};
 pub use validity::ValidityMap;
+
+/// Re-export of the memory timing-fidelity selector shared with
+/// `pim-arch` and `pim-sim`.
+pub use pim_arch::TimingMode;

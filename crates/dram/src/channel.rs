@@ -5,11 +5,32 @@
 //! bandwidth; the chip-level `MemorySpec` bandwidth then aggregates.
 //! Channels are fully independent (own banks, bus, refresh), and
 //! requests route by address interleave at a configurable granularity.
+//!
+//! Two front ends share the routing policy: the batch path
+//! ([`MultiChannelDram::enqueue`] + [`MultiChannelDram::run_to_completion`])
+//! for trace replay, and the immediate path ([`MultiChannelDram::service`])
+//! used by the chip simulator's closed-loop timing mode, where each
+//! block access is served as its event arrives and the aggregated
+//! completion time feeds back into the chip's critical path.
 
 use crate::config::DramConfig;
-use crate::controller::{CompletedRequest, DramSimulator};
+use crate::controller::{ChannelStats, CompletedRequest, DramSimulator};
 use crate::energy::DramEnergy;
+use crate::error::DramError;
 use crate::request::{Request, RequestId};
+
+/// The closed-loop outcome of one block access: when its first stripe
+/// started service and when its last stripe's data completed, across
+/// every channel it touched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelAccess {
+    /// Earliest service start across the stripes, ns.
+    pub start_ns: f64,
+    /// Latest completion across the stripes, ns.
+    pub finish_ns: f64,
+    /// Number of interleave stripes the access was split into.
+    pub stripes: usize,
+}
 
 /// A set of independent DRAM channels with interleaved addressing.
 ///
@@ -18,7 +39,7 @@ use crate::request::{Request, RequestId};
 /// ```
 /// use pim_dram::{DramConfig, MultiChannelDram, Request, RequestKind};
 ///
-/// let mut mem = MultiChannelDram::new(DramConfig::lpddr3_1600(), 2, 4096);
+/// let mut mem = MultiChannelDram::new(DramConfig::lpddr3_1600(), 2, 4096).unwrap();
 /// mem.enqueue(Request::new(0, 0, RequestKind::Read, 64 * 1024));
 /// let done = mem.run_to_completion();
 /// assert!(!done.is_empty());
@@ -35,17 +56,23 @@ impl MultiChannelDram {
     /// Creates `channels` identical controllers interleaved every
     /// `interleave_bytes` (rounded up to at least one burst).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `channels == 0`.
-    pub fn new(cfg: DramConfig, channels: usize, interleave_bytes: usize) -> Self {
-        assert!(channels > 0, "need at least one channel");
+    /// Returns [`DramError::NoChannels`] if `channels == 0`.
+    pub fn new(
+        cfg: DramConfig,
+        channels: usize,
+        interleave_bytes: usize,
+    ) -> Result<Self, DramError> {
+        if channels == 0 {
+            return Err(DramError::NoChannels);
+        }
         let interleave = interleave_bytes.max(cfg.burst_bytes);
-        Self {
+        Ok(Self {
             channels: (0..channels).map(|_| DramSimulator::new(cfg.clone())).collect(),
             interleave_bytes: interleave,
             next_id: 0,
-        }
+        })
     }
 
     /// Number of channels.
@@ -53,33 +80,72 @@ impl MultiChannelDram {
         self.channels.len()
     }
 
+    /// The interleave granularity in bytes.
+    pub fn interleave_bytes(&self) -> usize {
+        self.interleave_bytes
+    }
+
     /// Splits a block request across channels by interleave and
     /// enqueues the pieces. Returns one id (of the first piece) for
     /// bookkeeping; completions report per-piece.
     pub fn enqueue(&mut self, request: Request) -> RequestId {
         let first = RequestId(self.next_id);
-        let n = self.channels.len();
-        let il = self.interleave_bytes as u64;
-        let mut addr = request.addr;
-        let mut remaining = request.bytes;
-        while remaining > 0 {
-            let stripe_off = addr % il;
-            let take = ((il - stripe_off) as usize).min(remaining);
-            let channel = ((addr / il) % n as u64) as usize;
-            // Channel-local address folds the interleave out so each
-            // channel sees a dense address space.
-            let local = (addr / (il * n as u64)) * il + stripe_off;
-            self.channels[channel].enqueue(Request::at_ns(
-                request.issue_ns,
-                local,
-                request.kind,
-                take,
-            ));
+        for (channel, piece) in Self::stripes(self.channels.len(), self.interleave_bytes, request) {
+            self.channels[channel].enqueue(piece);
             self.next_id += 1;
-            addr += take as u64;
-            remaining -= take;
         }
         first
+    }
+
+    /// Serves a block request immediately (closed-loop path): every
+    /// stripe is serviced on its channel in call order, and the
+    /// access completes when its slowest stripe's data lands. Channel
+    /// queueing, bank conflicts, row hits/misses, and refresh all show
+    /// up in the returned window.
+    pub fn service(&mut self, request: Request) -> ChannelAccess {
+        let mut start_ns = f64::INFINITY;
+        let mut finish_ns = request.issue_ns.max(0.0);
+        let mut count = 0usize;
+        for (channel, piece) in Self::stripes(self.channels.len(), self.interleave_bytes, request) {
+            let done = self.channels[channel].service_one(piece);
+            self.next_id += 1;
+            start_ns = start_ns.min(done.start_ns);
+            finish_ns = finish_ns.max(done.finish_ns);
+            count += 1;
+        }
+        if !start_ns.is_finite() {
+            start_ns = finish_ns; // zero-byte access: an empty window
+        }
+        ChannelAccess { start_ns, finish_ns, stripes: count }
+    }
+
+    /// Splits a block request into per-channel stripes: for each
+    /// piece, the channel index and the channel-local request. The
+    /// local address folds the interleave out so each channel sees a
+    /// dense address space. Takes `Copy` inputs rather than `&self` so
+    /// the routing loops can mutate `self.channels` while iterating —
+    /// no per-request stripe buffer is allocated.
+    fn stripes(
+        channels: usize,
+        interleave_bytes: usize,
+        request: Request,
+    ) -> impl Iterator<Item = (usize, Request)> {
+        let n = channels as u64;
+        let il = interleave_bytes as u64;
+        let mut addr = request.addr;
+        let mut remaining = request.bytes;
+        std::iter::from_fn(move || {
+            if remaining == 0 {
+                return None;
+            }
+            let stripe_off = addr % il;
+            let take = ((il - stripe_off) as usize).min(remaining);
+            let channel = ((addr / il) % n) as usize;
+            let local = (addr / (il * n)) * il + stripe_off;
+            addr += take as u64;
+            remaining -= take;
+            Some((channel, Request::at_ns(request.issue_ns, local, request.kind, take)))
+        })
     }
 
     /// Drains every channel, returning all completions (channel order,
@@ -95,6 +161,11 @@ impl MultiChannelDram {
     /// Latest completion time across channels.
     pub fn makespan_ns(&self) -> f64 {
         self.channels.iter().map(DramSimulator::makespan_ns).fold(0.0, f64::max)
+    }
+
+    /// Per-channel aggregate counters, in channel order.
+    pub fn channel_stats(&self) -> Vec<ChannelStats> {
+        self.channels.iter().map(DramSimulator::stats).collect()
     }
 
     /// Total energy across channels.
@@ -116,8 +187,12 @@ mod tests {
     use super::*;
     use crate::request::RequestKind;
 
+    fn mem(channels: usize) -> MultiChannelDram {
+        MultiChannelDram::new(DramConfig::lpddr3_1600(), channels, 4096).unwrap()
+    }
+
     fn stream_time(channels: usize, bytes: usize) -> f64 {
-        let mut mem = MultiChannelDram::new(DramConfig::lpddr3_1600(), channels, 4096);
+        let mut mem = mem(channels);
         mem.enqueue(Request::new(0, 0, RequestKind::Read, bytes));
         mem.run_to_completion();
         mem.makespan_ns()
@@ -143,7 +218,7 @@ mod tests {
 
     #[test]
     fn all_bytes_accounted() {
-        let mut mem = MultiChannelDram::new(DramConfig::lpddr3_1600(), 2, 4096);
+        let mut mem = mem(2);
         mem.enqueue(Request::new(0, 1000, RequestKind::Read, 100_000));
         let done = mem.run_to_completion();
         let total: usize = done.iter().map(|c| c.bytes).sum();
@@ -152,7 +227,7 @@ mod tests {
 
     #[test]
     fn energy_sums_channels() {
-        let mut mem = MultiChannelDram::new(DramConfig::lpddr3_1600(), 2, 4096);
+        let mut mem = mem(2);
         mem.enqueue(Request::new(0, 0, RequestKind::Write, 64 * 1024));
         mem.run_to_completion();
         let e = mem.energy();
@@ -161,8 +236,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one channel")]
-    fn zero_channels_panics() {
-        let _ = MultiChannelDram::new(DramConfig::lpddr3_1600(), 0, 4096);
+    fn zero_channels_is_an_error() {
+        let err = MultiChannelDram::new(DramConfig::lpddr3_1600(), 0, 4096).unwrap_err();
+        assert_eq!(err, DramError::NoChannels);
+        assert!(err.to_string().contains("at least one channel"));
+    }
+
+    #[test]
+    fn service_window_is_ordered_and_covers_stripes() {
+        let mut mem = mem(2);
+        let access = mem.service(Request::new(0, 0, RequestKind::Read, 64 * 1024));
+        // 64 KiB over 4 KiB stripes = 16 stripes, 8 per channel.
+        assert_eq!(access.stripes, 16);
+        assert!(access.start_ns >= 0.0);
+        assert!(access.finish_ns > access.start_ns);
+        let stats = mem.channel_stats();
+        assert_eq!(stats.len(), 2);
+        let total: u64 = stats.iter().map(ChannelStats::total_bytes).sum();
+        assert_eq!(total, 64 * 1024);
+    }
+
+    #[test]
+    fn stats_track_hits_and_utilization() {
+        let mut mem = mem(1);
+        mem.service(Request::new(0, 0, RequestKind::Read, 1 << 16));
+        let s = mem.channel_stats()[0];
+        assert!(s.row_hit_rate() > 0.8, "sequential stream mostly hits: {}", s.row_hit_rate());
+        assert!(s.utilization() > 0.0 && s.utilization() <= 1.0);
+        assert!(s.makespan_ns >= s.busy_ns);
     }
 }

@@ -84,6 +84,17 @@ impl DramConfig {
         self.burst_bytes as f64 / (self.t_ccd as f64 * self.cycle_ns())
     }
 
+    /// Channels needed to expose `aggregate_gbps` of chip-level memory
+    /// bandwidth at this configuration's per-channel peak (at least
+    /// one; rounded up so the modelled memory system never
+    /// under-provisions the chip's stated bandwidth). The closed-loop
+    /// chip simulator and the compiler's estimator both derive the
+    /// channel count through this helper, so the GA tunes against the
+    /// same topology the simulator times.
+    pub fn channels_for_bandwidth(&self, aggregate_gbps: f64) -> usize {
+        ((aggregate_gbps / self.peak_bandwidth_gbps()).ceil() as usize).max(1)
+    }
+
     /// Maps a byte address to `(bank, row)` using row-interleaved
     /// mapping (consecutive rows rotate across banks so sequential
     /// streams exploit bank-level parallelism).
@@ -134,5 +145,15 @@ mod tests {
     #[test]
     fn cycle_time() {
         assert!((DramConfig::lpddr3_1600().cycle_ns() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_derivation_never_under_provisions() {
+        let cfg = DramConfig::lpddr3_1600(); // 6.4 GB/s per channel
+        assert_eq!(cfg.channels_for_bandwidth(6.4), 1);
+        assert_eq!(cfg.channels_for_bandwidth(8.0), 2); // 1 ch would be 20% short
+        assert_eq!(cfg.channels_for_bandwidth(12.8), 2);
+        assert_eq!(cfg.channels_for_bandwidth(25.6), 4);
+        assert_eq!(cfg.channels_for_bandwidth(0.0), 1);
     }
 }

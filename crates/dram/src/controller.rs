@@ -32,6 +32,50 @@ impl CompletedRequest {
     }
 }
 
+/// Aggregate counters of one controller (one channel), as reported in
+/// closed-loop timing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ChannelStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Row activations (row-buffer misses + conflicts).
+    pub activates: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Data-bus occupancy, ns.
+    pub busy_ns: f64,
+    /// Completion time of the channel's last burst, ns.
+    pub makespan_ns: f64,
+}
+
+impl ChannelStats {
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Data-bus busy fraction of the channel's makespan.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_ns / self.makespan_ns).min(1.0)
+    }
+
+    /// Fraction of column accesses that hit the open row.
+    pub fn row_hit_rate(&self) -> f64 {
+        let accesses = self.activates + self.row_hits;
+        if accesses == 0 {
+            return 0.0;
+        }
+        self.row_hits as f64 / accesses as f64
+    }
+}
+
 /// A cycle-approximate LPDDR3 memory controller.
 ///
 /// Requests are served in a FR-FCFS-lite order: among eligible
@@ -65,6 +109,9 @@ pub struct DramSimulator {
     next_refresh_ns: f64,
     refreshes: u64,
     activates: u64,
+    row_hits: u64,
+    served: u64,
+    data_busy_ns: f64,
     read_bits: u64,
     write_bits: u64,
     makespan_ns: f64,
@@ -85,6 +132,9 @@ impl DramSimulator {
             next_refresh_ns,
             refreshes: 0,
             activates: 0,
+            row_hits: 0,
+            served: 0,
+            data_busy_ns: 0.0,
             read_bits: 0,
             write_bits: 0,
             makespan_ns: 0.0,
@@ -139,6 +189,18 @@ impl DramSimulator {
             engine.extract(id).expect("controller survives the run");
         *self = controller.sim;
         controller.done
+    }
+
+    /// Serves one request immediately, bypassing the queue and the
+    /// FR-FCFS reorder window. The closed-loop front end uses this:
+    /// requests arrive one engine event at a time (cores block on
+    /// completion), so arrival order *is* service order and the
+    /// completion's `finish_ns` feeds straight back into the chip's
+    /// critical path.
+    pub fn service_one(&mut self, request: Request) -> CompletedRequest {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.serve(id, request)
     }
 
     /// Serves everything currently queued, FR-FCFS order, returning
@@ -198,6 +260,8 @@ impl DramSimulator {
             let (data_ready, class) = self.banks[bank_idx].access(&self.cfg, t, row, is_write);
             if class != AccessClass::RowHit {
                 self.activates += 1;
+            } else {
+                self.row_hits += 1;
             }
             // Shared data bus: one burst at a time.
             let bus_done = data_ready.max(self.bus_free_ns + burst_time);
@@ -214,6 +278,8 @@ impl DramSimulator {
         } else {
             self.read_bits += bits;
         }
+        self.served += 1;
+        self.data_busy_ns += bursts as f64 * burst_time;
         self.makespan_ns = self.makespan_ns.max(finish_ns);
         CompletedRequest {
             id,
@@ -241,14 +307,15 @@ impl DramSimulator {
         let (bank_idx, row) = self.cfg.map_address(req.addr);
         let service_start = t.max(self.banks[bank_idx].ready_ns());
         let (first_ready, class) = self.banks[bank_idx].access(&self.cfg, t, row, is_write);
-        if class != crate::bank::AccessClass::RowHit {
-            self.activates += 1;
-        }
+        let first_activate = (class != crate::bank::AccessClass::RowHit) as u64;
+        self.activates += first_activate;
         // Remaining rows each cost one activate (banks rotate, so the
-        // activations hide behind the streaming data bus).
+        // activations hide behind the streaming data bus); every other
+        // burst of the stream hits its open row.
         let rows_touched = (req.addr + req.bytes as u64 - 1) / self.cfg.row_bytes as u64
             - req.addr / self.cfg.row_bytes as u64;
         self.activates += rows_touched;
+        self.row_hits += (bursts as u64).saturating_sub(first_activate + rows_touched);
         // Refresh stalls crossed during the stream.
         let stream_time = bursts as f64 * burst_time;
         let start_bus = first_ready.max(self.bus_free_ns + burst_time) - burst_time;
@@ -273,6 +340,8 @@ impl DramSimulator {
         } else {
             self.read_bits += bits;
         }
+        self.served += 1;
+        self.data_busy_ns += stream_time;
         self.makespan_ns = self.makespan_ns.max(finish);
         CompletedRequest {
             id,
@@ -319,6 +388,24 @@ impl DramSimulator {
     /// Row-buffer activate count (misses + conflicts).
     pub fn activates(&self) -> u64 {
         self.activates
+    }
+
+    /// Row-buffer hit count.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Aggregate counters for this controller.
+    pub fn stats(&self) -> ChannelStats {
+        ChannelStats {
+            requests: self.served,
+            read_bytes: self.read_bits / 8,
+            write_bytes: self.write_bits / 8,
+            activates: self.activates,
+            row_hits: self.row_hits,
+            busy_ns: self.data_busy_ns,
+            makespan_ns: self.makespan_ns,
+        }
     }
 }
 

@@ -1,0 +1,21 @@
+//! DRAM configuration errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A structurally invalid DRAM configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// A multi-channel memory needs at least one channel.
+    NoChannels,
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::NoChannels => write!(f, "multi-channel DRAM needs at least one channel"),
+        }
+    }
+}
+
+impl Error for DramError {}

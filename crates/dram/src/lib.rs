@@ -43,9 +43,12 @@ pub mod energy;
 pub mod request;
 pub mod trace;
 
-pub use channel::MultiChannelDram;
+mod error;
+
+pub use channel::{ChannelAccess, MultiChannelDram};
 pub use config::DramConfig;
-pub use controller::{CompletedRequest, DrainLatch, DramSimulator};
+pub use controller::{ChannelStats, CompletedRequest, DrainLatch, DramSimulator};
 pub use energy::DramEnergy;
+pub use error::DramError;
 pub use request::{Request, RequestId, RequestKind};
 pub use trace::{ParseTraceError, Trace, TraceStats};

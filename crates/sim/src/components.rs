@@ -8,8 +8,10 @@
 //! engine's `(time, sequence)`-ordered queue.
 
 use crate::report::CoreActivity;
-use pim_arch::{ChipSpec, InterconnectSpec};
-use pim_dram::{DrainLatch, DramConfig, DramSimulator, Request, RequestKind, TraceStats};
+use pim_arch::{ChipSpec, InterconnectSpec, TimingMode};
+use pim_dram::{
+    DrainLatch, DramConfig, DramSimulator, MultiChannelDram, Request, RequestKind, TraceStats,
+};
 use pim_engine::{Component, ComponentId, EngineCtx, Event, SimTime};
 use pim_isa::{Instruction, Tag};
 use std::any::Any;
@@ -90,6 +92,23 @@ pub(crate) enum ChipEvent {
     },
     /// The in-line controller services everything that has arrived.
     DramDrain,
+    /// Closed-loop timing: one blocking block access reaches the
+    /// multi-channel controllers. The requesting core's `MemDone` is
+    /// scheduled at the access's completion time, so the DRAM model
+    /// owns the critical path.
+    DramAccess {
+        /// Requesting core (reply address).
+        core: ComponentId,
+        /// Starting byte address (from the channel's bump allocators).
+        addr: u64,
+        /// Read or write.
+        kind: RequestKind,
+        /// Block size.
+        bytes: usize,
+        /// Row-friendly chunk granularity the stream is split at (the
+        /// same chunking the analytic-mode energy refinement uses).
+        chunk: usize,
+    },
 }
 
 /// Per-core timing parameters copied out of the [`ChipSpec`].
@@ -267,9 +286,14 @@ impl Component<ChipEvent> for CoreComponent {
 const WEIGHT_CHUNK: usize = 1 << 20;
 const ACTIVATION_CHUNK: usize = 64 << 10;
 
-/// The single global-memory channel: serializes block transfers,
-/// charges first-access latency, and feeds the in-line DRAM model.
+/// The single global-memory channel port. In `Analytic` timing mode it
+/// serializes block transfers itself (bandwidth + first-access latency)
+/// and forwards the request stream to the in-line DRAM model for energy
+/// refinement; in `ClosedLoop` mode it only assigns addresses and hands
+/// each blocking access to the multi-channel controllers, which own the
+/// completion time.
 pub(crate) struct MemChannel {
+    mode: TimingMode,
     free_ns: f64,
     bandwidth_gbps: f64,
     access_latency_ns: f64,
@@ -282,8 +306,9 @@ pub(crate) struct MemChannel {
 }
 
 impl MemChannel {
-    pub(crate) fn new(chip: &ChipSpec, dram: Option<ComponentId>) -> Self {
+    pub(crate) fn new(chip: &ChipSpec, dram: Option<ComponentId>, mode: TimingMode) -> Self {
         Self {
+            mode,
             free_ns: 0.0,
             bandwidth_gbps: chip.memory.bandwidth_gbps,
             access_latency_ns: chip.memory.access_latency_ns,
@@ -303,41 +328,58 @@ impl Component<ChipEvent> for MemChannel {
             }
             ChipEvent::MemRequest { core, bytes, kind, weight } => {
                 let now = event.time.as_ns();
-                let start = now.max(self.free_ns);
-                let stream_ns = bytes as f64 / self.bandwidth_gbps;
-                let dur = self.access_latency_ns + stream_ns;
-                self.free_ns = start + stream_ns;
-
                 let (addr, chunk) = if weight {
                     (&mut self.weight_addr, WEIGHT_CHUNK)
                 } else {
                     (&mut self.activation_addr, ACTIVATION_CHUNK)
                 };
+                let base = *addr;
+                *addr += bytes as u64;
+                // The chunk count is mode-independent, so both timing
+                // modes report the same request stream.
+                self.stats.requests += bytes.div_ceil(chunk);
+                match kind {
+                    RequestKind::Read => self.stats.read_bytes += bytes,
+                    RequestKind::Write => self.stats.write_bytes += bytes,
+                }
+
+                if self.mode == TimingMode::ClosedLoop {
+                    // Closed loop: the controllers decide when this
+                    // access completes; the core's MemDone comes from
+                    // them, not from the analytic channel equation.
+                    let dram = self.dram.expect("closed-loop mode wires a DRAM component");
+                    ctx.schedule(
+                        event.time,
+                        dram,
+                        ChipEvent::DramAccess { core, addr: base, kind, bytes, chunk },
+                    );
+                    return;
+                }
+
+                let start = now.max(self.free_ns);
+                let stream_ns = bytes as f64 / self.bandwidth_gbps;
+                let dur = self.access_latency_ns + stream_ns;
+                self.free_ns = start + stream_ns;
+
                 // Forward the transfer to the in-line DRAM model in
                 // row-friendly chunks, all issued at the grant time —
                 // the same request stream the trace replay used to
                 // rebuild after the fact.
-                let mut offset = 0usize;
-                while offset < bytes {
-                    let take = chunk.min(bytes - offset);
-                    if let Some(dram) = self.dram {
+                if let Some(dram) = self.dram {
+                    let mut offset = 0usize;
+                    while offset < bytes {
+                        let take = chunk.min(bytes - offset);
                         ctx.schedule(
                             SimTime::from_ns(start),
                             dram,
                             ChipEvent::DramRequest {
-                                addr: *addr + offset as u64,
+                                addr: base + offset as u64,
                                 kind,
                                 bytes: take,
                             },
                         );
+                        offset += take;
                     }
-                    self.stats.requests += 1;
-                    offset += take;
-                }
-                *addr += bytes as u64;
-                match kind {
-                    RequestKind::Read => self.stats.read_bytes += bytes,
-                    RequestKind::Write => self.stats.write_bytes += bytes,
                 }
 
                 ctx.schedule(
@@ -492,6 +534,68 @@ impl Component<ChipEvent> for InlineDram {
             }
             ChipEvent::Barrier => {}
             other => unreachable!("dram received {other:?}"),
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// The closed-loop multi-channel DRAM: every `DramAccess` is striped
+/// across the in-line LPDDR3 controllers as its event arrives (cores
+/// block, so arrival order is service order), and the requesting core's
+/// `MemDone` fires at the slowest stripe's completion. Bank conflicts,
+/// row hits/misses, refresh, and channel interleaving therefore shape
+/// the chip's critical path directly.
+pub(crate) struct ClosedLoopDram {
+    pub(crate) mem: MultiChannelDram,
+    pub(crate) requests: usize,
+}
+
+impl ClosedLoopDram {
+    pub(crate) fn new(channels: usize, interleave_bytes: usize) -> Self {
+        let mem = MultiChannelDram::new(DramConfig::lpddr3_1600(), channels, interleave_bytes)
+            .expect("simulator builder guarantees at least one channel");
+        Self { mem, requests: 0 }
+    }
+}
+
+impl Component<ChipEvent> for ClosedLoopDram {
+    fn on_event(&mut self, event: Event<ChipEvent>, ctx: &mut EngineCtx<'_, ChipEvent>) {
+        match event.payload {
+            ChipEvent::DramAccess { core, addr, kind, bytes, chunk } => {
+                let now = event.time.as_ns();
+                // Serve the block in the same row-friendly chunks the
+                // analytic-mode refinement streams, so both modes see
+                // an identical request stream; the access completes
+                // when its slowest chunk's data lands.
+                let mut start_ns = f64::INFINITY;
+                let mut finish_ns = now;
+                let mut offset = 0usize;
+                while offset < bytes {
+                    let take = chunk.min(bytes - offset);
+                    let access =
+                        self.mem.service(Request::at_ns(now, addr + offset as u64, kind, take));
+                    start_ns = start_ns.min(access.start_ns);
+                    finish_ns = finish_ns.max(access.finish_ns);
+                    self.requests += 1;
+                    offset += take;
+                }
+                if !start_ns.is_finite() {
+                    start_ns = now; // zero-byte access
+                }
+                ctx.schedule(
+                    SimTime::from_ns(finish_ns),
+                    core,
+                    ChipEvent::MemDone {
+                        wait_ns: (start_ns - now).max(0.0),
+                        busy_ns: finish_ns - start_ns.max(now),
+                    },
+                );
+            }
+            ChipEvent::Barrier => {}
+            other => unreachable!("closed-loop dram received {other:?}"),
         }
     }
 

@@ -1,7 +1,7 @@
 //! Simulation reports.
 
 use pim_arch::PowerBreakdown;
-use pim_dram::{DramEnergy, TraceStats};
+use pim_dram::{ChannelStats, DramEnergy, TraceStats};
 use pim_isa::InstructionStats;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -94,7 +94,7 @@ impl PartitionSimReport {
 }
 
 /// The full simulation result for one batch cycle.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Batch size simulated.
     pub batch: usize,
@@ -109,6 +109,54 @@ pub struct SimReport {
     pub dram_energy: Option<DramEnergy>,
     /// DRAM trace byte totals.
     pub dram_trace: TraceStats,
+    /// Per-channel DRAM counters (utilization, row hits, ...),
+    /// present only in closed-loop timing mode.
+    pub dram_channels: Option<Vec<ChannelStats>>,
+}
+
+// Hand-written (de)serialization: the trailing `dram_channels` field is
+// emitted only when present, so `Analytic`-mode reports stay
+// byte-identical to the pre-timing-mode fixtures in `tests/golden/`.
+// With real serde this is `#[serde(skip_serializing_if =
+// "Option::is_none", default)]`; the offline derive polyfill has no
+// attribute support, hence the explicit impls.
+impl Serialize for SimReport {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"batch\":");
+        self.batch.serialize_json(out);
+        out.push_str(",\"partitions\":");
+        self.partitions.serialize_json(out);
+        out.push_str(",\"makespan_ns\":");
+        self.makespan_ns.serialize_json(out);
+        out.push_str(",\"energy\":");
+        self.energy.serialize_json(out);
+        out.push_str(",\"dram_energy\":");
+        self.dram_energy.serialize_json(out);
+        out.push_str(",\"dram_trace\":");
+        self.dram_trace.serialize_json(out);
+        if let Some(channels) = &self.dram_channels {
+            out.push_str(",\"dram_channels\":");
+            channels.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl Deserialize for SimReport {
+    fn deserialize_json(value: &serde::json::Value) -> Result<Self, serde::json::JsonError> {
+        Ok(Self {
+            batch: Deserialize::deserialize_json(serde::json::field(value, "batch")?)?,
+            partitions: Deserialize::deserialize_json(serde::json::field(value, "partitions")?)?,
+            makespan_ns: Deserialize::deserialize_json(serde::json::field(value, "makespan_ns")?)?,
+            energy: Deserialize::deserialize_json(serde::json::field(value, "energy")?)?,
+            dram_energy: Deserialize::deserialize_json(serde::json::field(value, "dram_energy")?)?,
+            dram_trace: Deserialize::deserialize_json(serde::json::field(value, "dram_trace")?)?,
+            dram_channels: match serde::json::field(value, "dram_channels") {
+                Ok(v) => Some(Deserialize::deserialize_json(v)?),
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl SimReport {
@@ -181,6 +229,7 @@ mod tests {
             energy: PowerBreakdown { mvm_nj: 4000.0, ..PowerBreakdown::new() },
             dram_energy: None,
             dram_trace: TraceStats::default(),
+            dram_channels: None,
         }
     }
 
@@ -204,5 +253,25 @@ mod tests {
     #[test]
     fn display_lists_partitions() {
         assert!(report().to_string().contains("P0:"));
+    }
+
+    #[test]
+    fn dram_channels_serialize_only_when_present() {
+        let mut r = report();
+        let analytic = serde_json::to_string(&r).unwrap();
+        assert!(
+            !analytic.contains("dram_channels"),
+            "analytic reports must keep the pre-closed-loop byte layout"
+        );
+        r.dram_channels = Some(vec![ChannelStats::default()]);
+        let closed = serde_json::to_string(&r).unwrap();
+        assert!(closed.contains("\"dram_channels\":["));
+        // Both layouts round-trip.
+        for json in [analytic, closed] {
+            let back: SimReport = serde_json::from_str(&json).unwrap();
+            let mut again = String::new();
+            back.serialize_json(&mut again);
+            assert_eq!(json, again);
+        }
     }
 }

@@ -1,12 +1,13 @@
 //! The discrete-event chip simulator.
 
 use crate::components::{
-    BusComponent, ChipEvent, CoreComponent, CoreTiming, InlineDram, MemChannel, Rendezvous,
+    BusComponent, ChipEvent, ClosedLoopDram, CoreComponent, CoreTiming, InlineDram, MemChannel,
+    Rendezvous,
 };
 use crate::error::SimError;
 use crate::report::{PartitionSimReport, SimReport};
-use pim_arch::{ChipSpec, EnergyModel, PowerBreakdown};
-use pim_dram::TraceStats;
+use pim_arch::{ChipSpec, EnergyModel, PowerBreakdown, TimingMode};
+use pim_dram::{DramConfig, TraceStats};
 use pim_engine::{ComponentId, Engine, SimTime};
 use pim_isa::{ChipProgram, CoreId};
 
@@ -29,25 +30,81 @@ use pim_isa::{ChipProgram, CoreId};
 /// core index; programs without exact `f64` ties — in particular the
 /// regression fixture in `tests/engine_determinism.rs` — time out
 /// identically under both policies.
+///
+/// ## Timing modes
+///
+/// In [`TimingMode::Analytic`] (the default, and the paper's
+/// methodology) the memory channel charges a flat first-access latency
+/// plus bandwidth streaming, and the in-line LPDDR3 controller refines
+/// energy only — reports are byte-identical to the pinned golden
+/// fixtures. In [`TimingMode::ClosedLoop`] every channel transfer is
+/// striped over a bank of in-line multi-channel controllers and the
+/// requesting core blocks until the completion event fires, so bank
+/// conflicts, row hits/misses, and channel interleaving shape the
+/// critical path; the report then carries per-channel stats.
 #[derive(Debug, Clone)]
 pub struct ChipSimulator {
     chip: ChipSpec,
     replay_dram: bool,
+    mode: TimingMode,
+    dram_channels: Option<usize>,
+    interleave_bytes: usize,
 }
 
+/// Default closed-loop address-interleave granularity: two LPDDR3 rows
+/// per stripe keeps sequential streams row-friendly while still
+/// spreading blocks across channels.
+const DEFAULT_INTERLEAVE_BYTES: usize = 4096;
+
 impl ChipSimulator {
-    /// Creates a simulator for `chip` with the in-line DRAM model
-    /// enabled.
+    /// Creates a simulator for `chip` in analytic timing mode with the
+    /// in-line DRAM model enabled.
     pub fn new(chip: ChipSpec) -> Self {
-        Self { chip, replay_dram: true }
+        Self {
+            chip,
+            replay_dram: true,
+            mode: TimingMode::Analytic,
+            dram_channels: None,
+            interleave_bytes: DEFAULT_INTERLEAVE_BYTES,
+        }
     }
 
     /// Enables or disables the in-line `pim-dram` model (it refines
     /// DRAM energy but costs simulation time; chip timing is
-    /// identical either way).
+    /// identical either way). Ignored in closed-loop mode, where the
+    /// controllers are always on the critical path.
     pub fn with_dram_replay(mut self, enabled: bool) -> Self {
         self.replay_dram = enabled;
         self
+    }
+
+    /// Selects the memory-channel timing fidelity.
+    pub fn with_timing_mode(mut self, mode: TimingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the closed-loop DRAM channel count (clamped to at least
+    /// one). Without this, the count is derived from the chip's
+    /// aggregate memory bandwidth over the per-channel LPDDR3 peak.
+    pub fn with_dram_channels(mut self, channels: usize) -> Self {
+        self.dram_channels = Some(channels.max(1));
+        self
+    }
+
+    /// Sets the closed-loop address-interleave granularity in bytes.
+    pub fn with_dram_interleave(mut self, bytes: usize) -> Self {
+        self.interleave_bytes = bytes.max(1);
+        self
+    }
+
+    /// The closed-loop channel count in effect: explicit, or derived
+    /// from the chip's aggregate bandwidth over one LPDDR3 channel's
+    /// peak (the presets' 6.4 GB/s maps to one channel).
+    pub fn dram_channel_count(&self) -> usize {
+        self.dram_channels.unwrap_or_else(|| {
+            DramConfig::lpddr3_1600().channels_for_bandwidth(self.chip.memory.bandwidth_gbps)
+        })
     }
 
     /// Runs one batch cycle: every partition program in order with
@@ -62,9 +119,17 @@ impl ChipSimulator {
         let energy_model = EnergyModel::new(&self.chip);
         let timing = CoreTiming::of(&self.chip);
         let mut engine: Engine<ChipEvent> = Engine::new(0);
-        let dram = self.replay_dram.then(|| engine.add_component(InlineDram::new()));
+        let dram = match self.mode {
+            TimingMode::Analytic => {
+                self.replay_dram.then(|| engine.add_component(InlineDram::new()))
+            }
+            TimingMode::ClosedLoop => Some(engine.add_component(ClosedLoopDram::new(
+                self.dram_channel_count(),
+                self.interleave_bytes,
+            ))),
+        };
         let rendezvous = engine.add_component(Rendezvous::default());
-        let channel = engine.add_component(MemChannel::new(&self.chip, dram));
+        let channel = engine.add_component(MemChannel::new(&self.chip, dram, self.mode));
         let bus = engine.add_component(BusComponent::new(&self.chip, rendezvous));
 
         let mut now = SimTime::ZERO;
@@ -142,18 +207,35 @@ impl ChipSimulator {
         energy.static_nj = energy_model.static_energy_nj(now.as_ns());
 
         let channel: MemChannel = engine.extract(channel).expect("channel survives the run");
-        let dram_energy = dram.and_then(|id| {
-            let dram: InlineDram = engine.extract(id).expect("dram survives the run");
-            (dram.requests > 0).then(|| dram.sim.energy())
-        });
+        let (dram_energy, dram_channels) = match self.mode {
+            TimingMode::Analytic => {
+                let energy = dram.and_then(|id| {
+                    let dram: InlineDram = engine.extract(id).expect("dram survives the run");
+                    (dram.requests > 0).then(|| dram.sim.energy())
+                });
+                (energy, None)
+            }
+            TimingMode::ClosedLoop => {
+                let id = dram.expect("closed-loop mode wires a DRAM component");
+                let dram: ClosedLoopDram = engine.extract(id).expect("dram survives the run");
+                let energy = (dram.requests > 0).then(|| dram.mem.energy());
+                (energy, Some(dram.mem.channel_stats()))
+            }
+        };
 
+        let dram_trace = if self.replay_dram || self.mode == TimingMode::ClosedLoop {
+            channel.stats
+        } else {
+            TraceStats::default()
+        };
         Ok(SimReport {
             batch: batch.max(1),
             partitions,
             makespan_ns: now.as_ns(),
             energy,
             dram_energy,
-            dram_trace: if self.replay_dram { channel.stats } else { TraceStats::default() },
+            dram_trace,
+            dram_channels,
         })
     }
 }
@@ -283,6 +365,59 @@ mod tests {
         // Both receivers stalled until the same delivery instant.
         assert!(activity[1].recv_wait_ns > 0.0);
         assert_eq!(activity[1].recv_wait_ns, activity[2].recv_wait_ns);
+    }
+
+    #[test]
+    fn closed_loop_reports_per_channel_stats() {
+        let chip = ChipSpec::chip_s();
+        let compiled = compile(&zoo::tiny_cnn(), &chip, Strategy::Greedy, 2);
+        let report = ChipSimulator::new(chip)
+            .with_timing_mode(TimingMode::ClosedLoop)
+            .with_dram_channels(2)
+            .run(compiled.programs(), 2)
+            .unwrap();
+        assert!(report.makespan_ns > 0.0);
+        let channels = report.dram_channels.as_ref().expect("closed loop reports channel stats");
+        assert_eq!(channels.len(), 2);
+        let total: u64 = channels.iter().map(|c| c.total_bytes()).sum();
+        assert_eq!(total as usize, report.dram_trace.total_bytes());
+        assert!(report.dram_energy.is_some());
+        assert!(channels.iter().any(|c| c.requests > 0));
+        for c in channels {
+            assert!(c.utilization() <= 1.0);
+            assert!(c.busy_ns <= c.makespan_ns + 1e-9);
+        }
+    }
+
+    #[test]
+    fn analytic_mode_reports_no_channel_stats() {
+        let chip = ChipSpec::chip_s();
+        let compiled = compile(&zoo::tiny_cnn(), &chip, Strategy::Greedy, 1);
+        let report = ChipSimulator::new(chip).run(compiled.programs(), 1).unwrap();
+        assert!(report.dram_channels.is_none());
+    }
+
+    #[test]
+    fn closed_loop_extra_channels_never_slow_the_chip() {
+        // Four cores each streaming 2 MiB of weights: striping over
+        // four channels must beat a single channel.
+        use pim_isa::Instruction as I;
+        let chip = ChipSpec::chip_s();
+        let mut program = ChipProgram::new(chip.cores);
+        for c in 0..4 {
+            program.core_mut(CoreId(c)).push(I::LoadWeight { bytes: 2 << 20 });
+        }
+        let run = |ch: usize| {
+            ChipSimulator::new(chip.clone())
+                .with_timing_mode(TimingMode::ClosedLoop)
+                .with_dram_channels(ch)
+                .run(std::slice::from_ref(&program), 1)
+                .unwrap()
+                .makespan_ns
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(four < one, "4 channels ({four} ns) must beat 1 channel ({one} ns)");
     }
 
     #[test]

@@ -16,6 +16,27 @@ use pim_isa::{ChipProgram, CoreId, Instruction, Tag};
 use pim_model::zoo;
 use pim_sim::ChipSimulator;
 use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Compares `serialized` against the golden fixture committed at
+/// `tests/golden/<name>.json`, which pins the `Analytic`-mode report
+/// bytes to the pre-timing-mode `main`. Regenerate (only when a byte
+/// change is intended and reviewed) with `GOLDEN_REGEN=1 cargo test`.
+fn assert_matches_golden(name: &str, serialized: &str) {
+    let path: PathBuf =
+        [env!("CARGO_MANIFEST_DIR"), "tests", "golden", &format!("{name}.json")].iter().collect();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, serialized).expect("write golden fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    assert_eq!(
+        golden, serialized,
+        "Analytic-mode report for {name} must stay byte-identical to the pinned fixture"
+    );
+}
 
 #[test]
 fn same_seed_same_program_byte_identical_reports() {
@@ -39,6 +60,19 @@ fn same_seed_same_program_byte_identical_reports() {
     let second = run();
     assert_eq!(first, second, "two runs must serialize to identical bytes");
     assert!(first.contains("makespan_ns"));
+    assert_matches_golden("tiny_cnn_compass_b4_s11", &first);
+}
+
+#[test]
+fn analytic_fixed_program_matches_golden_fixture() {
+    // No compiler in the loop: the hand-written fixture program pins
+    // the simulator (and the in-line DRAM energy refinement) alone.
+    let chip = ChipSpec::chip_s();
+    let program = fixed_program(chip.cores);
+    let report =
+        ChipSimulator::new(chip).run(std::slice::from_ref(&program), 1).expect("simulates");
+    let serialized = serde_json::to_string(&report).expect("serializes");
+    assert_matches_golden("fixed_program_chip_s", &serialized);
 }
 
 #[test]
@@ -59,7 +93,9 @@ fn full_pipeline_byte_identical_across_fresh_compilations() {
             ChipSimulator::new(chip.clone()).run(compiled.programs(), 2).expect("simulates");
         serde_json::to_string(&report).expect("serializes")
     };
-    assert_eq!(run(), run());
+    let first = run();
+    assert_eq!(first, run());
+    assert_matches_golden("squeezenet_b2_s77", &first);
 }
 
 /// The original (pre-engine) simulator loop for one partition:
@@ -243,6 +279,58 @@ fn event_driven_simulator_matches_seed_loop_cycle_counts() {
             reference.dram_wait_ns[core]
         );
     }
+}
+
+#[test]
+fn closed_loop_reports_are_byte_identical_across_runs() {
+    // Bit determinism must hold in both timing modes: the closed-loop
+    // handshake adds events, not nondeterminism.
+    use pim_arch::TimingMode;
+    let chip = ChipSpec::chip_s();
+    let compiled = Compiler::new(chip.clone())
+        .compile(
+            &zoo::tiny_cnn(),
+            &CompileOptions::new()
+                .with_strategy(Strategy::Compass)
+                .with_batch_size(4)
+                .with_ga(GaParams::fast())
+                .with_seed(11),
+        )
+        .expect("compiles");
+    let run = || {
+        let report = ChipSimulator::new(chip.clone())
+            .with_timing_mode(TimingMode::ClosedLoop)
+            .with_dram_channels(2)
+            .run(compiled.programs(), 4)
+            .expect("simulates");
+        serde_json::to_string(&report).expect("serializes")
+    };
+    let first = run();
+    assert_eq!(first, run(), "closed-loop runs must serialize to identical bytes");
+    assert!(first.contains("dram_channels"), "closed-loop reports carry per-channel stats");
+}
+
+#[test]
+fn closed_loop_timing_diverges_from_analytic_on_fixture() {
+    // The two modes model different machines: on the DRAM-heavy
+    // fixture program their makespans must not coincide, and the
+    // closed-loop report must carry channel stats while the analytic
+    // one must not.
+    use pim_arch::TimingMode;
+    let chip = ChipSpec::chip_s();
+    let program = fixed_program(chip.cores);
+    let analytic =
+        ChipSimulator::new(chip.clone()).run(std::slice::from_ref(&program), 1).expect("simulates");
+    let closed = ChipSimulator::new(chip)
+        .with_timing_mode(TimingMode::ClosedLoop)
+        .run(std::slice::from_ref(&program), 1)
+        .expect("simulates");
+    assert!(analytic.dram_channels.is_none());
+    assert!(closed.dram_channels.is_some());
+    assert_ne!(
+        analytic.makespan_ns, closed.makespan_ns,
+        "closed-loop timing must actually feed back into the critical path"
+    );
 }
 
 #[test]

@@ -1,0 +1,123 @@
+//! Cross-mode sanity: the analytic and closed-loop memory timing
+//! models must agree on everything the timing mode cannot touch, and
+//! closed-loop latency must respect the compute-only floor.
+
+use compass::{CompileOptions, Compiler, GaParams, Strategy};
+use pim_arch::{ChipSpec, TimingMode};
+use pim_model::zoo;
+use pim_sim::{ChipSimulator, SimReport};
+
+const WORKLOADS: [&str; 3] = ["vgg16", "resnet18", "squeezenet"];
+
+fn workload(name: &str) -> pim_model::Network {
+    match name {
+        "vgg16" => zoo::vgg16(),
+        "resnet18" => zoo::resnet18(),
+        "squeezenet" => zoo::squeezenet(),
+        other => unreachable!("unknown workload {other}"),
+    }
+}
+
+fn compile(chip: &ChipSpec, name: &str, batch: usize) -> compass::CompiledModel {
+    Compiler::new(chip.clone())
+        .compile(
+            &workload(name),
+            &CompileOptions::new()
+                .with_strategy(Strategy::Greedy)
+                .with_batch_size(batch)
+                .with_ga(GaParams::fast())
+                .with_seed(7),
+        )
+        .unwrap_or_else(|e| panic!("{name} compiles: {e}"))
+}
+
+fn run(
+    chip: &ChipSpec,
+    compiled: &compass::CompiledModel,
+    batch: usize,
+    mode: TimingMode,
+) -> SimReport {
+    ChipSimulator::new(chip.clone())
+        .with_timing_mode(mode)
+        .run(compiled.programs(), batch)
+        .unwrap_or_else(|e| panic!("simulates in {mode} mode: {e}"))
+}
+
+#[test]
+fn closed_loop_respects_compute_floor_on_every_workload() {
+    // The compute-only floor: the same programs on a chip whose memory
+    // channel is free (zero latency, near-infinite bandwidth) in
+    // analytic mode. Closed-loop DRAM can only add time on top.
+    let batch = 2;
+    for name in WORKLOADS {
+        let chip = ChipSpec::chip_s();
+        let compiled = compile(&chip, name, batch);
+        let closed = run(&chip, &compiled, batch, TimingMode::ClosedLoop);
+
+        let mut free_mem = chip.clone();
+        free_mem.memory.access_latency_ns = 0.0;
+        free_mem.memory.bandwidth_gbps = 1e12;
+        let floor = ChipSimulator::new(free_mem)
+            .with_dram_replay(false)
+            .run(compiled.programs(), batch)
+            .expect("floor simulates");
+
+        assert!(
+            closed.makespan_ns >= floor.makespan_ns - 1e-6,
+            "{name}: closed-loop {} ns beat the compute floor {} ns",
+            closed.makespan_ns,
+            floor.makespan_ns
+        );
+    }
+}
+
+#[test]
+fn identical_request_streams_charge_identical_dynamic_energy() {
+    // Timing modes reshape *when* transfers happen, never *what* moves:
+    // the instruction-derived dynamic energy and the DRAM request
+    // stream must match field-for-field (only the makespan-dependent
+    // static term may differ).
+    let batch = 2;
+    for name in WORKLOADS {
+        let chip = ChipSpec::chip_s();
+        let compiled = compile(&chip, name, batch);
+        let analytic = run(&chip, &compiled, batch, TimingMode::Analytic);
+        let closed = run(&chip, &compiled, batch, TimingMode::ClosedLoop);
+
+        assert_eq!(analytic.dram_trace, closed.dram_trace, "{name}: request streams diverged");
+        let (a, c) = (&analytic.energy, &closed.energy);
+        assert_eq!(a.mvm_nj, c.mvm_nj, "{name}");
+        assert_eq!(a.weight_write_nj, c.weight_write_nj, "{name}");
+        assert_eq!(a.weight_load_nj, c.weight_load_nj, "{name}");
+        assert_eq!(a.activation_dram_nj, c.activation_dram_nj, "{name}");
+        assert_eq!(a.interconnect_nj, c.interconnect_nj, "{name}");
+        assert_eq!(a.vfu_nj, c.vfu_nj, "{name}");
+        // Per-partition dynamic energy matches too.
+        for (pa, pc) in analytic.partitions.iter().zip(&closed.partitions) {
+            assert_eq!(pa.energy, pc.energy, "{name} partition {}", pa.index);
+            assert_eq!(pa.stats, pc.stats, "{name} partition {}", pa.index);
+        }
+    }
+}
+
+#[test]
+fn closed_loop_completes_every_workload_with_channel_stats() {
+    let batch = 2;
+    for name in WORKLOADS {
+        let chip = ChipSpec::chip_s();
+        let compiled = compile(&chip, name, batch);
+        let closed = run(&chip, &compiled, batch, TimingMode::ClosedLoop);
+        assert!(closed.makespan_ns > 0.0, "{name} must run to completion");
+        let channels = closed
+            .dram_channels
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}: closed loop must report per-channel stats"));
+        assert!(!channels.is_empty());
+        let moved: u64 = channels.iter().map(|c| c.total_bytes()).sum();
+        assert_eq!(moved as usize, closed.dram_trace.total_bytes(), "{name}");
+        assert!(channels.iter().any(|c| c.row_hits + c.activates > 0), "{name}");
+        for c in channels {
+            assert!(c.utilization() <= 1.0, "{name}");
+        }
+    }
+}
