@@ -33,6 +33,7 @@ pub mod crossbar;
 pub mod energy;
 pub mod mapping;
 pub mod timing;
+pub mod topology;
 
 mod error;
 
@@ -42,6 +43,7 @@ pub use energy::{EnergyModel, PowerBreakdown};
 pub use error::InvalidConfigError;
 pub use mapping::{crossbars_for_matrix, MatrixFootprint};
 pub use timing::TimingMode;
+pub use topology::{Link, LinkSpec, Topology};
 
 /// Re-export of the weight precision type shared with `pim-model`.
 pub use pim_model::Precision as WeightPrecision;

@@ -1,0 +1,71 @@
+//! CI perf-trajectory gate.
+//!
+//! Compares a fresh `BENCH_ci.json` (written by `topology_sweep` /
+//! `timing_mode_sweep` with `--json`) against the committed baseline
+//! and exits non-zero when any configuration's simulated cycle count
+//! regressed by more than the tolerance (default 20%). The simulated
+//! makespans are deterministic for a fixed seed, so the gate is exact:
+//! the tolerance absorbs intentional model refinements, not noise.
+//!
+//! ```text
+//! bench_gate --current BENCH_ci.json \
+//!            --baseline crates/bench/baselines/ci_baseline.json \
+//!            [--tolerance 0.2]
+//! ```
+//!
+//! Baselines are updated deliberately: rerun the sweeps exactly as CI
+//! does — `--quick --json <baseline path>` — and commit the diff
+//! (record names encode the partitioning scheme, so a non-quick regen
+//! adds GA records instead of refreshing the gated greedy ones).
+
+use compass_bench::{arg_value, check_against_baseline, load_records};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let current_path = arg_value("--current").unwrap_or_else(|| "BENCH_ci.json".to_string());
+    let baseline_path = arg_value("--baseline")
+        .unwrap_or_else(|| "crates/bench/baselines/ci_baseline.json".to_string());
+    let tolerance: f64 = arg_value("--tolerance")
+        .map(|t| t.parse().unwrap_or_else(|e| panic!("bad --tolerance {t:?}: {e}")))
+        .unwrap_or(0.2);
+
+    let current = load_records(&current_path);
+    let baseline = load_records(&baseline_path);
+    if current.is_empty() {
+        eprintln!("bench_gate: no current records at {current_path}");
+        return ExitCode::FAILURE;
+    }
+    if baseline.is_empty() {
+        eprintln!("bench_gate: no baseline records at {baseline_path}");
+        return ExitCode::FAILURE;
+    }
+
+    let fresh = current.iter().filter(|r| baseline.iter().all(|b| b.name != r.name)).count();
+    let improved = baseline
+        .iter()
+        .filter(|b| {
+            current.iter().find(|r| r.name == b.name).is_some_and(|r| r.makespan_ns < b.makespan_ns)
+        })
+        .count();
+    println!(
+        "bench_gate: {} current vs {} baseline records ({improved} improved, {fresh} new, tolerance {:.0}%)",
+        current.len(),
+        baseline.len(),
+        100.0 * tolerance
+    );
+
+    let violations = check_against_baseline(&current, &baseline, tolerance);
+    if violations.is_empty() {
+        println!("bench_gate: trajectory within tolerance");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("bench_gate: REGRESSION {v}");
+        }
+        eprintln!(
+            "bench_gate: {} violation(s); update {baseline_path} only for intentional model changes",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -10,33 +10,46 @@
 //! under-charges memory time.
 
 use compass::Strategy;
-use compass_bench::{geomean, print_table, run_config_in_mode, BenchMode, BATCHES, NETWORKS};
+use compass_bench::{
+    append_records, arg_value, geomean, has_flag, print_table, run_config_in_mode, BenchMode,
+    BenchRecord, BATCHES, NETWORKS,
+};
 use pim_arch::{ChipClass, TimingMode};
 
 fn main() {
     let mode = BenchMode::from_args();
+    // `--quick` is the CI bench-smoke configuration: greedy
+    // partitioning, no GA.
+    let strategy = if has_flag("--quick") { Strategy::Greedy } else { Strategy::Compass };
     let batches = [BATCHES[0], BATCHES[2], BATCHES[4]]; // 1, 4, 16
 
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
+    let mut records: Vec<BenchRecord> = Vec::new();
     for net in NETWORKS {
         for batch in batches {
-            let analytic = run_config_in_mode(
-                net,
-                ChipClass::S,
-                Strategy::Compass,
-                batch,
-                mode,
-                TimingMode::Analytic,
-            );
+            let analytic =
+                run_config_in_mode(net, ChipClass::S, strategy, batch, mode, TimingMode::Analytic);
             let closed = run_config_in_mode(
                 net,
                 ChipClass::S,
-                Strategy::Compass,
+                strategy,
                 batch,
                 mode,
                 TimingMode::ClosedLoop,
             );
+            for (result, timing) in
+                [(&analytic, TimingMode::Analytic), (&closed, TimingMode::ClosedLoop)]
+            {
+                // The scheme is part of the name: a baseline regenerated
+                // without --quick (GA) can never silently shadow the CI
+                // greedy records.
+                records.push(BenchRecord {
+                    name: format!("timing:{}:{timing}:{strategy}", result.label),
+                    makespan_ns: result.simulated.makespan_ns,
+                    throughput_ips: result.throughput(),
+                });
+            }
             let ratio = closed.simulated.makespan_ns / analytic.simulated.makespan_ns;
             ratios.push(ratio);
             let channels = closed.simulated.dram_channels.as_deref().unwrap_or(&[]);
@@ -62,7 +75,7 @@ fn main() {
         }
     }
     print_table(
-        "Timing-mode sweep: Chip-S under COMPASS",
+        &format!("Timing-mode sweep: Chip-S under {strategy}"),
         &[
             "Config",
             "Analytic (inf/s)",
@@ -73,6 +86,12 @@ fn main() {
         ],
         &rows,
     );
+
+    if let Some(path) = arg_value("--json") {
+        let count = records.len();
+        append_records(&path, records);
+        println!("\nwrote {count} perf records to {path}");
+    }
 
     // Channel scaling: the closed-loop model rewards extra channels,
     // the analytic model cannot see them.

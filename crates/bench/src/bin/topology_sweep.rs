@@ -1,0 +1,150 @@
+//! **Extension**: multi-chip topology sweep.
+//!
+//! Runs the paper's workloads on 1/2/4-chip ring and fully-connected
+//! systems in both memory timing modes, comparing layer-pipeline
+//! scaling (and, for ResNet18, batch sharding) against the paper's
+//! single chip. Inter-chip transfers ride the shared discrete-event
+//! engine with per-link contention, so ring vs fully-connected is a
+//! real routing difference, not a latency constant.
+//!
+//! Flags:
+//!
+//! * `--quick` — greedy partitioning (no GA), the CI bench-smoke
+//!   configuration;
+//! * `--paper` — the paper's GA hyper-parameters;
+//! * `--json <path>` — merge this run's perf-trajectory records
+//!   (`BENCH_ci.json` in CI) into `path`.
+
+use compass::{Strategy, SystemStrategy};
+use compass_bench::{
+    append_records, arg_value, geomean, has_flag, print_table, run_system_config, BenchMode,
+    BenchRecord, NETWORKS,
+};
+use pim_arch::{ChipClass, TimingMode, Topology};
+
+fn main() {
+    let mode = BenchMode::from_args();
+    let strategy = if has_flag("--quick") { Strategy::Greedy } else { Strategy::Compass };
+    let batch = 4;
+    let rounds = 4;
+    let topologies = [
+        Topology::single(),
+        Topology::ring(2),
+        Topology::ring(4),
+        Topology::fully_connected(2),
+        Topology::fully_connected(4),
+    ];
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for timing in TimingMode::ALL {
+        let mut rows = Vec::new();
+        let mut speedups = Vec::new();
+        for net in NETWORKS {
+            let mut single_ns = 0.0;
+            for topology in &topologies {
+                let result = run_system_config(
+                    net,
+                    ChipClass::S,
+                    strategy,
+                    SystemStrategy::LayerPipeline,
+                    topology,
+                    batch,
+                    rounds,
+                    mode,
+                    timing,
+                );
+                if topology.is_single() {
+                    single_ns = result.report.makespan_ns;
+                }
+                let speedup = single_ns / result.report.makespan_ns;
+                if !topology.is_single() {
+                    speedups.push(speedup);
+                }
+                let link_util =
+                    result
+                        .report
+                        .links
+                        .as_deref()
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(|l| {
+                            if l.busy_ns > 0.0 {
+                                l.busy_ns / result.report.makespan_ns
+                            } else {
+                                0.0
+                            }
+                        })
+                        .fold(0.0, f64::max);
+                // fold, not sum: f64's empty-sum identity is -0.0.
+                let wait_us: f64 = result
+                    .report
+                    .chips
+                    .as_deref()
+                    .unwrap_or(&[])
+                    .iter()
+                    .fold(0.0, |acc, c| acc + c.handoff_wait_ns)
+                    / 1000.0;
+                records.push(result.record(timing));
+                rows.push(vec![
+                    format!("{net}-{topology}"),
+                    format!("{}", result.schedule.active_chips()),
+                    format!("{:.1}", result.throughput()),
+                    format!("{speedup:.2}x"),
+                    format!("{:.1}%", 100.0 * link_util),
+                    format!("{wait_us:.1}"),
+                ]);
+            }
+        }
+        print_table(
+            &format!(
+                "Topology sweep ({timing} timing, layer pipeline, batch {batch} x {rounds} rounds)"
+            ),
+            &[
+                "Config",
+                "Active chips",
+                "Throughput (inf/s)",
+                "Speedup vs 1 chip",
+                "Peak link util",
+                "Handoff wait (us)",
+            ],
+            &rows,
+        );
+        println!("\ngeomean multi-chip speedup ({timing}): {:.3}", geomean(&speedups));
+    }
+
+    // Layer pipeline vs batch shard on one workload: sharding avoids
+    // inter-chip traffic but replicates weight replacement.
+    let mut rows = Vec::new();
+    for system_strategy in SystemStrategy::ALL {
+        for chips in [2usize, 4] {
+            let result = run_system_config(
+                "resnet18",
+                ChipClass::S,
+                strategy,
+                system_strategy,
+                &Topology::fully_connected(chips),
+                batch,
+                rounds,
+                mode,
+                TimingMode::Analytic,
+            );
+            records.push(result.record(TimingMode::Analytic));
+            rows.push(vec![
+                format!("fc:{chips} {system_strategy}"),
+                format!("{:.1}", result.throughput()),
+                format!("{}", result.schedule.handoff_bytes_per_round()),
+            ]);
+        }
+    }
+    print_table(
+        "ResNet18-S: layer pipeline vs batch shard (analytic)",
+        &["Config", "Throughput (inf/s)", "Inter-chip B/round"],
+        &rows,
+    );
+
+    if let Some(path) = arg_value("--json") {
+        let count = records.len();
+        append_records(&path, records);
+        println!("\nwrote {count} perf records to {path}");
+    }
+}

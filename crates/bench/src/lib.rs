@@ -23,10 +23,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use compass::{CompileOptions, CompiledModel, Compiler, GaParams, Strategy};
-use pim_arch::{ChipClass, ChipSpec, TimingMode};
+use compass::{
+    plan_system, CompileOptions, CompiledModel, Compiler, GaParams, Strategy, SystemSchedule,
+    SystemStrategy, SystemTarget,
+};
+use pim_arch::{ChipClass, ChipSpec, TimingMode, Topology};
 use pim_model::{zoo, Network};
-use pim_sim::{ChipSimulator, SimReport};
+use pim_sim::{ChipLoad, ChipSimulator, Handoff, SimReport, SystemSimulator};
+use serde::{Deserialize, Serialize};
 
 /// The paper's three benchmark networks.
 pub const NETWORKS: [&str; 3] = ["vgg16", "resnet18", "squeezenet"];
@@ -65,7 +69,7 @@ pub enum BenchMode {
 impl BenchMode {
     /// Parses `--paper` from the process arguments.
     pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--paper") {
+        if has_flag("--paper") {
             BenchMode::Paper
         } else {
             BenchMode::Fast
@@ -145,6 +149,191 @@ pub fn run_config_in_mode(
     ConfigResult { label: format!("{net_name}-{class}-{batch}"), strategy, compiled, simulated }
 }
 
+/// `true` when `flag` appears verbatim in the process arguments.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// The value following `flag` in the process arguments, if any.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// One multi-chip configuration, compiled, planned onto a topology,
+/// and simulated end to end.
+#[derive(Debug, Clone)]
+pub struct SystemConfigResult {
+    /// e.g. `"resnet18-S-4x4-ring:2-layer-pipeline"`.
+    pub label: String,
+    /// The partitioning scheme that produced it.
+    pub strategy: Strategy,
+    /// The planned system schedule.
+    pub schedule: SystemSchedule,
+    /// Simulator output.
+    pub report: SimReport,
+}
+
+impl SystemConfigResult {
+    /// Simulated throughput, inferences/s.
+    pub fn throughput(&self) -> f64 {
+        self.report.throughput_ips()
+    }
+
+    /// The perf-trajectory record for this configuration under
+    /// `timing`. The name encodes the partitioning scheme too, so a
+    /// baseline regenerated under a different scheme (e.g. GA instead
+    /// of the CI `--quick` greedy run) can never be compared against
+    /// the wrong numbers silently.
+    pub fn record(&self, timing: TimingMode) -> BenchRecord {
+        BenchRecord {
+            name: format!("topology:{}:{timing}:{}", self.label, self.strategy),
+            makespan_ns: self.report.makespan_ns,
+            throughput_ips: self.throughput(),
+        }
+    }
+}
+
+/// Maps a planned [`SystemSchedule`] onto the system simulator's
+/// per-chip loads (the one place the compiler's `(dst, bytes)`
+/// hand-off tuples become `pim_sim::Handoff`s).
+pub fn system_loads(schedule: &SystemSchedule) -> Vec<ChipLoad<'_>> {
+    schedule
+        .chips
+        .iter()
+        .map(|c| ChipLoad {
+            programs: &c.programs,
+            handoff: c.handoff.map(|(dst, bytes)| Handoff { dst, bytes }),
+        })
+        .collect()
+}
+
+/// Compiles one network, plans it onto `topology` under
+/// `system_strategy`, and simulates `rounds` pipeline rounds in an
+/// explicit timing mode.
+#[allow(clippy::too_many_arguments)]
+pub fn run_system_config(
+    net_name: &str,
+    class: ChipClass,
+    strategy: Strategy,
+    system_strategy: SystemStrategy,
+    topology: &Topology,
+    batch: usize,
+    rounds: usize,
+    mode: BenchMode,
+    timing: TimingMode,
+) -> SystemConfigResult {
+    let net = network(net_name);
+    let chip = ChipSpec::preset(class);
+    let target = SystemTarget::new(topology.clone(), system_strategy);
+    let mut options = CompileOptions::new()
+        .with_batch_size(batch)
+        .with_strategy(strategy)
+        .with_ga(mode.ga_params())
+        .with_seed(2025)
+        .with_timing_mode(timing);
+    if !topology.is_single() {
+        options = options.with_system_target(target.clone());
+    }
+    let label = format!("{net_name}-{class}-{batch}x{rounds}-{topology}-{system_strategy}");
+    let compiled = Compiler::new(chip.clone())
+        .compile(&net, &options)
+        .unwrap_or_else(|e| panic!("{label} ({strategy}): {e}"));
+    let schedule = plan_system(&net, &compiled, &chip, &target, batch, options.chunks_per_sample)
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    let loads = system_loads(&schedule);
+    let report = SystemSimulator::new(chip, topology.clone())
+        .with_timing_mode(timing)
+        .run(&loads, rounds, schedule.samples_per_round)
+        .unwrap_or_else(|e| panic!("{label} sim: {e}"));
+    SystemConfigResult { label, strategy, schedule, report }
+}
+
+/// One point of the CI perf trajectory: simulated cycle count (and
+/// throughput) of a named configuration. Deterministic for a fixed
+/// seed, so regressions are exact, not noisy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Stable configuration name.
+    pub name: String,
+    /// Simulated makespan, ns (the gated quantity).
+    pub makespan_ns: f64,
+    /// Simulated throughput, inferences/s.
+    pub throughput_ips: f64,
+}
+
+/// Loads a perf-record file, returning an empty list when the file
+/// does not exist.
+///
+/// # Panics
+///
+/// Panics when the file exists but cannot be read or parsed — a
+/// corrupt trajectory artifact must fail the job loudly.
+pub fn load_records(path: &str) -> Vec<BenchRecord> {
+    match std::fs::read_to_string(path) {
+        Ok(json) => serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("corrupt bench records in {path}: {e:?}")),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => panic!("cannot read bench records {path}: {e}"),
+    }
+}
+
+/// Merges `fresh` records into the file at `path` (existing names are
+/// replaced, the rest preserved), keeping the file sorted by name so
+/// diffs stay readable.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written.
+pub fn append_records(path: &str, fresh: Vec<BenchRecord>) {
+    let mut records = load_records(path);
+    for record in fresh {
+        match records.iter_mut().find(|r| r.name == record.name) {
+            Some(existing) => *existing = record,
+            None => records.push(record),
+        }
+    }
+    records.sort_by(|a, b| a.name.cmp(&b.name));
+    let json = serde_json::to_string(&records).expect("records serialize");
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
+/// Compares a current perf trajectory against a committed baseline:
+/// every baseline record must exist in `current` with a makespan no
+/// more than `tolerance` (fractional) above the baseline. Returns the
+/// list of violations (empty on success); new configurations absent
+/// from the baseline are allowed.
+pub fn check_against_baseline(
+    current: &[BenchRecord],
+    baseline: &[BenchRecord],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for base in baseline {
+        match current.iter().find(|r| r.name == base.name) {
+            None => violations.push(format!("{}: missing from current run", base.name)),
+            Some(now) => {
+                let limit = base.makespan_ns * (1.0 + tolerance);
+                if now.makespan_ns > limit {
+                    violations.push(format!(
+                        "{}: makespan {} ns exceeds baseline {} ns by more than {:.0}%",
+                        base.name,
+                        now.makespan_ns,
+                        base.makespan_ns,
+                        100.0 * tolerance
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
 /// Prints a markdown-style table: headers then rows.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
@@ -193,5 +382,62 @@ mod tests {
         let result = run_config("squeezenet", ChipClass::S, Strategy::Greedy, 2, BenchMode::Fast);
         assert!(result.throughput() > 0.0);
         assert_eq!(result.label, "squeezenet-S-2");
+    }
+
+    #[test]
+    fn run_system_config_end_to_end_smoke() {
+        let result = run_system_config(
+            "squeezenet",
+            ChipClass::S,
+            Strategy::Greedy,
+            SystemStrategy::LayerPipeline,
+            &Topology::ring(2),
+            2,
+            2,
+            BenchMode::Fast,
+            TimingMode::Analytic,
+        );
+        assert!(result.throughput() > 0.0);
+        assert_eq!(result.label, "squeezenet-S-2x2-ring:2-layer-pipeline");
+        assert_eq!(result.report.chips.as_ref().unwrap().len(), 2);
+        let record = result.record(TimingMode::Analytic);
+        assert_eq!(record.name, "topology:squeezenet-S-2x2-ring:2-layer-pipeline:analytic:greedy");
+        assert!(record.makespan_ns > 0.0);
+    }
+
+    #[test]
+    fn baseline_gate_flags_regressions_and_gaps() {
+        let record = |name: &str, ns: f64| BenchRecord {
+            name: name.to_string(),
+            makespan_ns: ns,
+            throughput_ips: 1.0,
+        };
+        let baseline = vec![record("a", 100.0), record("b", 100.0), record("gone", 100.0)];
+        let current = vec![record("a", 119.0), record("b", 121.0), record("new", 50.0)];
+        let violations = check_against_baseline(&current, &baseline, 0.2);
+        assert_eq!(violations.len(), 2, "one regression, one missing: {violations:?}");
+        assert!(violations.iter().any(|v| v.starts_with("b:")));
+        assert!(violations.iter().any(|v| v.starts_with("gone:")));
+        assert!(check_against_baseline(&current, &current, 0.0).is_empty());
+    }
+
+    #[test]
+    fn record_files_merge_and_round_trip() {
+        let record = |name: &str, ns: f64| BenchRecord {
+            name: name.to_string(),
+            makespan_ns: ns,
+            throughput_ips: 2.0,
+        };
+        let path = std::env::temp_dir().join("compass_bench_records_test.json");
+        let path = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+        assert!(load_records(&path).is_empty());
+        append_records(&path, vec![record("b", 1.0), record("a", 2.0)]);
+        append_records(&path, vec![record("b", 3.0), record("c", 4.0)]);
+        let merged = load_records(&path);
+        let names: Vec<&str> = merged.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"], "sorted by name");
+        assert_eq!(merged[1].makespan_ns, 3.0, "later append wins");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -11,6 +11,7 @@ use crate::partition::PartitionGroup;
 use crate::plan::{GroupPlan, PartitionPlan};
 use crate::replication::optimize_group;
 use crate::scheduler::{schedule_group, SchedulerOptions};
+use crate::system::SystemTarget;
 use crate::validity::ValidityMap;
 use pim_arch::{ChipSpec, TimingMode};
 use pim_isa::ChipProgram;
@@ -73,6 +74,9 @@ pub struct CompileOptions {
     /// Memory timing model the GA fitness and the final estimate are
     /// computed under ([`TimingMode::Analytic`] reproduces the paper).
     pub timing_mode: TimingMode,
+    /// Multi-chip deployment the GA fitness and the final estimate
+    /// target (`None` — the default — is the paper's single chip).
+    pub system: Option<SystemTarget>,
 }
 
 impl CompileOptions {
@@ -87,6 +91,7 @@ impl CompileOptions {
             seed: 0,
             chunks_per_sample: 4,
             timing_mode: TimingMode::Analytic,
+            system: None,
         }
     }
 
@@ -130,6 +135,13 @@ impl CompileOptions {
     /// the simulator's matching mode).
     pub fn with_timing_mode(mut self, mode: TimingMode) -> Self {
         self.timing_mode = mode;
+        self
+    }
+
+    /// Sets the multi-chip deployment the GA tunes against (pair with
+    /// `plan_system` + the system simulator's matching topology).
+    pub fn with_system_target(mut self, target: SystemTarget) -> Self {
+        self.system = Some(target);
         self
     }
 
@@ -268,7 +280,8 @@ impl Compiler {
                     options.batch_size,
                     options.fitness,
                 )
-                .with_timing_mode(options.timing_mode);
+                .with_timing_mode(options.timing_mode)
+                .with_system_target(options.system.clone());
                 let mut rng = StdRng::seed_from_u64(options.seed);
                 let (best, trace) = ga::run(&mut ctx, &options.ga, &mut rng);
                 (best.group, Some(trace))
@@ -277,9 +290,11 @@ impl Compiler {
 
         let mut plans = GroupPlan::build(network, &seq, &group);
         optimize_group(&mut plans, &self.chip);
-        let estimate = Estimator::new(&self.chip)
-            .with_timing_mode(options.timing_mode)
-            .estimate_group(&plans, options.batch_size);
+        let mut estimator = Estimator::new(&self.chip).with_timing_mode(options.timing_mode);
+        if let Some(target) = &options.system {
+            estimator = estimator.with_system(target);
+        }
+        let estimate = estimator.estimate_group(&plans, options.batch_size);
         let scheduler_options = SchedulerOptions {
             batch: options.batch_size,
             chunks_per_sample: options.chunks_per_sample,

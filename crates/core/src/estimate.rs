@@ -25,6 +25,7 @@
 //! latency`.
 
 use crate::plan::{GroupPlan, PartitionPlan};
+use crate::system::{SystemStrategy, SystemTarget};
 use pim_arch::{ChipSpec, EnergyModel, PowerBreakdown, TimingMode};
 use pim_dram::DramConfig;
 use serde::{Deserialize, Serialize};
@@ -138,6 +139,36 @@ pub struct Estimator<'c> {
     mem_bandwidth_gbps: f64,
     /// Effective first-access latency for the selected timing mode, ns.
     mem_access_ns: f64,
+    /// Multi-chip deployment terms (None for the paper's single chip).
+    system: Option<SystemScaling>,
+}
+
+/// Interconnect terms derived from a [`SystemTarget`], folded into the
+/// per-partition score so the GA ranks candidates by the machine the
+/// system simulator will time. Deriving them walks the topology's
+/// all-pairs routes, so callers scoring many candidates (the GA)
+/// compute the scaling once and reuse it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SystemScaling {
+    chips: usize,
+    strategy: SystemStrategy,
+    /// Bottleneck link bandwidth, bytes/ns.
+    link_bandwidth_gbps: f64,
+    /// Worst-case route propagation latency, ns.
+    link_latency_ns: f64,
+}
+
+impl SystemScaling {
+    /// The scaling terms of `target`; `None` for a single chip (no
+    /// interconnect cost).
+    pub(crate) fn of(target: &SystemTarget) -> Option<Self> {
+        (!target.topology.is_single()).then(|| SystemScaling {
+            chips: target.topology.chips(),
+            strategy: target.strategy,
+            link_bandwidth_gbps: target.topology.bottleneck_bandwidth_gbps(),
+            link_latency_ns: target.topology.max_route_latency_ns(),
+        })
+    }
 }
 
 /// Fraction of aggregate LPDDR3 peak bandwidth a bulk sequential
@@ -156,7 +187,31 @@ impl<'c> Estimator<'c> {
             dram_channels: None,
             mem_bandwidth_gbps: chip.memory.bandwidth_gbps,
             mem_access_ns: chip.memory.access_latency_ns,
+            system: None,
         }
+    }
+
+    /// Scores partitions for a multi-chip deployment.
+    ///
+    /// Under [`SystemStrategy::BatchShard`] each partition is costed
+    /// at this chip's shard of the batch (`ceil(batch / chips)`), so
+    /// the group estimate describes one chip's round — which is the
+    /// system's round, since shards run concurrently. Under
+    /// [`SystemStrategy::LayerPipeline`] every partition is charged
+    /// its entry activations crossing the bottleneck link (the
+    /// hand-off it would pay if a chip boundary fell before it) — a
+    /// pessimistic-by-construction term that steers the GA away from
+    /// cutting at fat activation edges. A single-chip target is a
+    /// no-op.
+    pub fn with_system(self, target: &SystemTarget) -> Self {
+        self.with_system_scaling(SystemScaling::of(target))
+    }
+
+    /// Precomputed variant of [`Self::with_system`] for callers that
+    /// score many candidates against one fixed target.
+    pub(crate) fn with_system_scaling(mut self, scaling: Option<SystemScaling>) -> Self {
+        self.system = scaling;
+        self
     }
 
     /// Switches the memory-channel terms to the selected timing mode.
@@ -212,7 +267,19 @@ impl<'c> Estimator<'c> {
     /// Estimates one partition at batch size `batch`.
     pub fn estimate_partition(&self, plan: &PartitionPlan, batch: usize) -> PartitionEstimate {
         let chip = self.chip;
-        let batch = batch.max(1);
+        let requested_batch = batch.max(1);
+        // Multi-chip terms: shard the batch, or charge the would-be
+        // inter-chip hand-off of this partition's entry activations.
+        let (batch, handoff_ns) = match &self.system {
+            Some(sys) => match sys.strategy {
+                SystemStrategy::BatchShard => (requested_batch.div_ceil(sys.chips).max(1), 0.0),
+                SystemStrategy::LayerPipeline => {
+                    let bytes = plan.entry_bytes_per_sample() * requested_batch;
+                    (requested_batch, bytes as f64 / sys.link_bandwidth_gbps + sys.link_latency_ns)
+                }
+            },
+            None => (requested_batch, 0.0),
+        };
         let t_mvm = chip.crossbar.mvm_latency_ns;
 
         // --- Weight replacement phase -------------------------------
@@ -249,7 +316,7 @@ impl<'c> Estimator<'c> {
         let interval_ns =
             stage_max_ns.max(core_serialization_ns).max(vfu_ns).max(bus_ns).max(io_ns);
         let pipeline_ns = fill_ns + (batch as f64 - 1.0) * interval_ns;
-        let latency_ns = replace_ns + pipeline_ns;
+        let latency_ns = replace_ns + pipeline_ns + handoff_ns;
 
         // --- Energy -------------------------------------------------
         let b = batch as f64;
@@ -380,6 +447,33 @@ mod tests {
         let plans = optimized_plans(&zoo::tiny_cnn(), &chip, 8);
         let est = Estimator::new(&chip).estimate_group(&plans, 2);
         assert!(est.to_string().contains("inf/s"));
+    }
+
+    #[test]
+    fn system_targets_reshape_the_score() {
+        use crate::system::{SystemStrategy, SystemTarget};
+        use pim_arch::Topology;
+        let chip = ChipSpec::chip_s();
+        let plans = optimized_plans(&zoo::resnet18(), &chip, 10);
+        let single = Estimator::new(&chip).estimate_group(&plans, 8);
+        // Batch sharding over 2 chips costs each chip its half batch:
+        // strictly cheaper per round, but dearer than half (weight
+        // replacement does not shard).
+        let shard = Estimator::new(&chip)
+            .with_system(&SystemTarget::new(Topology::ring(2), SystemStrategy::BatchShard))
+            .estimate_group(&plans, 8);
+        assert!(shard.batch_latency_ns < single.batch_latency_ns);
+        assert!(shard.batch_latency_ns > 0.5 * single.batch_latency_ns - 1e-9);
+        // A layer pipeline charges inter-chip hand-offs on top.
+        let pipeline = Estimator::new(&chip)
+            .with_system(&SystemTarget::new(Topology::ring(2), SystemStrategy::LayerPipeline))
+            .estimate_group(&plans, 8);
+        assert!(pipeline.batch_latency_ns > single.batch_latency_ns);
+        // A single-chip target is a no-op.
+        let noop = Estimator::new(&chip)
+            .with_system(&SystemTarget::single_chip())
+            .estimate_group(&plans, 8);
+        assert_eq!(noop.batch_latency_ns, single.batch_latency_ns);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Partition-group fitness and partition scores (paper §III-C1/C2).
 
 use crate::decompose::UnitSequence;
-use crate::estimate::{Estimator, GroupEstimate};
+use crate::estimate::{Estimator, GroupEstimate, SystemScaling};
 use crate::partition::PartitionGroup;
 use crate::plan::GroupPlan;
 use crate::replication::optimize_group;
+use crate::system::SystemTarget;
 use crate::validity::ValidityMap;
 use pim_arch::{ChipSpec, TimingMode};
 use pim_model::Network;
@@ -49,6 +50,10 @@ pub struct FitnessContext<'a> {
     batch: usize,
     kind: FitnessKind,
     timing_mode: TimingMode,
+    system: Option<SystemTarget>,
+    /// Interconnect terms derived from `system` once (route walks are
+    /// not free; candidates are scored thousands of times).
+    system_scaling: Option<SystemScaling>,
     cache: HashMap<Vec<usize>, EvaluatedGroup>,
 }
 
@@ -71,6 +76,8 @@ impl<'a> FitnessContext<'a> {
             batch,
             kind,
             timing_mode: TimingMode::Analytic,
+            system: None,
+            system_scaling: None,
             cache: HashMap::new(),
         }
     }
@@ -84,6 +91,19 @@ impl<'a> FitnessContext<'a> {
             self.cache.clear();
         }
         self.timing_mode = mode;
+        self
+    }
+
+    /// Scores candidates for a multi-chip deployment (see
+    /// [`Estimator::with_system`]), so the GA tunes partitions for
+    /// the topology the system simulator will run. Clears the memo
+    /// cache (cached scores are target-specific).
+    pub fn with_system_target(mut self, target: Option<SystemTarget>) -> Self {
+        if target != self.system {
+            self.cache.clear();
+        }
+        self.system_scaling = target.as_ref().and_then(SystemScaling::of);
+        self.system = target;
         self
     }
 
@@ -157,6 +177,7 @@ impl<'a> FitnessContext<'a> {
         optimize_group(&mut plans, self.chip);
         let estimate = Estimator::new(self.chip)
             .with_timing_mode(self.timing_mode)
+            .with_system_scaling(self.system_scaling)
             .estimate_group(&plans, self.batch);
         let partition_fitness: Vec<f64> = estimate
             .partitions
@@ -282,6 +303,24 @@ mod tests {
         assert_eq!(ctx.cache_len(), 0, "mode switch must invalidate memoized scores");
         let closed = ctx.evaluate(&group);
         assert_ne!(analytic.pgf, closed.pgf);
+    }
+
+    #[test]
+    fn system_target_changes_scores_and_clears_cache() {
+        use crate::system::{SystemStrategy, SystemTarget};
+        use pim_arch::Topology;
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(12);
+        let group = PartitionGroup::random(&mut rng, &f.validity);
+        let mut ctx =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
+        let single = ctx.evaluate(&group);
+        assert_eq!(ctx.cache_len(), 1);
+        let target = SystemTarget::new(Topology::ring(2), SystemStrategy::BatchShard);
+        let mut ctx = ctx.with_system_target(Some(target));
+        assert_eq!(ctx.cache_len(), 0, "target switch must invalidate memoized scores");
+        let sharded = ctx.evaluate(&group);
+        assert!(sharded.pgf < single.pgf, "half the batch per chip must score cheaper");
     }
 
     #[test]

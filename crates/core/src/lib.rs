@@ -59,6 +59,7 @@ pub mod plan;
 pub mod replication;
 pub mod report;
 pub mod scheduler;
+pub mod system;
 pub mod tuner;
 pub mod validity;
 
@@ -72,9 +73,14 @@ pub use ga::{GaParams, GaTrace, GenerationRecord};
 pub use partition::{Partition, PartitionGroup};
 pub use plan::{GroupPlan, PartitionPlan};
 pub use report::CompileReport;
+pub use system::{plan_system, SystemChipPlan, SystemSchedule, SystemStrategy, SystemTarget};
 pub use tuner::{tune_batch, TuneObjective, TuneResult};
 pub use validity::ValidityMap;
 
 /// Re-export of the memory timing-fidelity selector shared with
 /// `pim-arch` and `pim-sim`.
 pub use pim_arch::TimingMode;
+
+/// Re-export of the multi-chip topology description shared with
+/// `pim-arch` and `pim-sim`.
+pub use pim_arch::Topology;

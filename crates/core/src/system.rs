@@ -1,0 +1,440 @@
+//! Multi-chip system planning: splitting a compiled model across the
+//! chips of a [`Topology`].
+//!
+//! The compiler's single-chip output (partition plans + per-core
+//! programs) generalizes to a system in two ways:
+//!
+//! * **Layer pipeline** — the partition sequence is cut into
+//!   contiguous, latency-balanced segments, one per chip. Where a
+//!   partition boundary crosses a chip boundary the downstream
+//!   partition's entry activations are shipped over the interconnect
+//!   (the inter-chip SEND/RECV of the hand-off), and successive
+//!   batches pipeline: chip 0 computes batch `r+1` while chip 1 still
+//!   digests batch `r`.
+//! * **Batch shard** — every chip runs the whole partition sequence on
+//!   its own share of the batch; no inter-chip traffic, replication of
+//!   the weight-replacement cost instead.
+//!
+//! The produced [`SystemSchedule`] maps one-to-one onto
+//! `pim_sim::SystemSimulator` chip loads (programs + per-round
+//! hand-off), keeping the compiler free of a simulator dependency.
+
+use crate::compiler::CompiledModel;
+use crate::error::CompileError;
+use crate::scheduler::{schedule_group, SchedulerOptions};
+use pim_arch::{ChipSpec, Topology};
+use pim_isa::ChipProgram;
+use pim_model::Network;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// How a model is spread across the chips of a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SystemStrategy {
+    /// Contiguous partition segments, one per chip, with inter-chip
+    /// activation hand-offs at segment boundaries; batches pipeline
+    /// across chips.
+    #[default]
+    LayerPipeline,
+    /// Every chip runs the full model on its share of the batch.
+    BatchShard,
+}
+
+impl SystemStrategy {
+    /// Both strategies.
+    pub const ALL: [SystemStrategy; 2] =
+        [SystemStrategy::LayerPipeline, SystemStrategy::BatchShard];
+}
+
+impl fmt::Display for SystemStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemStrategy::LayerPipeline => write!(f, "layer-pipeline"),
+            SystemStrategy::BatchShard => write!(f, "batch-shard"),
+        }
+    }
+}
+
+impl FromStr for SystemStrategy {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        match raw.to_ascii_lowercase().as_str() {
+            "layer-pipeline" | "layer_pipeline" | "pipeline" => Ok(SystemStrategy::LayerPipeline),
+            "batch-shard" | "batch_shard" | "shard" => Ok(SystemStrategy::BatchShard),
+            other => Err(format!("unknown system strategy {other:?}")),
+        }
+    }
+}
+
+/// A multi-chip deployment target: the topology plus the strategy used
+/// to spread work over it. The estimator and the GA fitness accept one
+/// so partition search can optimize for the machine the system
+/// simulator will time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemTarget {
+    /// The interconnect graph.
+    pub topology: Topology,
+    /// The work-spreading strategy.
+    pub strategy: SystemStrategy,
+}
+
+impl SystemTarget {
+    /// A single-chip target (the paper's machine).
+    pub fn single_chip() -> Self {
+        Self { topology: Topology::single(), strategy: SystemStrategy::LayerPipeline }
+    }
+
+    /// A target for `topology` under `strategy`.
+    pub fn new(topology: Topology, strategy: SystemStrategy) -> Self {
+        Self { topology, strategy }
+    }
+}
+
+/// One chip's share of a planned system workload.
+#[derive(Debug, Clone)]
+pub struct SystemChipPlan {
+    /// Chip index within the topology.
+    pub chip: usize,
+    /// Partition programs this chip executes each round, in order
+    /// (empty when the schedule leaves the chip idle).
+    pub programs: Vec<ChipProgram>,
+    /// Half-open range of global partition indices assigned here
+    /// (layer pipeline) or the full range (batch shard).
+    pub partition_range: (usize, usize),
+    /// Samples this chip contributes per round.
+    pub samples: usize,
+    /// Per-round hand-off to the downstream chip, if any:
+    /// `(destination chip, bytes per round)`.
+    pub handoff: Option<(usize, usize)>,
+}
+
+/// A compiled model mapped onto a multi-chip system.
+#[derive(Debug, Clone)]
+pub struct SystemSchedule {
+    /// The topology the schedule targets.
+    pub topology: Topology,
+    /// The strategy that produced it.
+    pub strategy: SystemStrategy,
+    /// Per-chip workloads, indexed by chip.
+    pub chips: Vec<SystemChipPlan>,
+    /// Inference samples the whole system completes per round.
+    pub samples_per_round: usize,
+}
+
+impl SystemSchedule {
+    /// Chips that actually execute work.
+    pub fn active_chips(&self) -> usize {
+        self.chips.iter().filter(|c| !c.programs.is_empty()).count()
+    }
+
+    /// Total bytes crossing the interconnect per round.
+    pub fn handoff_bytes_per_round(&self) -> usize {
+        self.chips.iter().filter_map(|c| c.handoff.map(|(_, bytes)| bytes)).sum()
+    }
+}
+
+impl fmt::Display for SystemSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} over {}: {} active chips, {} B/round inter-chip",
+            self.strategy,
+            self.topology,
+            self.active_chips(),
+            self.handoff_bytes_per_round()
+        )?;
+        for chip in &self.chips {
+            writeln!(
+                f,
+                "  chip {}: partitions [{}, {}), {} samples/round{}",
+                chip.chip,
+                chip.partition_range.0,
+                chip.partition_range.1,
+                chip.samples,
+                chip.handoff
+                    .map(|(dst, bytes)| format!(", hands {bytes} B to chip {dst}"))
+                    .unwrap_or_default()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Maps a compiled model onto `target`'s chips.
+///
+/// For [`SystemStrategy::LayerPipeline`], partitions are cut into
+/// contiguous segments balanced by the compiler's estimated partition
+/// latencies, and each boundary ships the downstream partition's entry
+/// activations (`batch ×` per-sample bytes) to the next chip after
+/// every round. For [`SystemStrategy::BatchShard`], the partition
+/// plans are rescheduled at each chip's shard of `batch` (front chips
+/// take the remainder).
+///
+/// # Errors
+///
+/// Returns [`CompileError::InvalidOptions`] when the topology fails
+/// validation or `batch` is zero.
+pub fn plan_system(
+    network: &Network,
+    compiled: &CompiledModel,
+    chip: &ChipSpec,
+    target: &SystemTarget,
+    batch: usize,
+    chunks_per_sample: usize,
+) -> Result<SystemSchedule, CompileError> {
+    target
+        .topology
+        .validate()
+        .map_err(|e| CompileError::InvalidOptions(format!("topology: {}", e.detail())))?;
+    if batch == 0 {
+        return Err(CompileError::InvalidOptions("batch size must be >= 1".into()));
+    }
+    let chips = target.topology.chips();
+    let plans = compiled.partitions();
+    let schedule = match target.strategy {
+        SystemStrategy::LayerPipeline => {
+            let programs = compiled.programs();
+            let used = chips.min(plans.len()).max(1);
+            let cuts = balanced_cuts(
+                &compiled.estimate().partitions.iter().map(|p| p.latency_ns).collect::<Vec<_>>(),
+                used,
+            );
+            let mut chip_plans = Vec::with_capacity(chips);
+            for c in 0..chips {
+                let (from, to) = if c < used { (cuts[c], cuts[c + 1]) } else { (0, 0) };
+                let handoff = (c + 1 < used).then(|| {
+                    // The downstream chip's first partition loads these
+                    // activations each round; they cross the
+                    // interconnect first.
+                    (c + 1, plans[cuts[c + 1]].entry_bytes_per_sample() * batch)
+                });
+                chip_plans.push(SystemChipPlan {
+                    chip: c,
+                    programs: programs[from..to].to_vec(),
+                    partition_range: (from, to),
+                    samples: if from < to { batch } else { 0 },
+                    handoff,
+                });
+            }
+            SystemSchedule {
+                topology: target.topology.clone(),
+                strategy: target.strategy,
+                chips: chip_plans,
+                samples_per_round: batch,
+            }
+        }
+        SystemStrategy::BatchShard => {
+            let base = batch / chips;
+            let remainder = batch % chips;
+            let mut chip_plans = Vec::with_capacity(chips);
+            for c in 0..chips {
+                let shard = base + usize::from(c < remainder);
+                let programs = if shard > 0 {
+                    schedule_group(
+                        network,
+                        plans,
+                        chip,
+                        &SchedulerOptions { batch: shard, chunks_per_sample },
+                    )
+                } else {
+                    Vec::new()
+                };
+                chip_plans.push(SystemChipPlan {
+                    chip: c,
+                    partition_range: if shard > 0 { (0, plans.len()) } else { (0, 0) },
+                    programs,
+                    samples: shard,
+                    handoff: None,
+                });
+            }
+            SystemSchedule {
+                topology: target.topology.clone(),
+                strategy: target.strategy,
+                chips: chip_plans,
+                samples_per_round: batch,
+            }
+        }
+    };
+    Ok(schedule)
+}
+
+/// Cuts `weights` into `segments` contiguous runs with balanced sums:
+/// segment `k` ends at the first prefix reaching `k+1` shares of the
+/// total, while always leaving at least one element for each remaining
+/// segment. Returns `segments + 1` cut positions starting at 0 and
+/// ending at `weights.len()`.
+fn balanced_cuts(weights: &[f64], segments: usize) -> Vec<usize> {
+    let n = weights.len();
+    let segments = segments.clamp(1, n.max(1));
+    let total: f64 = weights.iter().sum();
+    let mut cuts = Vec::with_capacity(segments + 1);
+    cuts.push(0);
+    let mut prefix = 0.0;
+    let mut at = 0usize;
+    for k in 1..segments {
+        let share = total * k as f64 / segments as f64;
+        while at < n - (segments - k) && prefix + weights[at] <= share {
+            prefix += weights[at];
+            at += 1;
+        }
+        // Guarantee progress: every segment owns at least one element.
+        if at < cuts[k - 1] + 1 {
+            prefix += weights[at];
+            at = cuts[k - 1] + 1;
+        }
+        cuts.push(at);
+    }
+    cuts.push(n);
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{CompileOptions, Compiler, Strategy};
+    use crate::ga::GaParams;
+    use pim_model::zoo;
+
+    fn compiled(batch: usize) -> (Network, ChipSpec, CompiledModel) {
+        let chip = ChipSpec::chip_s();
+        let net = zoo::resnet18();
+        let model = Compiler::new(chip.clone())
+            .compile(
+                &net,
+                &CompileOptions::new()
+                    .with_strategy(Strategy::Layerwise)
+                    .with_batch_size(batch)
+                    .with_ga(GaParams::fast())
+                    .with_seed(5),
+            )
+            .expect("compiles");
+        (net, chip, model)
+    }
+
+    #[test]
+    fn pipeline_covers_every_partition_exactly_once() {
+        let (net, chip, model) = compiled(4);
+        let target = SystemTarget::new(Topology::ring(4), SystemStrategy::LayerPipeline);
+        let schedule = plan_system(&net, &model, &chip, &target, 4, 2).unwrap();
+        assert_eq!(schedule.chips.len(), 4);
+        let mut covered = 0;
+        for (c, plan) in schedule.chips.iter().enumerate() {
+            assert_eq!(plan.chip, c);
+            let (from, to) = plan.partition_range;
+            assert_eq!(from, covered);
+            covered = to;
+            assert_eq!(plan.programs.len(), to - from);
+        }
+        assert_eq!(covered, model.partitions().len());
+        // Interior chips ship downstream; the tail does not.
+        let last_active = schedule.chips.iter().rposition(|c| !c.programs.is_empty()).unwrap();
+        for plan in &schedule.chips[..last_active] {
+            let (dst, bytes) = plan.handoff.expect("interior chips hand off");
+            assert_eq!(dst, plan.chip + 1);
+            assert!(bytes > 0);
+        }
+        assert!(schedule.chips[last_active].handoff.is_none());
+        assert!(schedule.to_string().contains("layer-pipeline"));
+    }
+
+    #[test]
+    fn pipeline_balances_segment_latency() {
+        let (net, chip, model) = compiled(4);
+        let target = SystemTarget::new(Topology::ring(2), SystemStrategy::LayerPipeline);
+        let schedule = plan_system(&net, &model, &chip, &target, 4, 2).unwrap();
+        let latencies: Vec<f64> = schedule
+            .chips
+            .iter()
+            .map(|p| {
+                model.estimate().partitions[p.partition_range.0..p.partition_range.1]
+                    .iter()
+                    .map(|e| e.latency_ns)
+                    .sum()
+            })
+            .collect();
+        let total: f64 = latencies.iter().sum();
+        for l in &latencies {
+            assert!(
+                *l < 0.75 * total,
+                "a 2-chip split should not leave one chip with {l} of {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_shard_splits_samples() {
+        let (net, chip, model) = compiled(5);
+        let target = SystemTarget::new(Topology::fully_connected(2), SystemStrategy::BatchShard);
+        let schedule = plan_system(&net, &model, &chip, &target, 5, 2).unwrap();
+        let shards: Vec<usize> = schedule.chips.iter().map(|c| c.samples).collect();
+        assert_eq!(shards, vec![3, 2], "front chip takes the remainder");
+        assert_eq!(schedule.samples_per_round, 5);
+        assert_eq!(schedule.handoff_bytes_per_round(), 0);
+        for plan in &schedule.chips {
+            assert_eq!(plan.programs.len(), model.partitions().len());
+        }
+    }
+
+    #[test]
+    fn more_chips_than_partitions_leaves_tail_idle() {
+        let chip = ChipSpec::chip_s();
+        let net = zoo::tiny_cnn();
+        let model = Compiler::new(chip.clone())
+            .compile(
+                &net,
+                &CompileOptions::new().with_strategy(Strategy::Greedy).with_ga(GaParams::fast()),
+            )
+            .unwrap();
+        let parts = model.partitions().len();
+        let target = SystemTarget::new(Topology::fully_connected(4), SystemStrategy::LayerPipeline);
+        let schedule = plan_system(&net, &model, &chip, &target, 2, 2).unwrap();
+        assert_eq!(schedule.active_chips(), parts.min(4));
+        for plan in schedule.chips.iter().filter(|c| c.programs.is_empty()) {
+            assert!(plan.handoff.is_none());
+            assert_eq!(plan.samples, 0);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let (net, chip, model) = compiled(2);
+        let target = SystemTarget::new(Topology::ring(2), SystemStrategy::LayerPipeline);
+        assert!(matches!(
+            plan_system(&net, &model, &chip, &target, 0, 2),
+            Err(CompileError::InvalidOptions(_))
+        ));
+        let broken = SystemTarget::new(
+            Topology { name: "broken".into(), chips: 0, links: Vec::new() },
+            SystemStrategy::BatchShard,
+        );
+        assert!(matches!(
+            plan_system(&net, &model, &chip, &broken, 2, 2),
+            Err(CompileError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn balanced_cuts_properties() {
+        let cuts = balanced_cuts(&[1.0, 1.0, 1.0, 1.0], 2);
+        assert_eq!(cuts, vec![0, 2, 4]);
+        let skewed = balanced_cuts(&[10.0, 1.0, 1.0, 1.0], 2);
+        assert_eq!(skewed, vec![0, 1, 4], "the heavy head gets its own segment");
+        // More segments than elements clamps.
+        assert_eq!(balanced_cuts(&[1.0, 2.0], 5), vec![0, 1, 2]);
+        // Every segment is non-empty.
+        let many = balanced_cuts(&[5.0, 0.1, 0.1, 0.1, 0.1], 4);
+        for pair in many.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+    }
+
+    #[test]
+    fn strategy_parsing_round_trips() {
+        for s in SystemStrategy::ALL {
+            assert_eq!(s.to_string().parse::<SystemStrategy>().unwrap(), s);
+        }
+        assert!("tensor-parallel".parse::<SystemStrategy>().is_err());
+    }
+}

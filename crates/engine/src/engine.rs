@@ -23,12 +23,25 @@ pub trait Component<E>: Any {
 }
 
 /// The slice of engine state a component may touch while handling an
-/// event: the clock, the queue, and the seeded RNG — but not other
-/// components.
+/// event: the clock, the queue, the seeded RNG, and the component
+/// registry (for spawning — never for reaching into a peer).
 pub struct EngineCtx<'a, E> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
     rng: &'a mut SimRng,
+    components: &'a mut Vec<Option<Box<dyn Component<E>>>>,
+}
+
+impl<E: 'static> EngineCtx<'_, E> {
+    /// Registers a new component mid-run, returning its address.
+    /// Orchestrator components use this to spawn workers whose start
+    /// time is only known dynamically (e.g. a chip sequencer spawning
+    /// its cores when a pipeline stage's inputs arrive).
+    pub fn add_component<C: Component<E>>(&mut self, component: C) -> ComponentId {
+        let id = ComponentId(self.components.len());
+        self.components.push(Some(Box::new(component)));
+        id
+    }
 }
 
 impl<E> EngineCtx<'_, E> {
@@ -127,6 +140,13 @@ impl<E: 'static> Engine<E> {
         id
     }
 
+    /// The address the next [`Self::add_component`] call will return.
+    /// Lets wiring code hand a component the ids of peers that are
+    /// registered right after it.
+    pub fn next_component_id(&self) -> ComponentId {
+        ComponentId(self.components.len())
+    }
+
     /// Removes a component and downcasts it to its concrete type, for
     /// reading out final state after a run.
     ///
@@ -198,7 +218,12 @@ impl<E: 'static> Engine<E> {
             let target = event.target;
             let mut component =
                 self.components[target.0].take().expect("event addressed to missing component");
-            let mut ctx = EngineCtx { now: self.now, queue: &mut self.queue, rng: &mut self.rng };
+            let mut ctx = EngineCtx {
+                now: self.now,
+                queue: &mut self.queue,
+                rng: &mut self.rng,
+                components: &mut self.components,
+            };
             component.on_event(event, &mut ctx);
             self.components[target.0] = Some(component);
             count += 1;
@@ -247,6 +272,45 @@ mod tests {
         assert_eq!(pa.log, vec![(0.0, 4), (5.0, 2), (10.0, 0)]);
         assert_eq!(pb.log, vec![(2.5, 3), (7.5, 1)]);
         assert_eq!(engine.now(), SimTime::from_ns(10.0));
+    }
+
+    #[test]
+    fn components_can_spawn_components_mid_run() {
+        /// Spawns one child per event and forwards the countdown to it.
+        struct Spawner;
+        struct Child {
+            heard: u32,
+        }
+        impl Component<u32> for Spawner {
+            fn on_event(&mut self, event: Event<u32>, ctx: &mut EngineCtx<'_, u32>) {
+                if event.payload > 0 {
+                    let child = ctx.add_component(Child { heard: 0 });
+                    ctx.schedule_in(1.0, child, event.payload);
+                }
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+        }
+        impl Component<u32> for Child {
+            fn on_event(&mut self, event: Event<u32>, _: &mut EngineCtx<'_, u32>) {
+                self.heard += event.payload;
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+        }
+
+        let mut engine = Engine::new(0);
+        let spawner = engine.add_component(Spawner);
+        assert_eq!(engine.next_component_id(), ComponentId(1));
+        engine.schedule(SimTime::ZERO, spawner, 7);
+        engine.schedule(SimTime::from_ns(2.0), spawner, 9);
+        engine.run_until_idle();
+        let first: Child = engine.extract(ComponentId(1)).unwrap();
+        let second: Child = engine.extract(ComponentId(2)).unwrap();
+        assert_eq!(first.heard, 7);
+        assert_eq!(second.heard, 9);
     }
 
     #[test]

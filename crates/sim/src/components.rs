@@ -23,6 +23,39 @@ pub(crate) enum ChipEvent {
     /// A core executes its next instruction; the event time is the
     /// core's clock.
     Step,
+    /// Starts a chip sequencer's first round (scheduled once per chip
+    /// at simulation start).
+    Kick,
+    /// A core's stream is exhausted; the event time is the core's
+    /// final clock. Carries the core's accounting so the sequencer
+    /// never has to reach into a live component.
+    CoreDone {
+        /// Index of the core within its partition program.
+        core_index: usize,
+        /// The core's final activity breakdown.
+        activity: CoreActivity,
+        /// Absolute completion time of the core's weight-replace
+        /// phase, ns.
+        replace_done_ns: f64,
+    },
+    /// An inter-chip transfer progresses one hop along its route
+    /// (`hop` is the next route index to traverse; past the last hop
+    /// the payload is delivered to the destination sequencer).
+    Ship {
+        /// Source chip.
+        src: usize,
+        /// Destination chip.
+        dst: usize,
+        /// Payload size.
+        bytes: usize,
+        /// Next hop index on the precomputed route.
+        hop: usize,
+    },
+    /// A pipeline hand-off landed on this sequencer's chip.
+    HandoffIn {
+        /// The producing chip (round gating is per producer).
+        src: usize,
+    },
     /// A core asks the global-memory channel for a transfer.
     MemRequest {
         /// Requesting core (reply address).
@@ -144,9 +177,14 @@ pub(crate) struct CoreComponent {
     channel: ComponentId,
     bus: ComponentId,
     rendezvous: ComponentId,
+    /// The chip sequencer notified (with the final accounting) when
+    /// the stream is exhausted.
+    monitor: ComponentId,
+    core_index: usize,
 }
 
 impl CoreComponent {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         program: Vec<Instruction>,
         start: SimTime,
@@ -154,6 +192,8 @@ impl CoreComponent {
         channel: ComponentId,
         bus: ComponentId,
         rendezvous: ComponentId,
+        monitor: ComponentId,
+        core_index: usize,
     ) -> Self {
         Self {
             program,
@@ -167,6 +207,8 @@ impl CoreComponent {
             channel,
             bus,
             rendezvous,
+            monitor,
+            core_index,
         }
     }
 
@@ -273,6 +315,19 @@ impl Component<ChipEvent> for CoreComponent {
             other => unreachable!("core received {other:?}"),
         }
         self.issue(event.target, ctx);
+        if self.finished {
+            // The clock equals the event time here: local ops only
+            // advance it through future Step events.
+            ctx.schedule(
+                event.time,
+                self.monitor,
+                ChipEvent::CoreDone {
+                    core_index: self.core_index,
+                    activity: self.activity,
+                    replace_done_ns: self.replace_done_ns,
+                },
+            );
+        }
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
@@ -548,16 +603,70 @@ impl Component<ChipEvent> for InlineDram {
 /// `MemDone` fires at the slowest stripe's completion. Bank conflicts,
 /// row hits/misses, refresh, and channel interleaving therefore shape
 /// the chip's critical path directly.
+///
+/// With `fr_fcfs` enabled, same-instant accesses from independent
+/// cores are latched and drained together, and their chunks are served
+/// through the controllers' row-hit-preferring FR-FCFS pick
+/// ([`MultiChannelDram::service_batch`]) instead of strictly at
+/// arrival order. Off by default: arrival-order service is the
+/// documented (and golden-pinned) closed-loop behaviour.
 pub(crate) struct ClosedLoopDram {
     pub(crate) mem: MultiChannelDram,
     pub(crate) requests: usize,
+    fr_fcfs: bool,
+    pending: Vec<PendingAccess>,
+    latch: DrainLatch,
+}
+
+/// One latched closed-loop access awaiting the FR-FCFS drain.
+struct PendingAccess {
+    core: ComponentId,
+    addr: u64,
+    kind: RequestKind,
+    bytes: usize,
+    chunk: usize,
 }
 
 impl ClosedLoopDram {
-    pub(crate) fn new(channels: usize, interleave_bytes: usize) -> Self {
+    pub(crate) fn new(channels: usize, interleave_bytes: usize, fr_fcfs: bool) -> Self {
         let mem = MultiChannelDram::new(DramConfig::lpddr3_1600(), channels, interleave_bytes)
             .expect("simulator builder guarantees at least one channel");
-        Self { mem, requests: 0 }
+        Self { mem, requests: 0, fr_fcfs, pending: Vec::new(), latch: DrainLatch::default() }
+    }
+
+    /// Chunks a block access at the row-friendly granularity both
+    /// timing modes share.
+    fn chunks(now: f64, access: &PendingAccess) -> impl Iterator<Item = Request> + '_ {
+        let mut offset = 0usize;
+        std::iter::from_fn(move || {
+            if offset >= access.bytes {
+                return None;
+            }
+            let take = access.chunk.min(access.bytes - offset);
+            let request = Request::at_ns(now, access.addr + offset as u64, access.kind, take);
+            offset += take;
+            Some(request)
+        })
+    }
+
+    /// Completes one access: schedules the requesting core's `MemDone`
+    /// at the slowest chunk's completion.
+    fn complete(
+        core: ComponentId,
+        now: f64,
+        start_ns: f64,
+        finish_ns: f64,
+        ctx: &mut EngineCtx<'_, ChipEvent>,
+    ) {
+        let start_ns = if start_ns.is_finite() { start_ns } else { now };
+        ctx.schedule(
+            SimTime::from_ns(finish_ns),
+            core,
+            ChipEvent::MemDone {
+                wait_ns: (start_ns - now).max(0.0),
+                busy_ns: finish_ns - start_ns.max(now),
+            },
+        );
     }
 }
 
@@ -565,6 +674,17 @@ impl Component<ChipEvent> for ClosedLoopDram {
     fn on_event(&mut self, event: Event<ChipEvent>, ctx: &mut EngineCtx<'_, ChipEvent>) {
         match event.payload {
             ChipEvent::DramAccess { core, addr, kind, bytes, chunk } => {
+                let access = PendingAccess { core, addr, kind, bytes, chunk };
+                if self.fr_fcfs {
+                    // Batch same-instant arrivals behind the latch so
+                    // independent cores' chunks reach the FR-FCFS pick
+                    // together.
+                    self.pending.push(access);
+                    if self.latch.arm() {
+                        ctx.schedule(event.time, event.target, ChipEvent::DramDrain);
+                    }
+                    return;
+                }
                 let now = event.time.as_ns();
                 // Serve the block in the same row-friendly chunks the
                 // analytic-mode refinement streams, so both modes see
@@ -572,27 +692,36 @@ impl Component<ChipEvent> for ClosedLoopDram {
                 // when its slowest chunk's data lands.
                 let mut start_ns = f64::INFINITY;
                 let mut finish_ns = now;
-                let mut offset = 0usize;
-                while offset < bytes {
-                    let take = chunk.min(bytes - offset);
-                    let access =
-                        self.mem.service(Request::at_ns(now, addr + offset as u64, kind, take));
-                    start_ns = start_ns.min(access.start_ns);
-                    finish_ns = finish_ns.max(access.finish_ns);
+                for request in Self::chunks(now, &access) {
+                    let served = self.mem.service(request);
+                    start_ns = start_ns.min(served.start_ns);
+                    finish_ns = finish_ns.max(served.finish_ns);
                     self.requests += 1;
-                    offset += take;
                 }
-                if !start_ns.is_finite() {
-                    start_ns = now; // zero-byte access
+                Self::complete(core, now, start_ns, finish_ns, ctx);
+            }
+            ChipEvent::DramDrain => {
+                self.latch.release();
+                let now = event.time.as_ns();
+                let batch = std::mem::take(&mut self.pending);
+                let mut requests = Vec::new();
+                let mut spans = Vec::with_capacity(batch.len());
+                for access in &batch {
+                    let from = requests.len();
+                    requests.extend(Self::chunks(now, access));
+                    spans.push((from, requests.len()));
                 }
-                ctx.schedule(
-                    SimTime::from_ns(finish_ns),
-                    core,
-                    ChipEvent::MemDone {
-                        wait_ns: (start_ns - now).max(0.0),
-                        busy_ns: finish_ns - start_ns.max(now),
-                    },
-                );
+                self.requests += requests.len();
+                let served = self.mem.service_batch(&requests);
+                for (access, &(from, to)) in batch.iter().zip(&spans) {
+                    let mut start_ns = f64::INFINITY;
+                    let mut finish_ns = now;
+                    for chunk in &served[from..to] {
+                        start_ns = start_ns.min(chunk.start_ns);
+                        finish_ns = finish_ns.max(chunk.finish_ns);
+                    }
+                    Self::complete(access.core, now, start_ns, finish_ns, ctx);
+                }
             }
             ChipEvent::Barrier => {}
             other => unreachable!("closed-loop dram received {other:?}"),

@@ -22,6 +22,13 @@ pub enum SimError {
         /// Cores on the chip.
         chip_cores: usize,
     },
+    /// The system description does not fit the topology (wrong chip
+    /// count, broken link graph, or a hand-off to a chip that cannot
+    /// be reached).
+    InvalidTopology(
+        /// Human-readable reason.
+        String,
+    ),
 }
 
 impl fmt::Display for SimError {
@@ -32,6 +39,9 @@ impl fmt::Display for SimError {
             }
             SimError::CoreCountMismatch { program_cores, chip_cores } => {
                 write!(f, "program targets {program_cores} cores but chip has {chip_cores}")
+            }
+            SimError::InvalidTopology(reason) => {
+                write!(f, "invalid system topology: {reason}")
             }
         }
     }

@@ -39,10 +39,12 @@
 
 pub mod report;
 pub mod sim;
+pub mod system;
 
 mod components;
 mod error;
 
 pub use error::SimError;
-pub use report::{PartitionSimReport, SimReport};
+pub use report::{ChipSimSummary, LinkStats, PartitionSimReport, SimReport};
 pub use sim::ChipSimulator;
+pub use system::{ChipLoad, Handoff, SystemSimulator};

@@ -93,6 +93,38 @@ impl PartitionSimReport {
     }
 }
 
+/// Aggregate counters of one directed inter-chip link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LinkStats {
+    /// Source chip index.
+    pub src: usize,
+    /// Destination chip index.
+    pub dst: usize,
+    /// Transfers carried.
+    pub transfers: u64,
+    /// Bytes carried.
+    pub bytes: u64,
+    /// Serialization occupancy, ns.
+    pub busy_ns: f64,
+    /// Time transfers queued behind the busy link, ns.
+    pub wait_ns: f64,
+}
+
+/// Per-chip execution summary of a multi-chip system run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipSimSummary {
+    /// Chip index within the topology.
+    pub chip: usize,
+    /// Partition stages executed across all rounds.
+    pub partitions: usize,
+    /// Pipeline rounds completed.
+    pub rounds: usize,
+    /// Completion time of the chip's last stage, ns.
+    pub end_ns: f64,
+    /// Time the chip sat idle waiting for upstream hand-offs, ns.
+    pub handoff_wait_ns: f64,
+}
+
 /// The full simulation result for one batch cycle.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -112,14 +144,21 @@ pub struct SimReport {
     /// Per-channel DRAM counters (utilization, row hits, ...),
     /// present only in closed-loop timing mode.
     pub dram_channels: Option<Vec<ChannelStats>>,
+    /// Per-chip stage summaries, present only for multi-chip
+    /// topologies.
+    pub chips: Option<Vec<ChipSimSummary>>,
+    /// Per-link interconnect counters, present only for multi-chip
+    /// topologies.
+    pub links: Option<Vec<LinkStats>>,
 }
 
-// Hand-written (de)serialization: the trailing `dram_channels` field is
-// emitted only when present, so `Analytic`-mode reports stay
-// byte-identical to the pre-timing-mode fixtures in `tests/golden/`.
-// With real serde this is `#[serde(skip_serializing_if =
-// "Option::is_none", default)]`; the offline derive polyfill has no
-// attribute support, hence the explicit impls.
+// Hand-written (de)serialization: the trailing `dram_channels`,
+// `chips`, and `links` fields are emitted only when present, so
+// `Analytic`-mode single-chip reports stay byte-identical to the
+// pre-timing-mode fixtures in `tests/golden/`. With real serde this is
+// `#[serde(skip_serializing_if = "Option::is_none", default)]`; the
+// offline derive polyfill has no attribute support, hence the explicit
+// impls.
 impl Serialize for SimReport {
     fn serialize_json(&self, out: &mut String) {
         out.push_str("{\"batch\":");
@@ -138,12 +177,29 @@ impl Serialize for SimReport {
             out.push_str(",\"dram_channels\":");
             channels.serialize_json(out);
         }
+        if let Some(chips) = &self.chips {
+            out.push_str(",\"chips\":");
+            chips.serialize_json(out);
+        }
+        if let Some(links) = &self.links {
+            out.push_str(",\"links\":");
+            links.serialize_json(out);
+        }
         out.push('}');
     }
 }
 
 impl Deserialize for SimReport {
     fn deserialize_json(value: &serde::json::Value) -> Result<Self, serde::json::JsonError> {
+        fn optional<T: Deserialize>(
+            value: &serde::json::Value,
+            name: &str,
+        ) -> Result<Option<T>, serde::json::JsonError> {
+            match serde::json::field(value, name) {
+                Ok(v) => Deserialize::deserialize_json(v).map(Some),
+                Err(_) => Ok(None),
+            }
+        }
         Ok(Self {
             batch: Deserialize::deserialize_json(serde::json::field(value, "batch")?)?,
             partitions: Deserialize::deserialize_json(serde::json::field(value, "partitions")?)?,
@@ -151,10 +207,9 @@ impl Deserialize for SimReport {
             energy: Deserialize::deserialize_json(serde::json::field(value, "energy")?)?,
             dram_energy: Deserialize::deserialize_json(serde::json::field(value, "dram_energy")?)?,
             dram_trace: Deserialize::deserialize_json(serde::json::field(value, "dram_trace")?)?,
-            dram_channels: match serde::json::field(value, "dram_channels") {
-                Ok(v) => Some(Deserialize::deserialize_json(v)?),
-                Err(_) => None,
-            },
+            dram_channels: optional(value, "dram_channels")?,
+            chips: optional(value, "chips")?,
+            links: optional(value, "links")?,
         })
     }
 }
@@ -230,6 +285,8 @@ mod tests {
             dram_energy: None,
             dram_trace: TraceStats::default(),
             dram_channels: None,
+            chips: None,
+            links: None,
         }
     }
 
@@ -273,5 +330,33 @@ mod tests {
             back.serialize_json(&mut again);
             assert_eq!(json, again);
         }
+    }
+
+    #[test]
+    fn system_sections_serialize_only_when_present() {
+        let mut r = report();
+        let single = serde_json::to_string(&r).unwrap();
+        assert!(!single.contains("\"chips\""), "single-chip layout must stay fixture-stable");
+        assert!(!single.contains("\"links\""));
+        r.chips = Some(vec![ChipSimSummary {
+            chip: 0,
+            partitions: 3,
+            rounds: 2,
+            end_ns: 2_000_000.0,
+            handoff_wait_ns: 125.0,
+        }]);
+        r.links = Some(vec![LinkStats {
+            src: 0,
+            dst: 1,
+            transfers: 2,
+            bytes: 4096,
+            busy_ns: 512.0,
+            wait_ns: 0.0,
+        }]);
+        let multi = serde_json::to_string(&r).unwrap();
+        assert!(multi.contains("\"chips\":["));
+        assert!(multi.contains("\"links\":["));
+        let back: SimReport = serde_json::from_str(&multi).unwrap();
+        assert_eq!(back, r);
     }
 }

@@ -1,18 +1,18 @@
-//! The discrete-event chip simulator.
+//! The discrete-event chip simulator (single-chip front end).
 
-use crate::components::{
-    BusComponent, ChipEvent, ClosedLoopDram, CoreComponent, CoreTiming, InlineDram, MemChannel,
-    Rendezvous,
-};
 use crate::error::SimError;
-use crate::report::{PartitionSimReport, SimReport};
-use pim_arch::{ChipSpec, EnergyModel, PowerBreakdown, TimingMode};
-use pim_dram::{DramConfig, TraceStats};
-use pim_engine::{ComponentId, Engine, SimTime};
-use pim_isa::{ChipProgram, CoreId};
+use crate::report::SimReport;
+use crate::system::{ChipLoad, SystemSimulator};
+use pim_arch::{ChipSpec, TimingMode, Topology};
+use pim_isa::ChipProgram;
 
 /// Event-driven simulator for one chip, built on the shared
 /// [`pim_engine`] discrete-event core.
+///
+/// Since the multi-chip generalization this is a thin wrapper over
+/// [`SystemSimulator`] with a [`Topology::single`] system; the public
+/// API and the analytic-mode report bytes (pinned by the golden
+/// fixtures in `tests/golden/`) are unchanged.
 ///
 /// Every hardware resource is an engine component: per-core
 /// sequencers, one global-memory channel (bandwidth + first-access
@@ -44,29 +44,14 @@ use pim_isa::{ChipProgram, CoreId};
 /// critical path; the report then carries per-channel stats.
 #[derive(Debug, Clone)]
 pub struct ChipSimulator {
-    chip: ChipSpec,
-    replay_dram: bool,
-    mode: TimingMode,
-    dram_channels: Option<usize>,
-    interleave_bytes: usize,
+    system: SystemSimulator,
 }
-
-/// Default closed-loop address-interleave granularity: two LPDDR3 rows
-/// per stripe keeps sequential streams row-friendly while still
-/// spreading blocks across channels.
-const DEFAULT_INTERLEAVE_BYTES: usize = 4096;
 
 impl ChipSimulator {
     /// Creates a simulator for `chip` in analytic timing mode with the
     /// in-line DRAM model enabled.
     pub fn new(chip: ChipSpec) -> Self {
-        Self {
-            chip,
-            replay_dram: true,
-            mode: TimingMode::Analytic,
-            dram_channels: None,
-            interleave_bytes: DEFAULT_INTERLEAVE_BYTES,
-        }
+        Self { system: SystemSimulator::new(chip, Topology::single()) }
     }
 
     /// Enables or disables the in-line `pim-dram` model (it refines
@@ -74,13 +59,13 @@ impl ChipSimulator {
     /// identical either way). Ignored in closed-loop mode, where the
     /// controllers are always on the critical path.
     pub fn with_dram_replay(mut self, enabled: bool) -> Self {
-        self.replay_dram = enabled;
+        self.system = self.system.with_dram_replay(enabled);
         self
     }
 
     /// Selects the memory-channel timing fidelity.
     pub fn with_timing_mode(mut self, mode: TimingMode) -> Self {
-        self.mode = mode;
+        self.system = self.system.with_timing_mode(mode);
         self
     }
 
@@ -88,13 +73,21 @@ impl ChipSimulator {
     /// one). Without this, the count is derived from the chip's
     /// aggregate memory bandwidth over the per-channel LPDDR3 peak.
     pub fn with_dram_channels(mut self, channels: usize) -> Self {
-        self.dram_channels = Some(channels.max(1));
+        self.system = self.system.with_dram_channels(channels);
         self
     }
 
     /// Sets the closed-loop address-interleave granularity in bytes.
     pub fn with_dram_interleave(mut self, bytes: usize) -> Self {
-        self.interleave_bytes = bytes.max(1);
+        self.system = self.system.with_dram_interleave(bytes);
+        self
+    }
+
+    /// Allows the closed-loop controllers to reorder same-instant
+    /// in-flight accesses from independent cores FR-FCFS style (off by
+    /// default; see [`SystemSimulator::with_dram_reorder`]).
+    pub fn with_dram_reorder(mut self, enabled: bool) -> Self {
+        self.system = self.system.with_dram_reorder(enabled);
         self
     }
 
@@ -102,9 +95,7 @@ impl ChipSimulator {
     /// from the chip's aggregate bandwidth over one LPDDR3 channel's
     /// peak (the presets' 6.4 GB/s maps to one channel).
     pub fn dram_channel_count(&self) -> usize {
-        self.dram_channels.unwrap_or_else(|| {
-            DramConfig::lpddr3_1600().channels_for_bandwidth(self.chip.memory.bandwidth_gbps)
-        })
+        self.system.dram_channel_count()
     }
 
     /// Runs one batch cycle: every partition program in order with
@@ -116,127 +107,7 @@ impl ChipSimulator {
     /// [`SimError::CoreCountMismatch`] when a program does not match
     /// the chip.
     pub fn run(&self, programs: &[ChipProgram], batch: usize) -> Result<SimReport, SimError> {
-        let energy_model = EnergyModel::new(&self.chip);
-        let timing = CoreTiming::of(&self.chip);
-        let mut engine: Engine<ChipEvent> = Engine::new(0);
-        let dram = match self.mode {
-            TimingMode::Analytic => {
-                self.replay_dram.then(|| engine.add_component(InlineDram::new()))
-            }
-            TimingMode::ClosedLoop => Some(engine.add_component(ClosedLoopDram::new(
-                self.dram_channel_count(),
-                self.interleave_bytes,
-            ))),
-        };
-        let rendezvous = engine.add_component(Rendezvous::default());
-        let channel = engine.add_component(MemChannel::new(&self.chip, dram, self.mode));
-        let bus = engine.add_component(BusComponent::new(&self.chip, rendezvous));
-
-        let mut now = SimTime::ZERO;
-        let mut partitions = Vec::with_capacity(programs.len());
-
-        for (index, program) in programs.iter().enumerate() {
-            if program.cores() > self.chip.cores {
-                return Err(SimError::CoreCountMismatch {
-                    program_cores: program.cores(),
-                    chip_cores: self.chip.cores,
-                });
-            }
-            // Full-chip barrier: shared resources come free at the
-            // partition boundary. Barriers are scheduled first, so
-            // the (time, seq) order guarantees they run before any
-            // same-time core activity.
-            for shared in [channel, bus, rendezvous] {
-                engine.schedule(now, shared, ChipEvent::Barrier);
-            }
-            let core_ids: Vec<ComponentId> = (0..program.cores())
-                .map(|c| {
-                    let stream = program.core(CoreId(c)).instructions().to_vec();
-                    let id = engine.add_component(CoreComponent::new(
-                        stream, now, timing, channel, bus, rendezvous,
-                    ));
-                    engine.schedule(now, id, ChipEvent::Step);
-                    id
-                })
-                .collect();
-            engine.run_until_idle();
-
-            // Drain the per-partition cores and fold up the outcome.
-            let start_ns = now.as_ns();
-            let mut end_ns = start_ns;
-            let mut replace_done_ns = start_ns;
-            let mut activity = Vec::with_capacity(core_ids.len());
-            let mut deadlock = None;
-            for (i, &id) in core_ids.iter().enumerate() {
-                let core: CoreComponent =
-                    engine.extract(id).expect("core component survives the run");
-                if !core.finished && deadlock.is_none() {
-                    let tag = core.blocked.expect("unfinished cores block on recv");
-                    deadlock = Some(SimError::Deadlock { core: CoreId(i), tag });
-                }
-                end_ns = end_ns.max(core.clock_ns);
-                replace_done_ns = replace_done_ns.max(core.replace_done_ns);
-                activity.push(core.activity);
-            }
-            if let Some(error) = deadlock {
-                return Err(error);
-            }
-
-            let stats = program.stats();
-            let mut energy = PowerBreakdown::new();
-            energy.mvm_nj = energy_model.mvm_energy_nj(stats.mvm_activations);
-            energy.weight_write_nj = energy_model.weight_write_energy_nj(stats.weight_write_bits);
-            energy.weight_load_nj = energy_model.dram_energy_nj(stats.weight_load_bytes * 8);
-            energy.activation_dram_nj =
-                energy_model.dram_energy_nj((stats.data_load_bytes + stats.data_store_bytes) * 8);
-            energy.interconnect_nj = energy_model.bus_energy_nj(stats.interconnect_bytes);
-            energy.vfu_nj = energy_model.vfu_energy_nj(stats.vfu_elements);
-            partitions.push(PartitionSimReport {
-                index,
-                start_ns,
-                end_ns,
-                replace_ns: replace_done_ns - start_ns,
-                stats,
-                energy,
-                core_activity: activity,
-            });
-            now = SimTime::from_ns(end_ns);
-        }
-
-        let mut energy = partitions.iter().fold(PowerBreakdown::new(), |acc, p| acc + p.energy);
-        energy.static_nj = energy_model.static_energy_nj(now.as_ns());
-
-        let channel: MemChannel = engine.extract(channel).expect("channel survives the run");
-        let (dram_energy, dram_channels) = match self.mode {
-            TimingMode::Analytic => {
-                let energy = dram.and_then(|id| {
-                    let dram: InlineDram = engine.extract(id).expect("dram survives the run");
-                    (dram.requests > 0).then(|| dram.sim.energy())
-                });
-                (energy, None)
-            }
-            TimingMode::ClosedLoop => {
-                let id = dram.expect("closed-loop mode wires a DRAM component");
-                let dram: ClosedLoopDram = engine.extract(id).expect("dram survives the run");
-                let energy = (dram.requests > 0).then(|| dram.mem.energy());
-                (energy, Some(dram.mem.channel_stats()))
-            }
-        };
-
-        let dram_trace = if self.replay_dram || self.mode == TimingMode::ClosedLoop {
-            channel.stats
-        } else {
-            TraceStats::default()
-        };
-        Ok(SimReport {
-            batch: batch.max(1),
-            partitions,
-            makespan_ns: now.as_ns(),
-            energy,
-            dram_energy,
-            dram_trace,
-            dram_channels,
-        })
+        self.system.run(&[ChipLoad { programs, handoff: None }], 1, batch)
     }
 }
 
@@ -244,7 +115,7 @@ impl ChipSimulator {
 mod tests {
     use super::*;
     use compass::{CompileOptions, Compiler, GaParams, Strategy};
-    use pim_isa::Tag;
+    use pim_isa::{CoreId, Tag};
     use pim_model::zoo;
 
     fn compile(
@@ -418,6 +289,37 @@ mod tests {
         let one = run(1);
         let four = run(4);
         assert!(four < one, "4 channels ({four} ns) must beat 1 channel ({one} ns)");
+    }
+
+    #[test]
+    fn fr_fcfs_reorder_is_deterministic_and_conserves_bytes() {
+        // Same-instant accesses from independent cores may reorder
+        // under the flag, but the outcome is bit-stable run to run and
+        // no byte is lost.
+        use pim_isa::Instruction as I;
+        let chip = ChipSpec::chip_s();
+        let mut program = ChipProgram::new(chip.cores);
+        for c in 0..8 {
+            program.core_mut(CoreId(c)).push(I::LoadData { bytes: 96 * 1024 });
+            program.core_mut(CoreId(c)).push(I::StoreData { bytes: 32 * 1024 });
+        }
+        let run = |reorder: bool| {
+            ChipSimulator::new(chip.clone())
+                .with_timing_mode(TimingMode::ClosedLoop)
+                .with_dram_channels(2)
+                .with_dram_reorder(reorder)
+                .run(std::slice::from_ref(&program), 1)
+                .unwrap()
+        };
+        let a = run(true);
+        let b = run(true);
+        assert_eq!(a, b, "FR-FCFS reordering must stay deterministic");
+        let total: u64 = a.dram_channels.as_ref().unwrap().iter().map(|c| c.total_bytes()).sum();
+        assert_eq!(total as usize, 8 * (96 + 32) * 1024, "every byte served exactly once");
+        // The default path still serves at arrival order and may
+        // differ in timing, but moves the same traffic.
+        let fifo = run(false);
+        assert_eq!(fifo.dram_trace, a.dram_trace);
     }
 
     #[test]
