@@ -32,6 +32,7 @@ pub mod chip;
 pub mod crossbar;
 pub mod energy;
 pub mod mapping;
+pub mod schedule;
 pub mod timing;
 pub mod topology;
 
@@ -42,6 +43,7 @@ pub use crossbar::{CellTechnology, CrossbarSpec};
 pub use energy::{EnergyModel, PowerBreakdown};
 pub use error::InvalidConfigError;
 pub use mapping::{crossbars_for_matrix, MatrixFootprint};
+pub use schedule::ScheduleMode;
 pub use timing::TimingMode;
 pub use topology::{Link, LinkSpec, Topology};
 

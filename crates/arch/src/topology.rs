@@ -13,6 +13,7 @@
 //! CI legs and sweeps can retarget the whole harness without code
 //! changes.
 
+use crate::chip::ChipSpec;
 use crate::error::InvalidConfigError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -83,12 +84,16 @@ pub struct Topology {
     pub chips: usize,
     /// Directed links between chips.
     pub links: Vec<Link>,
+    /// Per-slot chip overrides for heterogeneous systems, as
+    /// `(slot, spec)` pairs; slots without an entry run the system's
+    /// base chip. Empty (the presets) means a homogeneous system.
+    pub overrides: Vec<(usize, ChipSpec)>,
 }
 
 impl Topology {
     /// The paper's machine: one chip, no interconnect.
     pub fn single() -> Self {
-        Self { name: "single".to_string(), chips: 1, links: Vec::new() }
+        Self { name: "single".to_string(), chips: 1, links: Vec::new(), overrides: Vec::new() }
     }
 
     /// A bidirectional ring of `chips` chips with [`LinkSpec::board`]
@@ -108,7 +113,7 @@ impl Topology {
         if chips == 2 {
             links.truncate(2);
         }
-        Self { name: format!("ring:{chips}"), chips, links }
+        Self { name: format!("ring:{chips}"), chips, links, overrides: Vec::new() }
     }
 
     /// A fully connected mesh: one dedicated directed link per ordered
@@ -126,7 +131,26 @@ impl Topology {
                 }
             }
         }
-        Self { name: format!("fc:{chips}"), chips, links }
+        Self { name: format!("fc:{chips}"), chips, links, overrides: Vec::new() }
+    }
+
+    /// Replaces slot `slot`'s chip with `spec` (heterogeneous system);
+    /// a later override of the same slot wins. Validation rejects
+    /// out-of-range slots and invalid specs.
+    pub fn with_chip_override(mut self, slot: usize, spec: ChipSpec) -> Self {
+        self.overrides.retain(|(s, _)| *s != slot);
+        self.overrides.push((slot, spec));
+        self
+    }
+
+    /// The override installed for `slot`, if any.
+    pub fn chip_override(&self, slot: usize) -> Option<&ChipSpec> {
+        self.overrides.iter().find(|(s, _)| *s == slot).map(|(_, spec)| spec)
+    }
+
+    /// `true` when any slot carries a chip override.
+    pub fn is_heterogeneous(&self) -> bool {
+        !self.overrides.is_empty()
     }
 
     /// Number of chips.
@@ -171,6 +195,12 @@ impl Topology {
                     "link latency must be finite and non-negative",
                 ));
             }
+        }
+        for (slot, spec) in &self.overrides {
+            if *slot >= self.chips {
+                return Err(InvalidConfigError::new("chip override slot out of range"));
+            }
+            spec.validate()?;
         }
         for src in 0..self.chips {
             for dst in 0..self.chips {
@@ -257,20 +287,32 @@ impl Topology {
     /// (`single`, `ring:N`, `fc:N` / `fully-connected:N`), defaulting
     /// to [`Topology::single`] when unset.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the variable is set to an unrecognized value — a
-    /// misspelled CI matrix leg must fail loudly, not silently run the
-    /// single-chip suite twice.
-    pub fn from_env() -> Self {
+    /// Returns the parse failure for a malformed value, naming the
+    /// offending preset and every accepted form.
+    pub fn try_from_env() -> Result<Self, String> {
         match std::env::var("PIM_TOPOLOGY") {
-            Ok(raw) => raw
-                .parse()
-                .unwrap_or_else(|e| panic!("PIM_TOPOLOGY: {e} (use single, ring:N, or fc:N)")),
-            Err(_) => Topology::single(),
+            Ok(raw) => raw.parse().map_err(|e| format!("PIM_TOPOLOGY: {e}")),
+            Err(_) => Ok(Topology::single()),
         }
     }
+
+    /// [`Self::try_from_env`] for harness entry points.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the descriptive parse error when the variable is
+    /// set to an unrecognized value — a misspelled CI matrix leg must
+    /// fail loudly, not silently run the single-chip suite twice.
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
 }
+
+/// The preset spellings [`Topology::from_str`] accepts, quoted in
+/// every parse error so a malformed `PIM_TOPOLOGY` names its fix.
+const ACCEPTED_FORMS: &str = "accepted forms: single, ring:N, fc:N / fully-connected:N (N >= 1)";
 
 impl Default for Topology {
     fn default() -> Self {
@@ -292,18 +334,23 @@ impl FromStr for Topology {
         if lower == "single" || lower == "1" {
             return Ok(Topology::single());
         }
-        let (kind, count) = lower.split_once(':').ok_or_else(|| {
-            format!("unknown topology {raw:?} (expected single, ring:N, or fc:N)")
+        let (kind, count) = lower
+            .split_once(':')
+            .ok_or_else(|| format!("unknown topology preset {raw:?}; {ACCEPTED_FORMS}"))?;
+        let chips: usize = count.parse().map_err(|_| {
+            format!("invalid chip count {count:?} in topology preset {raw:?}; {ACCEPTED_FORMS}")
         })?;
-        let chips: usize =
-            count.parse().map_err(|_| format!("invalid chip count in topology {raw:?}"))?;
         if chips == 0 {
-            return Err(format!("topology {raw:?} must have at least one chip"));
+            return Err(format!(
+                "topology preset {raw:?} must have at least one chip; {ACCEPTED_FORMS}"
+            ));
         }
         match kind {
             "ring" => Ok(Topology::ring(chips)),
             "fc" | "fully-connected" | "fully_connected" => Ok(Topology::fully_connected(chips)),
-            other => Err(format!("unknown topology kind {other:?}")),
+            other => {
+                Err(format!("unknown topology kind {other:?} in preset {raw:?}; {ACCEPTED_FORMS}"))
+            }
         }
     }
 }
@@ -378,8 +425,12 @@ mod tests {
         topo.links[0].dst = 7;
         assert!(topo.validate().is_err());
 
-        let disconnected =
-            Topology { name: "broken".to_string(), chips: 3, links: Topology::ring(2).links };
+        let disconnected = Topology {
+            name: "broken".to_string(),
+            chips: 3,
+            links: Topology::ring(2).links,
+            overrides: Vec::new(),
+        };
         assert!(disconnected.validate().is_err(), "chip 2 is unreachable");
 
         let mut bad_bw = Topology::ring(2);
@@ -398,9 +449,46 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let topo = Topology::ring(3);
+        let topo = Topology::ring(3).with_chip_override(1, ChipSpec::chip_l());
         let json = serde_json::to_string(&topo).unwrap();
         let back: Topology = serde_json::from_str(&json).unwrap();
         assert_eq!(topo, back);
+    }
+
+    #[test]
+    fn chip_overrides_install_and_validate() {
+        let topo = Topology::ring(2)
+            .with_chip_override(1, ChipSpec::chip_m())
+            .with_chip_override(1, ChipSpec::chip_l());
+        assert!(topo.is_heterogeneous());
+        assert!(topo.chip_override(0).is_none());
+        assert_eq!(topo.chip_override(1).unwrap().name, "L", "later override wins");
+        assert_eq!(topo.overrides.len(), 1, "same slot replaced, not stacked");
+        topo.validate().unwrap();
+        // Out-of-range slots and invalid specs are rejected.
+        let out_of_range = Topology::ring(2).with_chip_override(5, ChipSpec::chip_s());
+        assert!(out_of_range.validate().is_err());
+        let mut broken = ChipSpec::chip_s();
+        broken.cores = 0;
+        assert!(Topology::ring(2).with_chip_override(0, broken).validate().is_err());
+        assert!(!Topology::ring(2).is_heterogeneous());
+    }
+
+    #[test]
+    fn parse_errors_name_the_preset_and_accepted_forms() {
+        for raw in ["mesh:4", "ring:x", "ring:0", "torus"] {
+            let err = Topology::from_str(raw).unwrap_err();
+            assert!(err.contains(raw), "{err:?} must quote the offending value {raw:?}");
+            assert!(err.contains("single, ring:N, fc:N"), "{err:?} must list accepted forms");
+        }
+    }
+
+    #[test]
+    fn env_parse_errors_are_descriptive() {
+        // try_from_env reads the live environment; exercise the
+        // formatting through the same code path FromStr feeds.
+        let err = "star:3".parse::<Topology>().unwrap_err();
+        assert!(err.contains("star"), "{err}");
+        assert!(err.contains("accepted forms"), "{err}");
     }
 }

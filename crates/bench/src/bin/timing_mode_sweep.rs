@@ -11,41 +11,66 @@
 
 use compass::Strategy;
 use compass_bench::{
-    append_records, arg_value, geomean, has_flag, print_table, run_config_in_mode, BenchMode,
-    BenchRecord, BATCHES, NETWORKS,
+    append_records, arg_value, bench_rounds, geomean, has_flag, print_table, run_config_in_mode,
+    run_config_scheduled, BenchMode, BenchRecord, BATCHES, NETWORKS,
 };
-use pim_arch::{ChipClass, TimingMode};
+use pim_arch::{ChipClass, ScheduleMode, TimingMode};
 
 fn main() {
     let mode = BenchMode::from_args();
     // `--quick` is the CI bench-smoke configuration: greedy
     // partitioning, no GA.
     let strategy = if has_flag("--quick") { Strategy::Greedy } else { Strategy::Compass };
+    // `--schedule <barrier|interleaved>` selects the intra-chip stage
+    // dispatch; the mode is part of every record name so baselines
+    // cannot mix modes silently.
+    let schedule: ScheduleMode = arg_value("--schedule")
+        .map(|raw| raw.parse().unwrap_or_else(|e| panic!("--schedule: {e}")))
+        .unwrap_or_default();
     let batches = [BATCHES[0], BATCHES[2], BATCHES[4]]; // 1, 4, 16
+
+    // One cycle for barrier, several for interleaved (which only
+    // overlaps consecutive cycles) — shared with the env-driven
+    // harness so both axes always measure the same round count.
+    let rounds = bench_rounds(schedule);
 
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
     let mut records: Vec<BenchRecord> = Vec::new();
     for net in NETWORKS {
         for batch in batches {
-            let analytic =
-                run_config_in_mode(net, ChipClass::S, strategy, batch, mode, TimingMode::Analytic);
-            let closed = run_config_in_mode(
+            let analytic = run_config_scheduled(
                 net,
                 ChipClass::S,
                 strategy,
                 batch,
+                rounds,
+                mode,
+                TimingMode::Analytic,
+                schedule,
+            );
+            let closed = run_config_scheduled(
+                net,
+                ChipClass::S,
+                strategy,
+                batch,
+                rounds,
                 mode,
                 TimingMode::ClosedLoop,
+                schedule,
             );
             for (result, timing) in
                 [(&analytic, TimingMode::Analytic), (&closed, TimingMode::ClosedLoop)]
             {
-                // The scheme is part of the name: a baseline regenerated
-                // without --quick (GA) can never silently shadow the CI
-                // greedy records.
+                // The scheme and schedule are part of the name: a
+                // baseline regenerated without --quick (GA) or under a
+                // different schedule can never silently shadow the CI
+                // records.
                 records.push(BenchRecord {
-                    name: format!("timing:{}:{timing}:{strategy}", result.label),
+                    name: format!(
+                        "timing:{}x{rounds}:{timing}:{strategy}:{schedule}",
+                        result.label
+                    ),
                     makespan_ns: result.simulated.makespan_ns,
                     throughput_ips: result.throughput(),
                 });
@@ -75,7 +100,7 @@ fn main() {
         }
     }
     print_table(
-        &format!("Timing-mode sweep: Chip-S under {strategy}"),
+        &format!("Timing-mode sweep: Chip-S under {strategy} ({schedule} schedule)"),
         &[
             "Config",
             "Analytic (inf/s)",

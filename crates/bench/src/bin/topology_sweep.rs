@@ -12,6 +12,9 @@
 //! * `--quick` — greedy partitioning (no GA), the CI bench-smoke
 //!   configuration;
 //! * `--paper` — the paper's GA hyper-parameters;
+//! * `--schedule <barrier|interleaved>` — intra-chip stage dispatch
+//!   (default barrier, the paper's model); the mode is part of every
+//!   record name so baselines cannot mix modes silently;
 //! * `--json <path>` — merge this run's perf-trajectory records
 //!   (`BENCH_ci.json` in CI) into `path`.
 
@@ -20,11 +23,14 @@ use compass_bench::{
     append_records, arg_value, geomean, has_flag, print_table, run_system_config, BenchMode,
     BenchRecord, NETWORKS,
 };
-use pim_arch::{ChipClass, TimingMode, Topology};
+use pim_arch::{ChipClass, ScheduleMode, TimingMode, Topology};
 
 fn main() {
     let mode = BenchMode::from_args();
     let strategy = if has_flag("--quick") { Strategy::Greedy } else { Strategy::Compass };
+    let schedule: ScheduleMode = arg_value("--schedule")
+        .map(|raw| raw.parse().unwrap_or_else(|e| panic!("--schedule: {e}")))
+        .unwrap_or_default();
     let batch = 4;
     let rounds = 4;
     let topologies = [
@@ -52,6 +58,7 @@ fn main() {
                     rounds,
                     mode,
                     timing,
+                    schedule,
                 );
                 if topology.is_single() {
                     single_ns = result.report.makespan_ns;
@@ -97,7 +104,7 @@ fn main() {
         }
         print_table(
             &format!(
-                "Topology sweep ({timing} timing, layer pipeline, batch {batch} x {rounds} rounds)"
+                "Topology sweep ({timing} timing, {schedule} schedule, layer pipeline, batch {batch} x {rounds} rounds)"
             ),
             &[
                 "Config",
@@ -112,8 +119,10 @@ fn main() {
         println!("\ngeomean multi-chip speedup ({timing}): {:.3}", geomean(&speedups));
     }
 
-    // Layer pipeline vs batch shard on one workload: sharding avoids
-    // inter-chip traffic but replicates weight replacement.
+    // Layer pipeline vs batch shard vs fan-out on one workload:
+    // sharding avoids inter-chip traffic but replicates weight
+    // replacement; fan-out splits the difference by replicating only
+    // the bottleneck segment.
     let mut rows = Vec::new();
     for system_strategy in SystemStrategy::ALL {
         for chips in [2usize, 4] {
@@ -127,18 +136,20 @@ fn main() {
                 rounds,
                 mode,
                 TimingMode::Analytic,
+                schedule,
             );
             records.push(result.record(TimingMode::Analytic));
             rows.push(vec![
                 format!("fc:{chips} {system_strategy}"),
                 format!("{:.1}", result.throughput()),
                 format!("{}", result.schedule.handoff_bytes_per_round()),
+                format!("{}", result.schedule.max_fan_out()),
             ]);
         }
     }
     print_table(
-        "ResNet18-S: layer pipeline vs batch shard (analytic)",
-        &["Config", "Throughput (inf/s)", "Inter-chip B/round"],
+        &format!("ResNet18-S: system strategies (analytic, {schedule})"),
+        &["Config", "Throughput (inf/s)", "Inter-chip B/round", "Max fan-out"],
         &rows,
     );
 

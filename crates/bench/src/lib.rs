@@ -27,9 +27,9 @@ use compass::{
     plan_system, CompileOptions, CompiledModel, Compiler, GaParams, Strategy, SystemSchedule,
     SystemStrategy, SystemTarget,
 };
-use pim_arch::{ChipClass, ChipSpec, TimingMode, Topology};
+use pim_arch::{ChipClass, ChipSpec, ScheduleMode, TimingMode, Topology};
 use pim_model::{zoo, Network};
-use pim_sim::{ChipLoad, ChipSimulator, Handoff, SimReport, SystemSimulator};
+use pim_sim::{ChipLoad, ChipSimulator, SimReport, SystemSimulator};
 use serde::{Deserialize, Serialize};
 
 /// The paper's three benchmark networks.
@@ -106,9 +106,15 @@ impl ConfigResult {
     }
 }
 
-/// Compiles and simulates one configuration in the timing mode named
-/// by the `PIM_TIMING_MODE` environment variable (default: analytic —
-/// the paper's methodology). CI runs the suite in both modes.
+/// Compiles and simulates one configuration in the timing and
+/// schedule modes named by the `PIM_TIMING_MODE` / `PIM_SCHEDULE_MODE`
+/// environment variables (defaults: analytic, barrier — the paper's
+/// methodology). CI runs the suite in both timing modes; the schedule
+/// axis retargets the same harness without code changes. Barrier mode
+/// runs the paper's single batch cycle; interleaved mode runs four
+/// back-to-back cycles, because interleaving only overlaps
+/// *consecutive* cycles — one round would measure barrier mode under
+/// a different name.
 pub fn run_config(
     net_name: &str,
     class: ChipClass,
@@ -116,11 +122,33 @@ pub fn run_config(
     batch: usize,
     mode: BenchMode,
 ) -> ConfigResult {
-    run_config_in_mode(net_name, class, strategy, batch, mode, TimingMode::from_env())
+    let schedule = ScheduleMode::from_env();
+    run_config_scheduled(
+        net_name,
+        class,
+        strategy,
+        batch,
+        bench_rounds(schedule),
+        mode,
+        TimingMode::from_env(),
+        schedule,
+    )
+}
+
+/// The batch cycles a bench measurement runs per configuration under
+/// `schedule` — the single source of truth for the env-driven
+/// harness and the sweeps' `--schedule` axis. Barrier mode keeps the
+/// paper's single cycle; interleaving only overlaps *consecutive*
+/// cycles, so its measurements need several to say anything.
+pub fn bench_rounds(schedule: ScheduleMode) -> usize {
+    match schedule {
+        ScheduleMode::Barrier => 1,
+        ScheduleMode::Interleaved => 4,
+    }
 }
 
 /// Compiles and simulates one configuration in an explicit timing
-/// mode.
+/// mode (one round, barrier scheduling).
 pub fn run_config_in_mode(
     net_name: &str,
     class: ChipClass,
@@ -128,6 +156,24 @@ pub fn run_config_in_mode(
     batch: usize,
     mode: BenchMode,
     timing: TimingMode,
+) -> ConfigResult {
+    run_config_scheduled(net_name, class, strategy, batch, 1, mode, timing, ScheduleMode::Barrier)
+}
+
+/// Compiles and simulates one configuration over `rounds` successive
+/// batch cycles in explicit timing and intra-chip schedule modes.
+/// Interleaving overlaps consecutive rounds, so a meaningful
+/// interleaved measurement needs `rounds > 1`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_config_scheduled(
+    net_name: &str,
+    class: ChipClass,
+    strategy: Strategy,
+    batch: usize,
+    rounds: usize,
+    mode: BenchMode,
+    timing: TimingMode,
+    schedule: ScheduleMode,
 ) -> ConfigResult {
     let net = network(net_name);
     let chip = ChipSpec::preset(class);
@@ -139,12 +185,14 @@ pub fn run_config_in_mode(
                 .with_strategy(strategy)
                 .with_ga(mode.ga_params())
                 .with_seed(2025)
-                .with_timing_mode(timing),
+                .with_timing_mode(timing)
+                .with_schedule_mode(schedule),
         )
         .unwrap_or_else(|e| panic!("{net_name}-{class}-{batch} ({strategy}): {e}"));
     let simulated = ChipSimulator::new(chip)
         .with_timing_mode(timing)
-        .run(compiled.programs(), batch)
+        .with_schedule_mode(schedule)
+        .run_batches(compiled.programs(), rounds, batch)
         .unwrap_or_else(|e| panic!("{net_name}-{class}-{batch} ({strategy}) sim: {e}"));
     ConfigResult { label: format!("{net_name}-{class}-{batch}"), strategy, compiled, simulated }
 }
@@ -206,16 +254,20 @@ pub fn system_loads(schedule: &SystemSchedule) -> Vec<ChipLoad<'_>> {
     schedule
         .chips
         .iter()
-        .map(|c| ChipLoad {
-            programs: &c.programs,
-            handoff: c.handoff.map(|(dst, bytes)| Handoff { dst, bytes }),
+        .map(|c| {
+            c.handoffs.iter().fold(ChipLoad::new(&c.programs), |load, &(dst, bytes)| {
+                load.with_handoff(dst, bytes)
+            })
         })
         .collect()
 }
 
 /// Compiles one network, plans it onto `topology` under
-/// `system_strategy`, and simulates `rounds` pipeline rounds in an
-/// explicit timing mode.
+/// `system_strategy`, and simulates `rounds` pipeline rounds in
+/// explicit timing and intra-chip schedule modes. The label (and
+/// therefore every [`BenchRecord`] name derived from it) carries the
+/// schedule mode, so barrier and interleaved baselines can never mix
+/// silently.
 #[allow(clippy::too_many_arguments)]
 pub fn run_system_config(
     net_name: &str,
@@ -227,6 +279,7 @@ pub fn run_system_config(
     rounds: usize,
     mode: BenchMode,
     timing: TimingMode,
+    schedule_mode: ScheduleMode,
 ) -> SystemConfigResult {
     let net = network(net_name);
     let chip = ChipSpec::preset(class);
@@ -236,11 +289,13 @@ pub fn run_system_config(
         .with_strategy(strategy)
         .with_ga(mode.ga_params())
         .with_seed(2025)
-        .with_timing_mode(timing);
+        .with_timing_mode(timing)
+        .with_schedule_mode(schedule_mode);
     if !topology.is_single() {
         options = options.with_system_target(target.clone());
     }
-    let label = format!("{net_name}-{class}-{batch}x{rounds}-{topology}-{system_strategy}");
+    let label =
+        format!("{net_name}-{class}-{batch}x{rounds}-{topology}-{system_strategy}-{schedule_mode}");
     let compiled = Compiler::new(chip.clone())
         .compile(&net, &options)
         .unwrap_or_else(|e| panic!("{label} ({strategy}): {e}"));
@@ -249,6 +304,7 @@ pub fn run_system_config(
     let loads = system_loads(&schedule);
     let report = SystemSimulator::new(chip, topology.clone())
         .with_timing_mode(timing)
+        .with_schedule_mode(schedule_mode)
         .run(&loads, rounds, schedule.samples_per_round)
         .unwrap_or_else(|e| panic!("{label} sim: {e}"));
     SystemConfigResult { label, strategy, schedule, report }
@@ -396,13 +452,46 @@ mod tests {
             2,
             BenchMode::Fast,
             TimingMode::Analytic,
+            ScheduleMode::Barrier,
         );
         assert!(result.throughput() > 0.0);
-        assert_eq!(result.label, "squeezenet-S-2x2-ring:2-layer-pipeline");
+        assert_eq!(result.label, "squeezenet-S-2x2-ring:2-layer-pipeline-barrier");
         assert_eq!(result.report.chips.as_ref().unwrap().len(), 2);
         let record = result.record(TimingMode::Analytic);
-        assert_eq!(record.name, "topology:squeezenet-S-2x2-ring:2-layer-pipeline:analytic:greedy");
+        assert_eq!(
+            record.name,
+            "topology:squeezenet-S-2x2-ring:2-layer-pipeline-barrier:analytic:greedy"
+        );
         assert!(record.makespan_ns > 0.0);
+    }
+
+    #[test]
+    fn schedule_axis_separates_record_names() {
+        let run = |schedule: ScheduleMode| {
+            run_system_config(
+                "squeezenet",
+                ChipClass::S,
+                Strategy::Greedy,
+                SystemStrategy::LayerPipeline,
+                &Topology::single(),
+                2,
+                4,
+                BenchMode::Fast,
+                TimingMode::Analytic,
+                schedule,
+            )
+        };
+        let barrier = run(ScheduleMode::Barrier);
+        let interleaved = run(ScheduleMode::Interleaved);
+        let a = barrier.record(TimingMode::Analytic);
+        let b = interleaved.record(TimingMode::Analytic);
+        assert_ne!(a.name, b.name, "the schedule axis must be part of the record name");
+        assert!(a.name.contains("barrier"));
+        assert!(b.name.contains("interleaved"));
+        assert!(
+            b.makespan_ns <= a.makespan_ns + 1e-9,
+            "interleaving never slows the simulated chip"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::replication::optimize_group;
 use crate::scheduler::{schedule_group, SchedulerOptions};
 use crate::system::SystemTarget;
 use crate::validity::ValidityMap;
-use pim_arch::{ChipSpec, TimingMode};
+use pim_arch::{ChipSpec, ScheduleMode, TimingMode};
 use pim_isa::ChipProgram;
 use pim_model::Network;
 use rand::rngs::StdRng;
@@ -74,6 +74,12 @@ pub struct CompileOptions {
     /// Memory timing model the GA fitness and the final estimate are
     /// computed under ([`TimingMode::Analytic`] reproduces the paper).
     pub timing_mode: TimingMode,
+    /// Intra-chip stage dispatch the GA fitness and the final
+    /// estimate model ([`ScheduleMode::Barrier`] reproduces the
+    /// paper's serial batch cycle; [`ScheduleMode::Interleaved`] makes
+    /// the GA optimize the bottleneck stage the interleaved executor
+    /// is paced by).
+    pub schedule_mode: ScheduleMode,
     /// Multi-chip deployment the GA fitness and the final estimate
     /// target (`None` — the default — is the paper's single chip).
     pub system: Option<SystemTarget>,
@@ -91,6 +97,7 @@ impl CompileOptions {
             seed: 0,
             chunks_per_sample: 4,
             timing_mode: TimingMode::Analytic,
+            schedule_mode: ScheduleMode::Barrier,
             system: None,
         }
     }
@@ -135,6 +142,13 @@ impl CompileOptions {
     /// the simulator's matching mode).
     pub fn with_timing_mode(mut self, mode: TimingMode) -> Self {
         self.timing_mode = mode;
+        self
+    }
+
+    /// Sets the intra-chip stage dispatch the GA tunes against (pair
+    /// with the simulator's matching `with_schedule_mode`).
+    pub fn with_schedule_mode(mut self, mode: ScheduleMode) -> Self {
+        self.schedule_mode = mode;
         self
     }
 
@@ -281,6 +295,7 @@ impl Compiler {
                     options.fitness,
                 )
                 .with_timing_mode(options.timing_mode)
+                .with_schedule_mode(options.schedule_mode)
                 .with_system_target(options.system.clone());
                 let mut rng = StdRng::seed_from_u64(options.seed);
                 let (best, trace) = ga::run(&mut ctx, &options.ga, &mut rng);
@@ -290,7 +305,9 @@ impl Compiler {
 
         let mut plans = GroupPlan::build(network, &seq, &group);
         optimize_group(&mut plans, &self.chip);
-        let mut estimator = Estimator::new(&self.chip).with_timing_mode(options.timing_mode);
+        let mut estimator = Estimator::new(&self.chip)
+            .with_timing_mode(options.timing_mode)
+            .with_schedule_mode(options.schedule_mode);
         if let Some(target) = &options.system {
             estimator = estimator.with_system(target);
         }

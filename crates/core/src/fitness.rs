@@ -7,7 +7,7 @@ use crate::plan::GroupPlan;
 use crate::replication::optimize_group;
 use crate::system::SystemTarget;
 use crate::validity::ValidityMap;
-use pim_arch::{ChipSpec, TimingMode};
+use pim_arch::{ChipSpec, ScheduleMode, TimingMode};
 use pim_model::Network;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -50,6 +50,7 @@ pub struct FitnessContext<'a> {
     batch: usize,
     kind: FitnessKind,
     timing_mode: TimingMode,
+    schedule_mode: ScheduleMode,
     system: Option<SystemTarget>,
     /// Interconnect terms derived from `system` once (route walks are
     /// not free; candidates are scored thousands of times).
@@ -76,6 +77,7 @@ impl<'a> FitnessContext<'a> {
             batch,
             kind,
             timing_mode: TimingMode::Analytic,
+            schedule_mode: ScheduleMode::Barrier,
             system: None,
             system_scaling: None,
             cache: HashMap::new(),
@@ -91,6 +93,20 @@ impl<'a> FitnessContext<'a> {
             self.cache.clear();
         }
         self.timing_mode = mode;
+        self
+    }
+
+    /// Scores candidates for the given intra-chip stage dispatch
+    /// policy (see [`Estimator::with_schedule_mode`]): under
+    /// [`ScheduleMode::Interleaved`] the GA optimizes the bottleneck
+    /// stage rather than the serial sum, matching what the interleaved
+    /// executor will actually run. Clears the memo cache (cached
+    /// scores are mode-specific).
+    pub fn with_schedule_mode(mut self, mode: ScheduleMode) -> Self {
+        if mode != self.schedule_mode {
+            self.cache.clear();
+        }
+        self.schedule_mode = mode;
         self
     }
 
@@ -177,15 +193,25 @@ impl<'a> FitnessContext<'a> {
         optimize_group(&mut plans, self.chip);
         let estimate = Estimator::new(self.chip)
             .with_timing_mode(self.timing_mode)
+            .with_schedule_mode(self.schedule_mode)
             .with_system_scaling(self.system_scaling)
             .estimate_group(&plans, self.batch);
+        // Under interleaving the group's batch cycle is shorter than
+        // the serial partition sum; scale each partition's share so
+        // `PGF = Σ f(Pₖ)` still equals the latency the executor pays
+        // while the relative steering between partitions is preserved.
+        let serial_ns: f64 = estimate.partitions.iter().map(|p| p.latency_ns).sum();
+        let occupancy = if serial_ns > 0.0 { estimate.batch_latency_ns / serial_ns } else { 1.0 };
         let partition_fitness: Vec<f64> = estimate
             .partitions
             .iter()
-            .map(|p| match self.kind {
-                FitnessKind::Latency => p.latency_ns,
-                // µs × µJ keeps EDP fitness numerically tame.
-                FitnessKind::Edp => (p.latency_ns * 1e-3) * (p.energy.total_nj() * 1e-3),
+            .map(|p| {
+                let latency_ns = p.latency_ns * occupancy;
+                match self.kind {
+                    FitnessKind::Latency => latency_ns,
+                    // µs × µJ keeps EDP fitness numerically tame.
+                    FitnessKind::Edp => (latency_ns * 1e-3) * (p.energy.total_nj() * 1e-3),
+                }
             })
             .collect();
         let pgf = partition_fitness.iter().sum();
@@ -321,6 +347,31 @@ mod tests {
         assert_eq!(ctx.cache_len(), 0, "target switch must invalidate memoized scores");
         let sharded = ctx.evaluate(&group);
         assert!(sharded.pgf < single.pgf, "half the batch per chip must score cheaper");
+    }
+
+    #[test]
+    fn schedule_mode_changes_scores_and_clears_cache() {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(21);
+        let group = PartitionGroup::random(&mut rng, &f.validity);
+        let mut ctx =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 8, FitnessKind::Latency);
+        let barrier = ctx.evaluate(&group);
+        assert_eq!(ctx.cache_len(), 1);
+        let mut ctx = ctx.with_schedule_mode(ScheduleMode::Interleaved);
+        assert_eq!(ctx.cache_len(), 0, "mode switch must invalidate memoized scores");
+        let interleaved = ctx.evaluate(&group);
+        // Compiled partitions all pack from core 0, so the occupancy
+        // bound pins the interleaved score to the barrier one — the GA
+        // must not chase overlap the executor cannot deliver.
+        assert!(
+            interleaved.pgf <= barrier.pgf + 1e-6,
+            "interleaved occupancy never scores dearer: {} vs {}",
+            interleaved.pgf,
+            barrier.pgf
+        );
+        // PGF still equals the group's estimated batch latency.
+        assert!((interleaved.pgf - interleaved.estimate.batch_latency_ns).abs() < 1e-6);
     }
 
     #[test]

@@ -73,13 +73,20 @@ pub use ga::{GaParams, GaTrace, GenerationRecord};
 pub use partition::{Partition, PartitionGroup};
 pub use plan::{GroupPlan, PartitionPlan};
 pub use report::CompileReport;
-pub use system::{plan_system, SystemChipPlan, SystemSchedule, SystemStrategy, SystemTarget};
+pub use system::{
+    estimate_system_makespan, fan_out_allocation, plan_system, SystemChipPlan, SystemSchedule,
+    SystemStrategy, SystemTarget,
+};
 pub use tuner::{tune_batch, TuneObjective, TuneResult};
 pub use validity::ValidityMap;
 
 /// Re-export of the memory timing-fidelity selector shared with
 /// `pim-arch` and `pim-sim`.
 pub use pim_arch::TimingMode;
+
+/// Re-export of the intra-chip stage dispatch selector shared with
+/// `pim-arch` and `pim-sim`.
+pub use pim_arch::ScheduleMode;
 
 /// Re-export of the multi-chip topology description shared with
 /// `pim-arch` and `pim-sim`.

@@ -14,15 +14,23 @@
 //! * **Batch shard** — every chip runs the whole partition sequence on
 //!   its own share of the batch; no inter-chip traffic, replication of
 //!   the weight-replacement cost instead.
+//! * **Fan-out** — a hybrid: the partition sequence is cut into
+//!   segments and each segment may be *replicated* across several
+//!   chips, each replica taking a contiguous share of the batch. A
+//!   single-replica segment feeding a doubly-replicated one is a
+//!   1-producer/2-consumer fan-out; the converse is a fan-in. Chips
+//!   therefore feed and consume multiple peers, not just a linear
+//!   chain.
 //!
 //! The produced [`SystemSchedule`] maps one-to-one onto
 //! `pim_sim::SystemSimulator` chip loads (programs + per-round
-//! hand-off), keeping the compiler free of a simulator dependency.
+//! hand-offs), keeping the compiler free of a simulator dependency.
 
 use crate::compiler::CompiledModel;
 use crate::error::CompileError;
+use crate::estimate::{GroupEstimate, PartitionEstimate};
 use crate::scheduler::{schedule_group, SchedulerOptions};
-use pim_arch::{ChipSpec, Topology};
+use pim_arch::{ChipSpec, ScheduleMode, Topology};
 use pim_isa::ChipProgram;
 use pim_model::Network;
 use serde::{Deserialize, Serialize};
@@ -39,12 +47,16 @@ pub enum SystemStrategy {
     LayerPipeline,
     /// Every chip runs the full model on its share of the batch.
     BatchShard,
+    /// Latency-balanced segments with per-segment replication: heavy
+    /// segments run on several chips (each on a batch shard), so a
+    /// chip may feed or consume multiple peers.
+    FanOut,
 }
 
 impl SystemStrategy {
-    /// Both strategies.
-    pub const ALL: [SystemStrategy; 2] =
-        [SystemStrategy::LayerPipeline, SystemStrategy::BatchShard];
+    /// Every strategy.
+    pub const ALL: [SystemStrategy; 3] =
+        [SystemStrategy::LayerPipeline, SystemStrategy::BatchShard, SystemStrategy::FanOut];
 }
 
 impl fmt::Display for SystemStrategy {
@@ -52,6 +64,7 @@ impl fmt::Display for SystemStrategy {
         match self {
             SystemStrategy::LayerPipeline => write!(f, "layer-pipeline"),
             SystemStrategy::BatchShard => write!(f, "batch-shard"),
+            SystemStrategy::FanOut => write!(f, "fan-out"),
         }
     }
 }
@@ -63,6 +76,7 @@ impl FromStr for SystemStrategy {
         match raw.to_ascii_lowercase().as_str() {
             "layer-pipeline" | "layer_pipeline" | "pipeline" => Ok(SystemStrategy::LayerPipeline),
             "batch-shard" | "batch_shard" | "shard" => Ok(SystemStrategy::BatchShard),
+            "fan-out" | "fan_out" | "fanout" => Ok(SystemStrategy::FanOut),
             other => Err(format!("unknown system strategy {other:?}")),
         }
     }
@@ -101,13 +115,15 @@ pub struct SystemChipPlan {
     /// (empty when the schedule leaves the chip idle).
     pub programs: Vec<ChipProgram>,
     /// Half-open range of global partition indices assigned here
-    /// (layer pipeline) or the full range (batch shard).
+    /// (layer pipeline / fan-out segment) or the full range (batch
+    /// shard).
     pub partition_range: (usize, usize),
     /// Samples this chip contributes per round.
     pub samples: usize,
-    /// Per-round hand-off to the downstream chip, if any:
-    /// `(destination chip, bytes per round)`.
-    pub handoff: Option<(usize, usize)>,
+    /// Per-round hand-offs to downstream chips, one
+    /// `(destination chip, bytes per round)` entry per consumer
+    /// (several under fan-out).
+    pub handoffs: Vec<(usize, usize)>,
 }
 
 /// A compiled model mapped onto a multi-chip system.
@@ -131,7 +147,13 @@ impl SystemSchedule {
 
     /// Total bytes crossing the interconnect per round.
     pub fn handoff_bytes_per_round(&self) -> usize {
-        self.chips.iter().filter_map(|c| c.handoff.map(|(_, bytes)| bytes)).sum()
+        self.chips.iter().flat_map(|c| c.handoffs.iter().map(|&(_, bytes)| bytes)).sum()
+    }
+
+    /// The largest number of downstream consumers any chip feeds (2+
+    /// means the schedule actually fans out).
+    pub fn max_fan_out(&self) -> usize {
+        self.chips.iter().map(|c| c.handoffs.len()).max().unwrap_or(0)
     }
 }
 
@@ -146,16 +168,15 @@ impl fmt::Display for SystemSchedule {
             self.handoff_bytes_per_round()
         )?;
         for chip in &self.chips {
+            let hands: String = chip
+                .handoffs
+                .iter()
+                .map(|(dst, bytes)| format!(", hands {bytes} B to chip {dst}"))
+                .collect();
             writeln!(
                 f,
-                "  chip {}: partitions [{}, {}), {} samples/round{}",
-                chip.chip,
-                chip.partition_range.0,
-                chip.partition_range.1,
-                chip.samples,
-                chip.handoff
-                    .map(|(dst, bytes)| format!(", hands {bytes} B to chip {dst}"))
-                    .unwrap_or_default()
+                "  chip {}: partitions [{}, {}), {} samples/round{hands}",
+                chip.chip, chip.partition_range.0, chip.partition_range.1, chip.samples,
             )?;
         }
         Ok(())
@@ -170,7 +191,12 @@ impl fmt::Display for SystemSchedule {
 /// activations (`batch ×` per-sample bytes) to the next chip after
 /// every round. For [`SystemStrategy::BatchShard`], the partition
 /// plans are rescheduled at each chip's shard of `batch` (front chips
-/// take the remainder).
+/// take the remainder). For [`SystemStrategy::FanOut`], segments are
+/// additionally replicated — spare chips go to whichever segment has
+/// the worst per-replica latency — and every replica ships each
+/// downstream replica the entry activations of the samples flowing
+/// between their contiguous batch shards (fan-out/fan-in at the
+/// segment boundaries).
 ///
 /// # Errors
 ///
@@ -204,18 +230,20 @@ pub fn plan_system(
             let mut chip_plans = Vec::with_capacity(chips);
             for c in 0..chips {
                 let (from, to) = if c < used { (cuts[c], cuts[c + 1]) } else { (0, 0) };
-                let handoff = (c + 1 < used).then(|| {
+                let handoffs = if c + 1 < used {
                     // The downstream chip's first partition loads these
                     // activations each round; they cross the
                     // interconnect first.
-                    (c + 1, plans[cuts[c + 1]].entry_bytes_per_sample() * batch)
-                });
+                    vec![(c + 1, plans[cuts[c + 1]].entry_bytes_per_sample() * batch)]
+                } else {
+                    Vec::new()
+                };
                 chip_plans.push(SystemChipPlan {
                     chip: c,
                     programs: programs[from..to].to_vec(),
                     partition_range: (from, to),
                     samples: if from < to { batch } else { 0 },
-                    handoff,
+                    handoffs,
                 });
             }
             SystemSchedule {
@@ -246,8 +274,71 @@ pub fn plan_system(
                     partition_range: if shard > 0 { (0, plans.len()) } else { (0, 0) },
                     programs,
                     samples: shard,
-                    handoff: None,
+                    handoffs: Vec::new(),
                 });
+            }
+            SystemSchedule {
+                topology: target.topology.clone(),
+                strategy: target.strategy,
+                chips: chip_plans,
+                samples_per_round: batch,
+            }
+        }
+        SystemStrategy::FanOut => {
+            let (cuts, replicas) =
+                fan_out_allocation(&compiled.estimate().partitions, batch, chips);
+            let segments = replicas.len();
+            // Contiguous batch shards per replica, segment by segment.
+            let mut chip_plans: Vec<SystemChipPlan> = Vec::with_capacity(chips);
+            let mut seg_ranges: Vec<Vec<(usize, usize)>> = Vec::with_capacity(segments);
+            for (seg, &r) in replicas.iter().enumerate() {
+                let (from, to) = (cuts[seg], cuts[seg + 1]);
+                let base = batch / r;
+                let remainder = batch % r;
+                let mut ranges = Vec::with_capacity(r);
+                let mut sample_at = 0usize;
+                for rep in 0..r {
+                    let shard = base + usize::from(rep < remainder);
+                    ranges.push((sample_at, sample_at + shard));
+                    sample_at += shard;
+                    let programs = if shard > 0 {
+                        schedule_group(
+                            network,
+                            &plans[from..to],
+                            chip,
+                            &SchedulerOptions { batch: shard, chunks_per_sample },
+                        )
+                    } else {
+                        Vec::new()
+                    };
+                    chip_plans.push(SystemChipPlan {
+                        chip: chip_plans.len(),
+                        programs,
+                        partition_range: if shard > 0 { (from, to) } else { (0, 0) },
+                        samples: shard,
+                        handoffs: Vec::new(),
+                    });
+                }
+                seg_ranges.push(ranges);
+            }
+            // Hand-offs: each upstream replica ships every downstream
+            // replica the entry activations of the samples their
+            // contiguous shards share.
+            let mut seg_base = 0usize;
+            for seg in 0..segments.saturating_sub(1) {
+                let entry_bytes = plans[cuts[seg + 1]].entry_bytes_per_sample();
+                let down_base = seg_base + replicas[seg];
+                for (u, &(ua, ub)) in seg_ranges[seg].iter().enumerate() {
+                    for (d, &(da, db)) in seg_ranges[seg + 1].iter().enumerate() {
+                        let flow = ub.min(db).saturating_sub(ua.max(da));
+                        if flow > 0 {
+                            chip_plans[seg_base + u]
+                                .handoffs
+                                .push((down_base + d, entry_bytes * flow));
+                        }
+                    }
+                }
+                seg_base = down_base;
             }
             SystemSchedule {
                 topology: target.topology.clone(),
@@ -258,6 +349,189 @@ pub fn plan_system(
         }
     };
     Ok(schedule)
+}
+
+/// Splits the compiled partitions into segments and replica counts
+/// for [`SystemStrategy::FanOut`].
+///
+/// Replicating a segment shards only its *per-sample* pipeline
+/// interval — every replica still pays the segment's full weight
+/// replacement and pipeline fill — so a replica of segment `[a, b)`
+/// at `r` copies costs
+/// `Σ_p (replace_p + fill_p + (⌈batch/r⌉ − 1) · interval_p)`.
+/// For every feasible segment count the partitions are balance-cut by
+/// full-batch latency, each spare chip goes to the segment whose
+/// per-replica latency is currently worst, and the allocation with
+/// the lowest bottleneck wins — ties to fewer segments. Returns
+/// `(cut positions, per-segment replica counts)`;
+/// `Σ replicas = chips`.
+pub fn fan_out_allocation(
+    partitions: &[PartitionEstimate],
+    batch: usize,
+    chips: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let chips = chips.max(1);
+    let batch = batch.max(1);
+    let max_segments = chips.min(partitions.len()).max(1);
+    let replica_latency = |from: usize, to: usize, replicas: usize| -> f64 {
+        let shard = batch.div_ceil(replicas).max(1);
+        partitions[from..to]
+            .iter()
+            .map(|p| p.replace_ns + p.fill_ns + (shard as f64 - 1.0) * p.interval_ns)
+            .sum()
+    };
+    let full_latencies: Vec<f64> = partitions.iter().map(|p| p.latency_ns).collect();
+    let mut best: Option<(f64, Vec<usize>, Vec<usize>)> = None;
+    for segments in 1..=max_segments {
+        let cuts = balanced_cuts(&full_latencies, segments);
+        let mut replicas = vec![1usize; segments];
+        for _ in 0..chips.saturating_sub(segments) {
+            // Deterministic: ties resolve to the earliest segment.
+            let mut worst = 0usize;
+            let mut worst_lat = f64::NEG_INFINITY;
+            for s in 0..segments {
+                let lat = replica_latency(cuts[s], cuts[s + 1], replicas[s]);
+                if lat > worst_lat {
+                    worst = s;
+                    worst_lat = lat;
+                }
+            }
+            replicas[worst] += 1;
+        }
+        let bottleneck = (0..segments)
+            .map(|s| replica_latency(cuts[s], cuts[s + 1], replicas[s]))
+            .fold(0.0f64, f64::max);
+        if best.as_ref().is_none_or(|(b, _, _)| bottleneck < *b - 1e-9) {
+            best = Some((bottleneck, cuts, replicas));
+        }
+    }
+    let (_, cuts, replicas) = best.expect("at least one allocation exists");
+    (cuts, replicas)
+}
+
+/// Predicts the simulated makespan of `schedule` over `rounds`
+/// pipeline rounds under `mode`, from the compiled model's
+/// **single-chip** [`GroupEstimate`] (per-partition replace / fill /
+/// interval terms, re-costed at each chip's batch shard).
+///
+/// The model: each chip's round latency is the sum of its stage
+/// latencies at its shard; the pipeline fill is the longest chain
+/// through the hand-off DAG (chip latency plus link serialization +
+/// propagation per hop); after the fill, rounds drain at the system's
+/// steady-state interval — the slowest chip's round in barrier mode,
+/// and under interleaving the busiest crossbar group's occupancy
+/// (stages sharing a core serialize, so a chip whose stages all
+/// conflict paces like barrier mode while disjoint stages overlap
+/// down to the slowest single stage).
+///
+/// It is an analytic bound, not the simulator: contention on shared
+/// crossbar groups, the memory channel, and links is only loosely
+/// modelled, so expect agreement within a small factor, not ns-exact.
+///
+/// # Panics
+///
+/// Panics on a schedule whose hand-offs form a cycle or cross an
+/// unroutable chip pair — the simulator rejects both up front, so an
+/// estimate for such a schedule would be meaningless.
+pub fn estimate_system_makespan(
+    schedule: &SystemSchedule,
+    estimate: &GroupEstimate,
+    rounds: usize,
+    mode: ScheduleMode,
+) -> f64 {
+    let rounds = rounds.max(1);
+    // Per-chip round latency and worst single stage at the chip's
+    // shard size.
+    let stage_ns = |p: usize, samples: usize| {
+        let part = &estimate.partitions[p];
+        part.replace_ns + part.fill_ns + (samples.max(1) as f64 - 1.0) * part.interval_ns
+    };
+    let chip_round_ns: Vec<f64> = schedule
+        .chips
+        .iter()
+        .map(|c| (c.partition_range.0..c.partition_range.1).map(|p| stage_ns(p, c.samples)).sum())
+        .collect();
+    // Interleaved steady-state interval per chip: stages sharing a
+    // crossbar group (core) serialize, so the chip is paced by its
+    // busiest core's total occupancy — at least the slowest single
+    // stage (disjoint stages), at most the full round (every stage
+    // conflicting, e.g. compiled models that all pack onto core 0).
+    let chip_interleaved_ns: Vec<f64> = schedule
+        .chips
+        .iter()
+        .map(|c| {
+            let (from, _) = c.partition_range;
+            let mut core_occupancy_ns: Vec<f64> = Vec::new();
+            let mut max_stage = 0.0f64;
+            for (i, program) in c.programs.iter().enumerate() {
+                let lat = stage_ns(from + i, c.samples);
+                max_stage = max_stage.max(lat);
+                for core in 0..program.cores() {
+                    if !program.core(pim_isa::CoreId(core)).instructions().is_empty() {
+                        if core_occupancy_ns.len() <= core {
+                            core_occupancy_ns.resize(core + 1, 0.0);
+                        }
+                        core_occupancy_ns[core] += lat;
+                    }
+                }
+            }
+            core_occupancy_ns.iter().copied().fold(max_stage, f64::max)
+        })
+        .collect();
+    // Link time per hand-off over the topology's actual route. An
+    // unroutable hand-off must fail loudly, not price as free.
+    let link_ns = |src: usize, dst: usize, bytes: usize| -> f64 {
+        let topology = &schedule.topology;
+        let hops = topology
+            .route(src, dst)
+            .unwrap_or_else(|| panic!("hand-off {src} -> {dst} has no route on {topology}"));
+        hops.iter()
+            .map(|&h| {
+                let spec = topology.links()[h].spec;
+                spec.serialization_ns(bytes) + spec.latency_ns
+            })
+            .sum()
+    };
+    // Pipeline fill: longest chain through the hand-off DAG. The
+    // function accepts caller-built schedules the simulator never
+    // validated, so guard the recursion with an on-stack marker
+    // instead of trusting the graph to be acyclic.
+    fn chain(
+        c: usize,
+        schedule: &SystemSchedule,
+        chip_round_ns: &[f64],
+        link_ns: &dyn Fn(usize, usize, usize) -> f64,
+        memo: &mut [Option<f64>],
+        on_stack: &mut [bool],
+    ) -> f64 {
+        if let Some(hit) = memo[c] {
+            return hit;
+        }
+        assert!(!on_stack[c], "hand-off cycle through chip {c}");
+        on_stack[c] = true;
+        let tail = schedule.chips[c]
+            .handoffs
+            .iter()
+            .map(|&(dst, bytes)| {
+                link_ns(c, dst, bytes)
+                    + chain(dst, schedule, chip_round_ns, link_ns, memo, on_stack)
+            })
+            .fold(0.0f64, f64::max);
+        on_stack[c] = false;
+        let total = chip_round_ns[c] + tail;
+        memo[c] = Some(total);
+        total
+    }
+    let mut memo = vec![None; schedule.chips.len()];
+    let mut on_stack = vec![false; schedule.chips.len()];
+    let fill = (0..schedule.chips.len())
+        .map(|c| chain(c, schedule, &chip_round_ns, &link_ns, &mut memo, &mut on_stack))
+        .fold(0.0f64, f64::max);
+    let interval = match mode {
+        ScheduleMode::Barrier => chip_round_ns.iter().copied().fold(0.0, f64::max),
+        ScheduleMode::Interleaved => chip_interleaved_ns.iter().copied().fold(0.0, f64::max),
+    };
+    fill + (rounds as f64 - 1.0) * interval
 }
 
 /// Cuts `weights` into `segments` contiguous runs with balanced sums:
@@ -331,11 +605,13 @@ mod tests {
         // Interior chips ship downstream; the tail does not.
         let last_active = schedule.chips.iter().rposition(|c| !c.programs.is_empty()).unwrap();
         for plan in &schedule.chips[..last_active] {
-            let (dst, bytes) = plan.handoff.expect("interior chips hand off");
+            let &[(dst, bytes)] = plan.handoffs.as_slice() else {
+                panic!("interior chips hand off to exactly one peer")
+            };
             assert_eq!(dst, plan.chip + 1);
             assert!(bytes > 0);
         }
-        assert!(schedule.chips[last_active].handoff.is_none());
+        assert!(schedule.chips[last_active].handoffs.is_empty());
         assert!(schedule.to_string().contains("layer-pipeline"));
     }
 
@@ -392,9 +668,79 @@ mod tests {
         let schedule = plan_system(&net, &model, &chip, &target, 2, 2).unwrap();
         assert_eq!(schedule.active_chips(), parts.min(4));
         for plan in schedule.chips.iter().filter(|c| c.programs.is_empty()) {
-            assert!(plan.handoff.is_none());
+            assert!(plan.handoffs.is_empty());
             assert_eq!(plan.samples, 0);
         }
+    }
+
+    /// A synthetic partition estimate: `replace + fill` fixed cost,
+    /// `interval` per extra sample.
+    fn part(replace_ns: f64, interval_ns: f64) -> PartitionEstimate {
+        PartitionEstimate {
+            replace_ns,
+            pipeline_ns: 0.0,
+            fill_ns: 0.0,
+            interval_ns,
+            latency_ns: replace_ns + interval_ns,
+            energy: pim_arch::PowerBreakdown::new(),
+        }
+    }
+
+    #[test]
+    fn fan_out_allocation_replicates_the_interval_bound_segment() {
+        // Two equal-replace partitions at batch 8 over 3 chips:
+        // replication shards only the interval term, so cutting into
+        // two segments (halving each replica's fixed cost) beats
+        // replicating the whole chain.
+        let parts = [part(10.0, 1.0), part(10.0, 1.0)];
+        let (cuts, replicas) = fan_out_allocation(&parts, 8, 3);
+        assert_eq!(cuts, vec![0, 1, 2]);
+        assert_eq!(replicas.iter().sum::<usize>(), 3, "every chip is used");
+        assert_eq!(replicas.len(), 2, "two segments, one replicated");
+        assert!(replicas.contains(&2), "the spare chip replicates a segment");
+        // Replacement-dominated partitions never replicate: sharding
+        // the interval buys nothing against the fixed cost.
+        let heavy = [part(1000.0, 0.1), part(1000.0, 0.1)];
+        let (_, replicas) = fan_out_allocation(&heavy, 8, 4);
+        assert_eq!(replicas.len(), 2, "chain, not shard");
+        // One chip degenerates to a single segment.
+        let (cuts, replicas) = fan_out_allocation(&parts, 8, 1);
+        assert_eq!((cuts, replicas), (vec![0, 2], vec![1]));
+    }
+
+    #[test]
+    fn fan_out_plan_fans_one_producer_into_two_consumers() {
+        let (net, chip, model) = compiled(4);
+        let target = SystemTarget::new(Topology::fully_connected(3), SystemStrategy::FanOut);
+        let schedule = plan_system(&net, &model, &chip, &target, 4, 2).unwrap();
+        assert_eq!(schedule.chips.len(), 3);
+        let (_, replicas) = fan_out_allocation(&model.estimate().partitions, 4, 3);
+        // Every replica of segment 0 together covers the batch.
+        let seg0: usize = schedule.chips.iter().take(replicas[0]).map(|c| c.samples).sum();
+        assert_eq!(seg0, 4, "segment 0's replicas cover the whole batch");
+        // Hand-off destinations are unique per producer, and flows at
+        // each boundary cover the batch's entry bytes exactly once.
+        for plan in &schedule.chips {
+            let dsts: Vec<usize> = plan.handoffs.iter().map(|&(d, _)| d).collect();
+            let unique: std::collections::HashSet<usize> = dsts.iter().copied().collect();
+            assert_eq!(dsts.len(), unique.len());
+        }
+        assert!(schedule.to_string().contains("fan-out"));
+    }
+
+    #[test]
+    fn estimate_system_makespan_tracks_rounds_and_mode() {
+        let (net, chip, model) = compiled(4);
+        let target = SystemTarget::new(Topology::ring(2), SystemStrategy::LayerPipeline);
+        let schedule = plan_system(&net, &model, &chip, &target, 4, 2).unwrap();
+        let est = model.estimate();
+        let one = estimate_system_makespan(&schedule, est, 1, ScheduleMode::Barrier);
+        let four = estimate_system_makespan(&schedule, est, 4, ScheduleMode::Barrier);
+        assert!(one > 0.0);
+        assert!(four > one, "more rounds cost more");
+        // The steady-state interval is the slowest chip's round.
+        let interleaved = estimate_system_makespan(&schedule, est, 4, ScheduleMode::Interleaved);
+        assert!(interleaved <= four + 1e-9, "interleaving never predicts slower");
     }
 
     #[test]
@@ -406,7 +752,7 @@ mod tests {
             Err(CompileError::InvalidOptions(_))
         ));
         let broken = SystemTarget::new(
-            Topology { name: "broken".into(), chips: 0, links: Vec::new() },
+            Topology { name: "broken".into(), chips: 0, links: Vec::new(), overrides: Vec::new() },
             SystemStrategy::BatchShard,
         );
         assert!(matches!(

@@ -30,6 +30,9 @@ pub(crate) enum ChipEvent {
     /// final clock. Carries the core's accounting so the sequencer
     /// never has to reach into a live component.
     CoreDone {
+        /// The `(batch, partition)` stage node the core belongs to
+        /// (several stages may be in flight under interleaving).
+        stage: usize,
         /// Index of the core within its partition program.
         core_index: usize,
         /// The core's final activity breakdown.
@@ -114,6 +117,14 @@ pub(crate) enum ChipEvent {
     /// to the barrier time (matching the full-chip drain between
     /// partitions).
     Barrier,
+    /// An interleaved stage drained: the rendezvous drops the stage's
+    /// tag bucket (its receivers have all completed), keeping the
+    /// delivered map bounded by the stages in flight instead of
+    /// growing for the whole run.
+    RetireStage {
+        /// The stage's tag-space bucket (its graph node id).
+        stage: u64,
+    },
     /// A chunk of DRAM traffic reaches the in-line controller.
     DramRequest {
         /// Byte address (from the channel's bump allocators).
@@ -181,6 +192,13 @@ pub(crate) struct CoreComponent {
     /// the stream is exhausted.
     monitor: ComponentId,
     core_index: usize,
+    /// The `(batch, partition)` stage node this core executes.
+    stage: usize,
+    /// Added to every SEND/RECV tag on the wire, isolating the
+    /// rendezvous tag space of stages that overlap under interleaving
+    /// (zero in barrier mode, where the per-stage barrier clears the
+    /// rendezvous anyway).
+    tag_offset: u64,
 }
 
 impl CoreComponent {
@@ -194,6 +212,8 @@ impl CoreComponent {
         rendezvous: ComponentId,
         monitor: ComponentId,
         core_index: usize,
+        stage: usize,
+        tag_offset: u64,
     ) -> Self {
         Self {
             program,
@@ -209,7 +229,18 @@ impl CoreComponent {
             rendezvous,
             monitor,
             core_index,
+            stage,
+            tag_offset,
         }
+    }
+
+    /// The on-the-wire tag: the program's tag shifted into this
+    /// stage's private tag space. A hard assert, not a debug one —
+    /// silent tag aliasing between overlapping stages would corrupt
+    /// rendezvous matching in release builds too.
+    fn wire_tag(&self, tag: Tag) -> Tag {
+        assert!(tag.0 < 1 << 48, "program tag {tag} collides with the stage-offset bits");
+        Tag(tag.0 + self.tag_offset)
     }
 
     /// Issues the instruction at `pc`: local ops schedule the next
@@ -279,10 +310,14 @@ impl CoreComponent {
                 ctx.schedule(now.advance(dur), me, ChipEvent::Step);
             }
             Instruction::Send { bytes, tag, .. } => {
+                let tag = self.wire_tag(tag);
                 ctx.schedule(now, self.bus, ChipEvent::BusRequest { core: me, bytes, tag });
             }
             Instruction::Recv { tag, .. } => {
+                // Diagnostics keep the program's tag; the wire carries
+                // the stage-offset one.
                 self.blocked = Some(tag);
+                let tag = self.wire_tag(tag);
                 ctx.schedule(
                     now,
                     self.rendezvous,
@@ -322,6 +357,7 @@ impl Component<ChipEvent> for CoreComponent {
                 event.time,
                 self.monitor,
                 ChipEvent::CoreDone {
+                    stage: self.stage,
                     core_index: self.core_index,
                     activity: self.activity,
                     replace_done_ns: self.replace_done_ns,
@@ -498,11 +534,21 @@ impl Component<ChipEvent> for BusComponent {
 
 /// SEND/RECV tag matching. A tag may have several blocked receivers
 /// (e.g. a broadcast-style schedule); all of them wake on delivery, in
-/// the order they blocked.
+/// the order they blocked. Deliveries are bucketed by the tag's
+/// stage-offset bits so an interleaved stage's whole tag space can be
+/// retired in O(1) when the stage drains (barrier mode clears
+/// everything at each stage boundary instead).
 #[derive(Default)]
 pub(crate) struct Rendezvous {
-    delivered: HashMap<Tag, f64>,
+    /// `delivered[stage bucket][tag]` — delivery instant, ns.
+    pub(crate) delivered: HashMap<u64, HashMap<Tag, f64>>,
     waiting: HashMap<Tag, Vec<(ComponentId, f64)>>,
+}
+
+/// The stage bucket a wire tag belongs to (the high offset bits the
+/// cores stamp in interleaved mode; bucket 0 in barrier mode).
+fn tag_bucket(tag: Tag) -> u64 {
+    tag.0 >> 48
 }
 
 impl Rendezvous {
@@ -526,8 +572,11 @@ impl Component<ChipEvent> for Rendezvous {
                 self.delivered.clear();
                 debug_assert!(self.waiting.is_empty(), "barrier with blocked receivers");
             }
+            ChipEvent::RetireStage { stage } => {
+                self.delivered.remove(&stage);
+            }
             ChipEvent::Deliver { tag, at_ns } => {
-                self.delivered.insert(tag, at_ns);
+                self.delivered.entry(tag_bucket(tag)).or_default().insert(tag, at_ns);
                 if let Some(waiters) = self.waiting.remove(&tag) {
                     for (core, since_ns) in waiters {
                         self.complete(core, since_ns, at_ns, ctx);
@@ -535,7 +584,8 @@ impl Component<ChipEvent> for Rendezvous {
                 }
             }
             ChipEvent::AwaitTag { core, tag, since_ns } => {
-                if let Some(&at_ns) = self.delivered.get(&tag) {
+                if let Some(&at_ns) = self.delivered.get(&tag_bucket(tag)).and_then(|b| b.get(&tag))
+                {
                     self.complete(core, since_ns, at_ns, ctx);
                 } else {
                     self.waiting.entry(tag).or_default().push((core, since_ns));

@@ -43,6 +43,7 @@ pub mod system;
 
 mod components;
 mod error;
+mod stage;
 
 pub use error::SimError;
 pub use report::{ChipSimSummary, LinkStats, PartitionSimReport, SimReport};

@@ -3,7 +3,7 @@
 use crate::error::SimError;
 use crate::report::SimReport;
 use crate::system::{ChipLoad, SystemSimulator};
-use pim_arch::{ChipSpec, TimingMode, Topology};
+use pim_arch::{ChipSpec, ScheduleMode, TimingMode, Topology};
 use pim_isa::ChipProgram;
 
 /// Event-driven simulator for one chip, built on the shared
@@ -69,6 +69,14 @@ impl ChipSimulator {
         self
     }
 
+    /// Selects the intra-chip stage dispatch policy (see
+    /// [`SystemSimulator::with_schedule_mode`]). The default barrier
+    /// mode reproduces the paper's execution and the golden fixtures.
+    pub fn with_schedule_mode(mut self, schedule: ScheduleMode) -> Self {
+        self.system = self.system.with_schedule_mode(schedule);
+        self
+    }
+
     /// Sets the closed-loop DRAM channel count (clamped to at least
     /// one). Without this, the count is derived from the chip's
     /// aggregate memory bandwidth over the per-channel LPDDR3 peak.
@@ -107,7 +115,25 @@ impl ChipSimulator {
     /// [`SimError::CoreCountMismatch`] when a program does not match
     /// the chip.
     pub fn run(&self, programs: &[ChipProgram], batch: usize) -> Result<SimReport, SimError> {
-        self.system.run(&[ChipLoad { programs, handoff: None }], 1, batch)
+        self.system.run(&[ChipLoad::new(programs)], 1, batch)
+    }
+
+    /// Runs `rounds` successive batch cycles of the partition
+    /// programs. Under [`ScheduleMode::Interleaved`] batch `b+1`'s
+    /// head partitions overlap batch `b`'s drain wherever the
+    /// partitions' crossbar-group claims permit; in barrier mode this
+    /// is `rounds` back-to-back [`Self::run`] cycles on one engine.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::run`].
+    pub fn run_batches(
+        &self,
+        programs: &[ChipProgram],
+        rounds: usize,
+        batch: usize,
+    ) -> Result<SimReport, SimError> {
+        self.system.run(&[ChipLoad::new(programs)], rounds, batch)
     }
 }
 

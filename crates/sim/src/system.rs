@@ -6,14 +6,23 @@
 //! with per-link serialization and queueing, so concurrent transfers
 //! contend instead of seeing a flat latency.
 //!
-//! Each chip is driven by a [`ChipSequencer`]: a component that runs
-//! the chip's partition programs in order (full-chip barrier between
-//! partitions, exactly like the single-chip simulator), then ships the
-//! chip's boundary activations to its downstream neighbour and starts
-//! the next pipeline round. A chip whose workload declares an upstream
-//! input blocks each round until the matching hand-off arrives, which
-//! is what makes a multi-round layer pipeline overlap: chip 0 computes
-//! round `r+1` while chip 1 still digests round `r`.
+//! Each chip is driven by a [`ChipSequencer`]: a ready-set dispatcher
+//! over the chip's stage dependency graph ([`crate::stage::StageGraph`]).
+//! Every `(batch, partition)` stage spawns its partition program's
+//! cores when its graph dependencies are satisfied and its resource
+//! claims (crossbar groups, memory channel) are free. In the default
+//! [`ScheduleMode::Barrier`] the graph is a single round-major chain —
+//! the paper's full-chip barrier, byte-identical to the golden
+//! fixtures. Under [`ScheduleMode::Interleaved`] only dataflow and
+//! resource-reuse edges remain, so a chip starts batch `b+1`'s
+//! partition 0 the moment its crossbars free up while batch `b` still
+//! drains downstream partitions.
+//!
+//! A chip may ship hand-offs to *several* downstream peers (fan-out)
+//! and gate on hand-offs from several upstream producers (fan-in);
+//! each batch's first stage carries one external dependency per
+//! producer. Topology slots may override the system's base
+//! [`ChipSpec`] for heterogeneous systems.
 //!
 //! The single-chip [`crate::ChipSimulator`] is a thin wrapper over
 //! this machinery with a [`Topology::single`] system; its analytic
@@ -25,7 +34,8 @@ use crate::components::{
 };
 use crate::error::SimError;
 use crate::report::{ChipSimSummary, CoreActivity, LinkStats, PartitionSimReport, SimReport};
-use pim_arch::{ChipSpec, EnergyModel, Link, PowerBreakdown, TimingMode, Topology};
+use crate::stage::StageGraph;
+use pim_arch::{ChipSpec, EnergyModel, Link, PowerBreakdown, ScheduleMode, TimingMode, Topology};
 use pim_dram::{DramConfig, DramEnergy, TraceStats};
 use pim_engine::{Component, ComponentId, Engine, EngineCtx, Event, SimTime};
 use pim_isa::{ChipProgram, CoreId};
@@ -36,7 +46,7 @@ use std::any::Any;
 /// spreading blocks across channels.
 pub(crate) const DEFAULT_INTERLEAVE_BYTES: usize = 4096;
 
-/// The per-round boundary transfer a chip ships downstream after its
+/// One per-round boundary transfer a chip ships downstream after its
 /// last partition drains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Handoff {
@@ -48,21 +58,37 @@ pub struct Handoff {
 }
 
 /// One chip's share of a system workload.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Default)]
 pub struct ChipLoad<'a> {
     /// The partition programs this chip executes each round, in
     /// order (empty for chips the schedule leaves idle).
     pub programs: &'a [ChipProgram],
-    /// Boundary transfer shipped downstream after each round, if any.
-    pub handoff: Option<Handoff>,
+    /// Boundary transfers shipped after each round, one per
+    /// downstream consumer (empty for sinks; several entries fan the
+    /// chip's output out to multiple peers).
+    pub handoffs: Vec<Handoff>,
+}
+
+impl<'a> ChipLoad<'a> {
+    /// A load executing `programs` with no downstream hand-off.
+    pub fn new(programs: &'a [ChipProgram]) -> Self {
+        Self { programs, handoffs: Vec::new() }
+    }
+
+    /// Adds a per-round hand-off of `bytes` to chip `dst`.
+    pub fn with_handoff(mut self, dst: usize, bytes: usize) -> Self {
+        self.handoffs.push(Handoff { dst, bytes });
+        self
+    }
 }
 
 /// Event-driven simulator for a multi-chip system on the shared
 /// [`pim_engine`] discrete-event core.
 ///
-/// All chips share one [`ChipSpec`] (homogeneous system) and one
-/// engine; the topology contributes the interconnect graph. See the
-/// module docs for the execution model.
+/// Chips default to one shared [`ChipSpec`]; topology slots may carry
+/// per-chip overrides ([`Topology::with_chip_override`]) for
+/// heterogeneous systems. The topology contributes the interconnect
+/// graph. See the module docs for the execution model.
 ///
 /// # Example
 ///
@@ -81,10 +107,7 @@ pub struct ChipLoad<'a> {
 /// // Batch-shard across a 2-chip ring: both chips run the whole model
 /// // on their own samples, concurrently.
 /// let sim = SystemSimulator::new(chip, Topology::ring(2));
-/// let loads = [
-///     ChipLoad { programs: compiled.programs(), handoff: None },
-///     ChipLoad { programs: compiled.programs(), handoff: None },
-/// ];
+/// let loads = [ChipLoad::new(compiled.programs()), ChipLoad::new(compiled.programs())];
 /// let report = sim.run(&loads, 1, 4)?;
 /// assert!(report.makespan_ns > 0.0);
 /// assert_eq!(report.chips.as_ref().unwrap().len(), 2);
@@ -97,20 +120,23 @@ pub struct SystemSimulator {
     topology: Topology,
     replay_dram: bool,
     mode: TimingMode,
+    schedule: ScheduleMode,
     dram_channels: Option<usize>,
     interleave_bytes: usize,
     dram_reorder: bool,
 }
 
 impl SystemSimulator {
-    /// Creates a system of identical `chip`s joined by `topology`, in
-    /// analytic timing mode with the in-line DRAM model enabled.
+    /// Creates a system of `chip`s joined by `topology` (slots without
+    /// an override run `chip`), in analytic timing mode, barrier
+    /// scheduling, with the in-line DRAM model enabled.
     pub fn new(chip: ChipSpec, topology: Topology) -> Self {
         Self {
             chip,
             topology,
             replay_dram: true,
             mode: TimingMode::Analytic,
+            schedule: ScheduleMode::Barrier,
             dram_channels: None,
             interleave_bytes: DEFAULT_INTERLEAVE_BYTES,
             dram_reorder: false,
@@ -135,6 +161,21 @@ impl SystemSimulator {
         self
     }
 
+    /// Selects the intra-chip stage dispatch policy. The default
+    /// [`ScheduleMode::Barrier`] reproduces the paper's full-chip
+    /// barriers (and the golden fixtures); [`ScheduleMode::Interleaved`]
+    /// lets a batch's head stages overlap the previous batch's drain
+    /// wherever crossbar-group claims permit.
+    pub fn with_schedule_mode(mut self, schedule: ScheduleMode) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The intra-chip stage dispatch policy in effect.
+    pub fn schedule_mode(&self) -> ScheduleMode {
+        self.schedule
+    }
+
     /// Sets the closed-loop DRAM channel count per chip (clamped to at
     /// least one).
     pub fn with_dram_channels(mut self, channels: usize) -> Self {
@@ -157,12 +198,22 @@ impl SystemSimulator {
         self
     }
 
-    /// The closed-loop channel count in effect per chip: explicit, or
-    /// derived from the chip's aggregate bandwidth over one LPDDR3
-    /// channel's peak.
+    /// The spec chip `c` runs: its slot override, or the system's base
+    /// chip.
+    fn chip_for(&self, c: usize) -> &ChipSpec {
+        self.topology.chip_override(c).unwrap_or(&self.chip)
+    }
+
+    /// The closed-loop channel count in effect for the base chip:
+    /// explicit, or derived from the chip's aggregate bandwidth over
+    /// one LPDDR3 channel's peak.
     pub fn dram_channel_count(&self) -> usize {
+        self.dram_channel_count_for(&self.chip)
+    }
+
+    fn dram_channel_count_for(&self, chip: &ChipSpec) -> usize {
         self.dram_channels.unwrap_or_else(|| {
-            DramConfig::lpddr3_1600().channels_for_bandwidth(self.chip.memory.bandwidth_gbps)
+            DramConfig::lpddr3_1600().channels_for_bandwidth(chip.memory.bandwidth_gbps)
         })
     }
 
@@ -176,10 +227,16 @@ impl SystemSimulator {
             )));
         }
         for (c, load) in loads.iter().enumerate() {
-            if let Some(handoff) = load.handoff {
+            for (i, handoff) in load.handoffs.iter().enumerate() {
                 if handoff.dst >= loads.len() || handoff.dst == c {
                     return Err(SimError::InvalidTopology(format!(
                         "chip {c} hands off to invalid chip {}",
+                        handoff.dst
+                    )));
+                }
+                if load.handoffs[..i].iter().any(|h| h.dst == handoff.dst) {
+                    return Err(SimError::InvalidTopology(format!(
+                        "chip {c} declares multiple hand-offs to chip {}",
                         handoff.dst
                     )));
                 }
@@ -189,30 +246,43 @@ impl SystemSimulator {
                     )));
                 }
             }
+            let chip = self.chip_for(c);
             for program in load.programs {
-                if program.cores() > self.chip.cores {
+                if program.cores() > chip.cores {
                     return Err(SimError::CoreCountMismatch {
                         program_cores: program.cores(),
-                        chip_cores: self.chip.cores,
+                        chip_cores: chip.cores,
                     });
                 }
             }
         }
         // A cyclic hand-off chain starves at round 0: every chip on
-        // the cycle waits for an input no one can produce. Each chip
-        // has at most one outgoing hand-off, so walking the chain at
-        // most `chips` steps finds any cycle.
-        for start in 0..loads.len() {
-            let mut at = start;
-            for _ in 0..loads.len() {
-                match loads[at].handoff {
-                    Some(h) if h.dst == start => {
-                        return Err(SimError::InvalidTopology(format!(
-                            "hand-off cycle through chip {start}"
-                        )));
+        // the cycle waits for an input no one can produce. With
+        // fan-out a chip has several outgoing edges, so run a proper
+        // DFS (0 = unvisited, 1 = on stack, 2 = done).
+        let mut state = vec![0u8; loads.len()];
+        fn dfs(at: usize, loads: &[ChipLoad<'_>], state: &mut [u8]) -> Option<usize> {
+            state[at] = 1;
+            for handoff in &loads[at].handoffs {
+                match state[handoff.dst] {
+                    1 => return Some(handoff.dst),
+                    0 => {
+                        if let Some(hit) = dfs(handoff.dst, loads, state) {
+                            return Some(hit);
+                        }
                     }
-                    Some(h) => at = h.dst,
-                    None => break,
+                    _ => {}
+                }
+            }
+            state[at] = 2;
+            None
+        }
+        for start in 0..loads.len() {
+            if state[start] == 0 {
+                if let Some(on_cycle) = dfs(start, loads, &mut state) {
+                    return Err(SimError::InvalidTopology(format!(
+                        "hand-off cycle through chip {on_cycle}"
+                    )));
                 }
             }
         }
@@ -226,17 +296,17 @@ impl SystemSimulator {
     /// simulation itself).
     ///
     /// Partition reports appear chip-major, then in (round, partition)
-    /// execution order within each chip. The `chips`/`links` report
-    /// sections are populated only for multi-chip topologies, keeping
-    /// single-chip analytic reports byte-identical to the golden
-    /// fixtures.
+    /// order within each chip — whatever order interleaving actually
+    /// executed them in. The `chips`/`links` report sections are
+    /// populated only for multi-chip topologies, keeping single-chip
+    /// analytic reports byte-identical to the golden fixtures.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidTopology`] for workloads that do not
     /// fit the topology, [`SimError::CoreCountMismatch`] when a
-    /// program does not match the chip, and [`SimError::Deadlock`] for
-    /// malformed schedules.
+    /// program does not match its slot's chip, and
+    /// [`SimError::Deadlock`] for malformed schedules.
     pub fn run(
         &self,
         loads: &[ChipLoad<'_>],
@@ -246,8 +316,6 @@ impl SystemSimulator {
         self.validate(loads)?;
         let rounds = rounds.max(1);
         let chips = loads.len();
-        let energy_model = EnergyModel::new(&self.chip);
-        let timing = CoreTiming::of(&self.chip);
         let mut engine: Engine<ChipEvent> = Engine::new(0);
 
         struct ChipParts {
@@ -257,20 +325,21 @@ impl SystemSimulator {
             rendezvous: ComponentId,
         }
         let parts: Vec<ChipParts> = (0..chips)
-            .map(|_| {
+            .map(|c| {
+                let chip = self.chip_for(c);
                 let dram = match self.mode {
                     TimingMode::Analytic => {
                         self.replay_dram.then(|| engine.add_component(InlineDram::new()))
                     }
                     TimingMode::ClosedLoop => Some(engine.add_component(ClosedLoopDram::new(
-                        self.dram_channel_count(),
+                        self.dram_channel_count_for(chip),
                         self.interleave_bytes,
                         self.dram_reorder,
                     ))),
                 };
                 let rendezvous = engine.add_component(Rendezvous::default());
-                let channel = engine.add_component(MemChannel::new(&self.chip, dram, self.mode));
-                let bus = engine.add_component(BusComponent::new(&self.chip, rendezvous));
+                let channel = engine.add_component(MemChannel::new(chip, dram, self.mode));
+                let bus = engine.add_component(BusComponent::new(chip, rendezvous));
                 ChipParts { dram, channel, bus, rendezvous }
             })
             .collect();
@@ -286,39 +355,34 @@ impl SystemSimulator {
         assert_eq!(interconnect, interconnect_id);
 
         for (c, load) in loads.iter().enumerate() {
-            // Per-source hand-off ledger: round r may start only when
-            // EVERY upstream producer has shipped r+1 hand-offs, so a
-            // fast producer can never stand in for a slow one.
+            // Per-source hand-off ledger: batch b's head stage carries
+            // one external dependency per upstream producer, so a fast
+            // producer can never stand in for a slow one.
             let upstream: Vec<(usize, usize)> = loads
                 .iter()
                 .enumerate()
-                .filter(|(_, l)| l.handoff.map(|h| h.dst == c) == Some(true))
+                .filter(|(_, l)| l.handoffs.iter().any(|h| h.dst == c))
                 .map(|(src, _)| (src, 0))
                 .collect();
+            let graph = StageGraph::build(load.programs, rounds, self.schedule, upstream.len());
+            let nodes = rounds * load.programs.len();
             let id = engine.add_component(ChipSequencer {
                 chip_index: c,
                 programs: load.programs.to_vec(),
-                timing,
+                timing: CoreTiming::of(self.chip_for(c)),
                 channel: parts[c].channel,
                 bus: parts[c].bus,
                 rendezvous: parts[c].rendezvous,
                 interconnect: interconnect_id,
-                handoff: load.handoff,
+                handoffs: load.handoffs.clone(),
                 upstream,
                 rounds,
-                round: 0,
-                partition: 0,
-                running: false,
-                idle_since_ns: 0.0,
+                schedule: self.schedule,
+                graph,
+                running: (0..nodes).map(|_| None).collect(),
+                wait_from: vec![None; rounds],
                 handoff_wait_ns: 0.0,
-                done_count: 0,
-                start_ns: 0.0,
-                end_ns: 0.0,
-                replace_max_ns: 0.0,
-                activity: Vec::new(),
-                active_cores: Vec::new(),
                 records: Vec::new(),
-                complete: false,
             });
             assert_eq!(id, sequencer_ids[c]);
         }
@@ -328,19 +392,25 @@ impl SystemSimulator {
         engine.run_until_idle();
 
         // --- Fold the per-chip outcomes into one report -------------
-        let sequencers: Vec<ChipSequencer> = sequencer_ids
+        let mut sequencers: Vec<ChipSequencer> = sequencer_ids
             .iter()
             .map(|&id| engine.extract(id).expect("sequencer survives the run"))
             .collect();
-        if sequencers.iter().any(|s| !s.complete) {
+        if sequencers.iter().any(|s| !s.graph.all_complete()) {
             return Err(deadlock_of(&mut engine, &sequencers));
         }
+        let energy_models: Vec<EnergyModel> =
+            (0..chips).map(|c| EnergyModel::new(self.chip_for(c))).collect();
         let mut partitions = Vec::new();
         let mut makespan_ns = 0.0f64;
         let mut energy = PowerBreakdown::new();
         let mut summaries = Vec::with_capacity(chips);
         for (c, load) in loads.iter().enumerate() {
-            let seq = &sequencers[c];
+            let seq = &mut sequencers[c];
+            // Interleaving may finish stages out of round-major order;
+            // reports stay in (round, partition) order either way.
+            seq.records.sort_by_key(|r| (r.round, r.partition));
+            let energy_model = &energy_models[c];
             let mut chip_end = 0.0f64;
             for record in &seq.records {
                 let program = &load.programs[record.partition];
@@ -373,17 +443,32 @@ impl SystemSimulator {
                 partitions: seq.records.len(),
                 // Rounds the chip actually completed: 0 for idle
                 // chips, the requested count for active ones.
-                rounds: seq.round,
+                rounds: if load.programs.is_empty() {
+                    0
+                } else {
+                    seq.records.len() / load.programs.len()
+                },
                 end_ns: chip_end,
                 handoff_wait_ns: seq.handoff_wait_ns,
             });
         }
-        energy.static_nj = chips as f64 * energy_model.static_energy_nj(makespan_ns);
+        energy.static_nj =
+            energy_models.iter().map(|m| m.static_energy_nj(makespan_ns)).sum::<f64>();
 
         let mut dram_energy: Option<DramEnergy> = None;
         let mut dram_trace = TraceStats::default();
         let mut dram_channels: Option<Vec<pim_dram::ChannelStats>> = None;
         for part in &parts {
+            if self.schedule == ScheduleMode::Interleaved {
+                // Every drained stage retires its rendezvous tag
+                // bucket, so nothing may survive a completed run.
+                let rendezvous: Rendezvous =
+                    engine.extract(part.rendezvous).expect("rendezvous survives the run");
+                debug_assert!(
+                    rendezvous.delivered.is_empty(),
+                    "interleaved stages must retire their rendezvous tag buckets"
+                );
+            }
             let channel: MemChannel =
                 engine.extract(part.channel).expect("channel survives the run");
             if self.replay_dram || self.mode == TimingMode::ClosedLoop {
@@ -443,12 +528,15 @@ impl SystemSimulator {
 /// starved (their upstream producer is the deadlocked one, possibly
 /// at a lower index) have no active cores and are skipped.
 fn deadlock_of(engine: &mut Engine<ChipEvent>, sequencers: &[ChipSequencer]) -> SimError {
-    for seq in sequencers.iter().filter(|s| !s.complete) {
-        for (i, &id) in seq.active_cores.iter().enumerate() {
-            let core: CoreComponent = engine.extract(id).expect("core component survives the run");
-            if !core.finished {
-                let tag = core.blocked.expect("unfinished cores block on recv");
-                return SimError::Deadlock { core: CoreId(i), tag };
+    for seq in sequencers.iter().filter(|s| !s.graph.all_complete()) {
+        for stage in seq.running.iter().flatten() {
+            for (i, &id) in stage.cores.iter().enumerate() {
+                let core: CoreComponent =
+                    engine.extract(id).expect("core component survives the run");
+                if !core.finished {
+                    let tag = core.blocked.expect("unfinished cores block on recv");
+                    return SimError::Deadlock { core: CoreId(i), tag };
+                }
             }
         }
     }
@@ -457,9 +545,9 @@ fn deadlock_of(engine: &mut Engine<ChipEvent>, sequencers: &[ChipSequencer]) -> 
     unreachable!("incomplete system has no blocked core")
 }
 
-/// Drives one chip's rounds: partitions in order with full-chip
-/// barriers, hand-off shipping between rounds, and input gating for
-/// pipeline stages. See the module docs.
+/// Dispatches one chip's `(batch, partition)` stages from the ready
+/// set of its stage graph: barrier-chained by default, dependency- and
+/// claim-driven under interleaving. See the module docs.
 pub(crate) struct ChipSequencer {
     chip_index: usize,
     programs: Vec<ChipProgram>,
@@ -468,29 +556,39 @@ pub(crate) struct ChipSequencer {
     bus: ComponentId,
     rendezvous: ComponentId,
     interconnect: ComponentId,
-    handoff: Option<Handoff>,
+    /// Per-round boundary transfers, one per downstream consumer.
+    handoffs: Vec<Handoff>,
     /// Per-upstream-producer hand-off ledger: `(source chip,
     /// hand-offs received from it)`.
     upstream: Vec<(usize, usize)>,
     rounds: usize,
-    // Live state.
+    schedule: ScheduleMode,
+    /// The stage dependency graph driving dispatch.
+    pub(crate) graph: StageGraph,
+    /// In-flight stages, indexed by graph node.
+    pub(crate) running: Vec<Option<RunningStage>>,
+    /// Per-round timestamp at which the round's head stage became
+    /// blocked purely on upstream hand-offs.
+    wait_from: Vec<Option<f64>>,
+    pub(crate) handoff_wait_ns: f64,
+    pub(crate) records: Vec<StageRecord>,
+}
+
+/// One in-flight stage: its spawned cores and running accounting.
+pub(crate) struct RunningStage {
     round: usize,
     partition: usize,
-    running: bool,
-    idle_since_ns: f64,
-    pub(crate) handoff_wait_ns: f64,
-    done_count: usize,
+    pub(crate) cores: Vec<ComponentId>,
+    done: usize,
     start_ns: f64,
     end_ns: f64,
     replace_max_ns: f64,
     activity: Vec<CoreActivity>,
-    pub(crate) active_cores: Vec<ComponentId>,
-    pub(crate) records: Vec<StageRecord>,
-    pub(crate) complete: bool,
 }
 
 /// One executed (round, partition) stage of a chip.
 pub(crate) struct StageRecord {
+    pub(crate) round: usize,
     pub(crate) partition: usize,
     pub(crate) start_ns: f64,
     pub(crate) end_ns: f64,
@@ -499,35 +597,69 @@ pub(crate) struct StageRecord {
 }
 
 impl ChipSequencer {
-    /// Starts the next round's first partition if this chip is idle
-    /// and the round's upstream inputs have all arrived.
-    fn try_start_round(&mut self, me: ComponentId, ctx: &mut EngineCtx<'_, ChipEvent>) {
-        if self.running || self.complete {
-            return;
+    /// Starts every ready stage, looping because zero-core stages
+    /// complete at their start instant and may unlock successors.
+    fn dispatch(&mut self, me: ComponentId, ctx: &mut EngineCtx<'_, ChipEvent>) {
+        loop {
+            let ready = self.graph.take_ready();
+            if ready.is_empty() {
+                break;
+            }
+            for node in ready {
+                self.start_stage(node, me, ctx);
+            }
         }
-        if self.programs.is_empty() || self.round >= self.rounds {
-            self.complete = true;
-            return;
-        }
-        if self.upstream.iter().any(|&(_, received)| received <= self.round) {
-            return; // still waiting on an upstream hand-off
-        }
-        self.handoff_wait_ns += (ctx.now().as_ns() - self.idle_since_ns).max(0.0);
-        self.start_partition(me, ctx);
     }
 
-    /// Spawns the current partition's cores behind a full-chip
-    /// barrier, exactly as the single-chip simulator's partition loop
-    /// did: barriers first, then cores in index order, all at the
-    /// current instant.
-    fn start_partition(&mut self, me: ComponentId, ctx: &mut EngineCtx<'_, ChipEvent>) {
-        let now = ctx.now();
-        for shared in [self.channel, self.bus, self.rendezvous] {
-            ctx.schedule(now, shared, ChipEvent::Barrier);
+    /// Stamps the moment each round's head stage becomes blocked
+    /// purely on upstream hand-offs (graph deps done, externals not).
+    fn refresh_upstream_wait(&mut self, now_ns: f64) {
+        if self.upstream.is_empty() || self.programs.is_empty() {
+            return;
         }
-        let program = &self.programs[self.partition];
-        self.activity = vec![CoreActivity::default(); program.cores()];
-        self.active_cores = (0..program.cores())
+        for b in 0..self.rounds {
+            if self.wait_from[b].is_none() && self.graph.blocked_on_external(self.graph.node(b, 0))
+            {
+                self.wait_from[b] = Some(now_ns);
+            }
+        }
+    }
+
+    /// Spawns stage `node`'s cores. In barrier mode the shared
+    /// resources are barrier-reset first, exactly as the single-chip
+    /// simulator's partition loop did: barriers first, then cores in
+    /// index order, all at the current instant.
+    fn start_stage(&mut self, node: usize, me: ComponentId, ctx: &mut EngineCtx<'_, ChipEvent>) {
+        let (round, partition) = self.graph.coords(node);
+        let now = ctx.now();
+        if partition == 0 {
+            if let Some(since) = self.wait_from[round].take() {
+                self.handoff_wait_ns += (now.as_ns() - since).max(0.0);
+            }
+        }
+        if self.schedule == ScheduleMode::Barrier {
+            for shared in [self.channel, self.bus, self.rendezvous] {
+                ctx.schedule(now, shared, ChipEvent::Barrier);
+            }
+        }
+        // Overlapping stages get disjoint rendezvous tag spaces; the
+        // barrier chain never overlaps, and its per-stage rendezvous
+        // reset expects the program's raw tags. The stage id must fit
+        // the 16 offset bits — overflow would silently alias two
+        // stages' tag spaces, so fail loudly instead.
+        let tag_offset = match self.schedule {
+            ScheduleMode::Barrier => 0,
+            ScheduleMode::Interleaved => {
+                assert!(
+                    node < 1 << 16,
+                    "interleaved runs support at most 65536 stages (rounds x partitions); \
+                     stage {node} would alias another stage's rendezvous tag space"
+                );
+                (node as u64) << 48
+            }
+        };
+        let program = &self.programs[partition];
+        let cores: Vec<ComponentId> = (0..program.cores())
             .map(|c| {
                 let stream = program.core(CoreId(c)).instructions().to_vec();
                 let id = ctx.add_component(CoreComponent::new(
@@ -539,64 +671,72 @@ impl ChipSequencer {
                     self.rendezvous,
                     me,
                     c,
+                    node,
+                    tag_offset,
                 ));
                 ctx.schedule(now, id, ChipEvent::Step);
                 id
             })
             .collect();
-        self.running = true;
-        self.done_count = 0;
-        self.start_ns = now.as_ns();
-        self.end_ns = self.start_ns;
-        self.replace_max_ns = self.start_ns;
+        let empty = cores.is_empty();
+        self.running[node] = Some(RunningStage {
+            round,
+            partition,
+            activity: vec![CoreActivity::default(); program.cores()],
+            cores,
+            done: 0,
+            start_ns: now.as_ns(),
+            end_ns: now.as_ns(),
+            replace_max_ns: now.as_ns(),
+        });
         // A zero-core program has nothing to wait for: complete the
         // stage at its start instant (the CoreDone arm would otherwise
-        // never fire and the sequencer would hang).
-        if self.active_cores.is_empty() {
-            self.finish_partition(me, ctx);
+        // never fire and the stage would hang).
+        if empty {
+            self.finish_stage(node, ctx);
         }
     }
 
-    /// Folds a drained partition into the records and advances the
-    /// round/partition state machine.
-    fn finish_partition(&mut self, me: ComponentId, ctx: &mut EngineCtx<'_, ChipEvent>) {
+    /// Folds a drained stage into the records, ships the chip's
+    /// hand-offs when the stage closes a round, and releases the
+    /// stage's graph node (the caller's dispatch loop picks up
+    /// whatever that unblocks).
+    fn finish_stage(&mut self, node: usize, ctx: &mut EngineCtx<'_, ChipEvent>) {
+        let stage = self.running[node].take().expect("finished stage was running");
         self.records.push(StageRecord {
-            partition: self.partition,
-            start_ns: self.start_ns,
-            end_ns: self.end_ns,
-            replace_ns: self.replace_max_ns - self.start_ns,
-            activity: std::mem::take(&mut self.activity),
+            round: stage.round,
+            partition: stage.partition,
+            start_ns: stage.start_ns,
+            end_ns: stage.end_ns,
+            replace_ns: stage.replace_max_ns - stage.start_ns,
+            activity: stage.activity,
         });
-        self.running = false;
-        self.active_cores.clear();
-        self.partition += 1;
-        if self.partition < self.programs.len() {
-            self.start_partition(me, ctx);
-            return;
+        if stage.partition + 1 == self.graph.partitions() {
+            // Round complete: ship the boundary activations to every
+            // downstream consumer.
+            let now = ctx.now();
+            for handoff in &self.handoffs {
+                ctx.schedule(
+                    now,
+                    self.interconnect,
+                    ChipEvent::Ship {
+                        src: self.chip_index,
+                        dst: handoff.dst,
+                        bytes: handoff.bytes,
+                        hop: 0,
+                    },
+                );
+            }
         }
-        // Round complete: ship the boundary activations downstream,
-        // then try to pipeline into the next round.
-        let now = ctx.now();
-        if let Some(handoff) = self.handoff {
-            ctx.schedule(
-                now,
-                self.interconnect,
-                ChipEvent::Ship {
-                    src: self.chip_index,
-                    dst: handoff.dst,
-                    bytes: handoff.bytes,
-                    hop: 0,
-                },
-            );
+        if self.schedule == ScheduleMode::Interleaved {
+            // The stage's receivers have all completed; drop its
+            // rendezvous tag bucket so the delivered map stays bounded
+            // by the stages in flight (barrier mode clears at each
+            // stage's Barrier instead).
+            ctx.schedule(ctx.now(), self.rendezvous, ChipEvent::RetireStage { stage: node as u64 });
         }
-        self.round += 1;
-        self.partition = 0;
-        if self.round < self.rounds {
-            self.idle_since_ns = now.as_ns();
-            self.try_start_round(me, ctx);
-        } else {
-            self.complete = true;
-        }
+        self.graph.complete(node);
+        self.refresh_upstream_wait(ctx.now().as_ns());
     }
 }
 
@@ -604,8 +744,8 @@ impl Component<ChipEvent> for ChipSequencer {
     fn on_event(&mut self, event: Event<ChipEvent>, ctx: &mut EngineCtx<'_, ChipEvent>) {
         match event.payload {
             ChipEvent::Kick => {
-                self.idle_since_ns = event.time.as_ns();
-                self.try_start_round(event.target, ctx);
+                self.dispatch(event.target, ctx);
+                self.refresh_upstream_wait(event.time.as_ns());
             }
             ChipEvent::HandoffIn { src } => {
                 let entry = self
@@ -614,15 +754,29 @@ impl Component<ChipEvent> for ChipSequencer {
                     .find(|(s, _)| *s == src)
                     .expect("hand-off arrives only from declared producers");
                 entry.1 += 1;
-                self.try_start_round(event.target, ctx);
+                let batch = entry.1 - 1;
+                if batch < self.rounds && !self.programs.is_empty() {
+                    let node = self.graph.node(batch, 0);
+                    self.graph.satisfy_external(node);
+                    if !self.graph.blocked_on_external(node) {
+                        // The last missing input just landed: close the
+                        // round's upstream-wait window.
+                        if let Some(since) = self.wait_from[batch].take() {
+                            self.handoff_wait_ns += (event.time.as_ns() - since).max(0.0);
+                        }
+                    }
+                    self.dispatch(event.target, ctx);
+                }
             }
-            ChipEvent::CoreDone { core_index, activity, replace_done_ns } => {
-                self.activity[core_index] = activity;
-                self.end_ns = self.end_ns.max(event.time.as_ns());
-                self.replace_max_ns = self.replace_max_ns.max(replace_done_ns);
-                self.done_count += 1;
-                if self.done_count == self.active_cores.len() {
-                    self.finish_partition(event.target, ctx);
+            ChipEvent::CoreDone { stage, core_index, activity, replace_done_ns } => {
+                let running = self.running[stage].as_mut().expect("core reports a live stage");
+                running.activity[core_index] = activity;
+                running.end_ns = running.end_ns.max(event.time.as_ns());
+                running.replace_max_ns = running.replace_max_ns.max(replace_done_ns);
+                running.done += 1;
+                if running.done == running.cores.len() {
+                    self.finish_stage(stage, ctx);
+                    self.dispatch(event.target, ctx);
                 }
             }
             other => unreachable!("sequencer received {other:?}"),
@@ -718,12 +872,21 @@ mod tests {
         program
     }
 
+    /// `waves` MVM waves on cores `[from, to)` of a `total`-core chip.
+    fn mvm_on_cores(from: usize, to: usize, total: usize, waves: usize) -> ChipProgram {
+        let mut program = ChipProgram::new(total);
+        for c in from..to {
+            program.core_mut(CoreId(c)).push(I::Mvmul { waves, activations: 64, node: 0 });
+        }
+        program
+    }
+
     #[test]
     fn single_chip_system_equals_chip_simulator() {
         let chip = ChipSpec::chip_s();
         let program = mvm_program(chip.cores, 100);
         let system = SystemSimulator::new(chip.clone(), Topology::single())
-            .run(&[ChipLoad { programs: std::slice::from_ref(&program), handoff: None }], 1, 1)
+            .run(&[ChipLoad::new(std::slice::from_ref(&program))], 1, 1)
             .unwrap();
         let single =
             crate::ChipSimulator::new(chip).run(std::slice::from_ref(&program), 1).unwrap();
@@ -737,11 +900,11 @@ mod tests {
         let chip = ChipSpec::chip_s();
         let program = mvm_program(chip.cores, 200);
         let one = SystemSimulator::new(chip.clone(), Topology::single())
-            .run(&[ChipLoad { programs: std::slice::from_ref(&program), handoff: None }], 1, 1)
+            .run(&[ChipLoad::new(std::slice::from_ref(&program))], 1, 1)
             .unwrap();
         let loads = [
-            ChipLoad { programs: std::slice::from_ref(&program), handoff: None },
-            ChipLoad { programs: std::slice::from_ref(&program), handoff: None },
+            ChipLoad::new(std::slice::from_ref(&program)),
+            ChipLoad::new(std::slice::from_ref(&program)),
         ];
         let two = SystemSimulator::new(chip, Topology::ring(2)).run(&loads, 1, 2).unwrap();
         // Two identical shards overlap perfectly: same makespan, twice
@@ -759,15 +922,12 @@ mod tests {
         // One chip runs both stages serially, every round.
         let both = [stage.clone(), stage.clone()];
         let serial = SystemSimulator::new(chip.clone(), Topology::single())
-            .run(&[ChipLoad { programs: &both, handoff: None }], rounds, 1)
+            .run(&[ChipLoad::new(&both)], rounds, 1)
             .unwrap();
         // Two chips pipeline one stage each with a per-round hand-off.
         let loads = [
-            ChipLoad {
-                programs: std::slice::from_ref(&stage),
-                handoff: Some(Handoff { dst: 1, bytes: 4096 }),
-            },
-            ChipLoad { programs: std::slice::from_ref(&stage), handoff: None },
+            ChipLoad::new(std::slice::from_ref(&stage)).with_handoff(1, 4096),
+            ChipLoad::new(std::slice::from_ref(&stage)),
         ];
         let pipelined =
             SystemSimulator::new(chip, Topology::ring(2)).run(&loads, rounds, 1).unwrap();
@@ -794,11 +954,8 @@ mod tests {
         let stage = mvm_program(chip.cores, 10);
         let bytes = 8192;
         let loads = [
-            ChipLoad {
-                programs: std::slice::from_ref(&stage),
-                handoff: Some(Handoff { dst: 1, bytes }),
-            },
-            ChipLoad { programs: std::slice::from_ref(&stage), handoff: None },
+            ChipLoad::new(std::slice::from_ref(&stage)).with_handoff(1, bytes),
+            ChipLoad::new(std::slice::from_ref(&stage)),
         ];
         let report =
             SystemSimulator::new(chip.clone(), Topology::ring(2)).run(&loads, 1, 1).unwrap();
@@ -818,16 +975,23 @@ mod tests {
         let chip = ChipSpec::chip_s();
         let program = mvm_program(chip.cores, 1);
         let err = SystemSimulator::new(chip.clone(), Topology::ring(2))
-            .run(&[ChipLoad { programs: std::slice::from_ref(&program), handoff: None }], 1, 1)
+            .run(&[ChipLoad::new(std::slice::from_ref(&program))], 1, 1)
             .unwrap_err();
         assert!(matches!(err, SimError::InvalidTopology(_)));
         // A hand-off from an idle chip is meaningless.
-        let idle = [
-            ChipLoad { programs: &[], handoff: Some(Handoff { dst: 1, bytes: 64 }) },
-            ChipLoad { programs: std::slice::from_ref(&program), handoff: None },
-        ];
-        let err = SystemSimulator::new(chip, Topology::ring(2)).run(&idle, 1, 1).unwrap_err();
+        let idle =
+            [ChipLoad::new(&[]).with_handoff(1, 64), ChipLoad::new(std::slice::from_ref(&program))];
+        let err =
+            SystemSimulator::new(chip.clone(), Topology::ring(2)).run(&idle, 1, 1).unwrap_err();
         assert!(matches!(err, SimError::InvalidTopology(_)));
+        // Duplicate hand-offs to one destination would double-count
+        // the consumer's per-round gating.
+        let doubled = [
+            ChipLoad::new(std::slice::from_ref(&program)).with_handoff(1, 64).with_handoff(1, 32),
+            ChipLoad::new(std::slice::from_ref(&program)),
+        ];
+        let err = SystemSimulator::new(chip, Topology::ring(2)).run(&doubled, 1, 1).unwrap_err();
+        assert!(matches!(err, SimError::InvalidTopology(ref r) if r.contains("multiple")), "{err}");
     }
 
     #[test]
@@ -836,10 +1000,8 @@ mod tests {
         let good = mvm_program(chip.cores, 5);
         let mut bad = ChipProgram::new(chip.cores);
         bad.core_mut(CoreId(2)).push(I::Recv { from: CoreId(0), bytes: 64, tag: Tag(404) });
-        let loads = [
-            ChipLoad { programs: std::slice::from_ref(&good), handoff: None },
-            ChipLoad { programs: std::slice::from_ref(&bad), handoff: None },
-        ];
+        let loads =
+            [ChipLoad::new(std::slice::from_ref(&good)), ChipLoad::new(std::slice::from_ref(&bad))];
         let err = SystemSimulator::new(chip, Topology::ring(2)).run(&loads, 1, 1).unwrap_err();
         assert_eq!(err, SimError::Deadlock { core: CoreId(2), tag: Tag(404) });
     }
@@ -854,11 +1016,8 @@ mod tests {
         let mut bad = ChipProgram::new(chip.cores);
         bad.core_mut(CoreId(1)).push(I::Recv { from: CoreId(0), bytes: 64, tag: Tag(500) });
         let loads = [
-            ChipLoad { programs: std::slice::from_ref(&good), handoff: None },
-            ChipLoad {
-                programs: std::slice::from_ref(&bad),
-                handoff: Some(Handoff { dst: 0, bytes: 64 }),
-            },
+            ChipLoad::new(std::slice::from_ref(&good)),
+            ChipLoad::new(std::slice::from_ref(&bad)).with_handoff(0, 64),
         ];
         let err = SystemSimulator::new(chip, Topology::ring(2)).run(&loads, 2, 1).unwrap_err();
         assert_eq!(err, SimError::Deadlock { core: CoreId(1), tag: Tag(500) });
@@ -880,7 +1039,7 @@ mod tests {
         // And mixed with real work across rounds.
         let work = mvm_program(chip.cores, 5);
         let report = SystemSimulator::new(chip, Topology::single())
-            .run(&[ChipLoad { programs: &[empty, work], handoff: None }], 2, 1)
+            .run(&[ChipLoad::new(&[empty, work])], 2, 1)
             .unwrap();
         assert_eq!(report.partitions.len(), 4);
         assert!(report.makespan_ns > 0.0);
@@ -890,10 +1049,7 @@ mod tests {
     fn idle_chips_report_zero_completed_rounds() {
         let chip = ChipSpec::chip_s();
         let stage = mvm_program(chip.cores, 5);
-        let loads = [
-            ChipLoad { programs: std::slice::from_ref(&stage), handoff: None },
-            ChipLoad { programs: &[], handoff: None },
-        ];
+        let loads = [ChipLoad::new(std::slice::from_ref(&stage)), ChipLoad::new(&[])];
         let report = SystemSimulator::new(chip, Topology::ring(2)).run(&loads, 3, 1).unwrap();
         let chips = report.chips.as_ref().unwrap();
         assert_eq!(chips[0].rounds, 3, "active chip completed every round");
@@ -908,16 +1064,25 @@ mod tests {
         let chip = ChipSpec::chip_s();
         let stage = mvm_program(chip.cores, 5);
         let loads = [
-            ChipLoad {
-                programs: std::slice::from_ref(&stage),
-                handoff: Some(Handoff { dst: 1, bytes: 64 }),
-            },
-            ChipLoad {
-                programs: std::slice::from_ref(&stage),
-                handoff: Some(Handoff { dst: 0, bytes: 64 }),
-            },
+            ChipLoad::new(std::slice::from_ref(&stage)).with_handoff(1, 64),
+            ChipLoad::new(std::slice::from_ref(&stage)).with_handoff(0, 64),
         ];
         let err = SystemSimulator::new(chip, Topology::ring(2)).run(&loads, 1, 1).unwrap_err();
+        assert!(matches!(err, SimError::InvalidTopology(ref r) if r.contains("cycle")), "{err}");
+    }
+
+    #[test]
+    fn fan_out_cycle_through_a_longer_path_is_rejected() {
+        // 0 -> {1, 2}, 2 -> 0: the cycle hides behind a fan-out edge.
+        let chip = ChipSpec::chip_s();
+        let stage = mvm_program(chip.cores, 5);
+        let loads = [
+            ChipLoad::new(std::slice::from_ref(&stage)).with_handoff(1, 64).with_handoff(2, 64),
+            ChipLoad::new(std::slice::from_ref(&stage)),
+            ChipLoad::new(std::slice::from_ref(&stage)).with_handoff(0, 64),
+        ];
+        let err =
+            SystemSimulator::new(chip, Topology::fully_connected(3)).run(&loads, 1, 1).unwrap_err();
         assert!(matches!(err, SimError::InvalidTopology(ref r) if r.contains("cycle")), "{err}");
     }
 
@@ -932,15 +1097,9 @@ mod tests {
         let sink = mvm_program(chip.cores, 10);
         let bytes = 64;
         let loads = [
-            ChipLoad {
-                programs: std::slice::from_ref(&fast),
-                handoff: Some(Handoff { dst: 2, bytes }),
-            },
-            ChipLoad {
-                programs: std::slice::from_ref(&slow),
-                handoff: Some(Handoff { dst: 2, bytes }),
-            },
-            ChipLoad { programs: std::slice::from_ref(&sink), handoff: None },
+            ChipLoad::new(std::slice::from_ref(&fast)).with_handoff(2, bytes),
+            ChipLoad::new(std::slice::from_ref(&slow)).with_handoff(2, bytes),
+            ChipLoad::new(std::slice::from_ref(&sink)),
         ];
         let rounds = 3;
         let report = SystemSimulator::new(chip.clone(), Topology::fully_connected(3))
@@ -965,6 +1124,35 @@ mod tests {
     }
 
     #[test]
+    fn fan_out_producer_feeds_two_consumers() {
+        // One producer, two consumers: both consumers gate on the same
+        // per-round hand-off and run concurrently once it lands.
+        let chip = ChipSpec::chip_s();
+        let producer = mvm_program(chip.cores, 50);
+        let consumer = mvm_program(chip.cores, 50);
+        let bytes = 4096;
+        let loads = [
+            ChipLoad::new(std::slice::from_ref(&producer))
+                .with_handoff(1, bytes)
+                .with_handoff(2, bytes),
+            ChipLoad::new(std::slice::from_ref(&consumer)),
+            ChipLoad::new(std::slice::from_ref(&consumer)),
+        ];
+        let rounds = 3;
+        let report = SystemSimulator::new(chip, Topology::fully_connected(3))
+            .run(&loads, rounds, 1)
+            .unwrap();
+        let chips = report.chips.as_ref().unwrap();
+        assert_eq!(chips[1].rounds, rounds);
+        assert_eq!(chips[2].rounds, rounds);
+        assert!(chips[1].handoff_wait_ns > 0.0);
+        assert!(chips[2].handoff_wait_ns > 0.0);
+        let links = report.links.as_ref().unwrap();
+        let carried: u64 = links.iter().map(|l| l.bytes).sum();
+        assert_eq!(carried, 2 * rounds as u64 * bytes as u64, "each consumer gets its own copy");
+    }
+
+    #[test]
     fn ring_and_fc_route_contention_differs() {
         // Two producers shipping to the same destination: on a 4-ring
         // chip 0's transfer to chip 2 relays through chip 1 and shares
@@ -975,17 +1163,11 @@ mod tests {
         let bytes = 1 << 20;
         let run = |topology: Topology| {
             let loads = [
-                ChipLoad {
-                    programs: std::slice::from_ref(&stage),
-                    handoff: Some(Handoff { dst: 2, bytes }),
-                },
-                ChipLoad {
-                    programs: std::slice::from_ref(&stage),
-                    handoff: Some(Handoff { dst: 2, bytes }),
-                },
+                ChipLoad::new(std::slice::from_ref(&stage)).with_handoff(2, bytes),
+                ChipLoad::new(std::slice::from_ref(&stage)).with_handoff(2, bytes),
                 // Chip 2 consumes both inputs each round.
-                ChipLoad { programs: std::slice::from_ref(&stage), handoff: None },
-                ChipLoad { programs: &[], handoff: None },
+                ChipLoad::new(std::slice::from_ref(&stage)),
+                ChipLoad::new(&[]),
             ];
             SystemSimulator::new(chip.clone(), topology).run(&loads, 2, 1).unwrap()
         };
@@ -999,5 +1181,77 @@ mod tests {
             wait(&ring),
             wait(&fc)
         );
+    }
+
+    #[test]
+    fn interleaving_hides_the_fill_of_disjoint_partitions() {
+        // Two partitions on disjoint crossbar groups, four batches:
+        // the barrier schedule serializes 8 stages; interleaving
+        // overlaps batch b+1's partition 0 with batch b's partition 1.
+        let chip = ChipSpec::chip_s();
+        let programs = [mvm_on_cores(0, 4, chip.cores, 300), mvm_on_cores(4, 8, chip.cores, 300)];
+        let rounds = 4;
+        let run = |schedule: ScheduleMode| {
+            SystemSimulator::new(chip.clone(), Topology::single())
+                .with_schedule_mode(schedule)
+                .run(&[ChipLoad::new(&programs)], rounds, 1)
+                .unwrap()
+        };
+        let barrier = run(ScheduleMode::Barrier);
+        let interleaved = run(ScheduleMode::Interleaved);
+        assert!(
+            interleaved.makespan_ns < barrier.makespan_ns,
+            "interleaving ({} ns) must beat the barrier schedule ({} ns)",
+            interleaved.makespan_ns,
+            barrier.makespan_ns
+        );
+        // Same work either way.
+        assert_eq!(interleaved.partitions.len(), barrier.partitions.len());
+        assert_eq!(interleaved.dram_trace, barrier.dram_trace);
+    }
+
+    #[test]
+    fn conflicting_claims_serialize_interleaved_stages() {
+        // Both partitions use core 0: the exclusive crossbar-group
+        // claim forces the barrier order and the barrier makespan.
+        let chip = ChipSpec::chip_s();
+        let programs = [mvm_on_cores(0, 4, chip.cores, 200), mvm_on_cores(0, 8, chip.cores, 200)];
+        let rounds = 3;
+        let run = |schedule: ScheduleMode| {
+            SystemSimulator::new(chip.clone(), Topology::single())
+                .with_schedule_mode(schedule)
+                .run(&[ChipLoad::new(&programs)], rounds, 1)
+                .unwrap()
+        };
+        let barrier = run(ScheduleMode::Barrier);
+        let interleaved = run(ScheduleMode::Interleaved);
+        assert!(
+            (interleaved.makespan_ns - barrier.makespan_ns).abs() < 1e-9,
+            "claim conflicts must serialize: {} vs {}",
+            interleaved.makespan_ns,
+            barrier.makespan_ns
+        );
+    }
+
+    #[test]
+    fn heterogeneous_slot_override_shapes_timing_and_validation() {
+        // Slot 1 runs a Chip-L (36 cores): a 36-core program fits there
+        // but not on the base Chip-S.
+        let chip_s = ChipSpec::chip_s();
+        let chip_l = ChipSpec::chip_l();
+        let small = mvm_program(chip_s.cores, 100);
+        let big = mvm_program(chip_l.cores, 100);
+        let loads = [
+            ChipLoad::new(std::slice::from_ref(&small)),
+            ChipLoad::new(std::slice::from_ref(&big)),
+        ];
+        let homogeneous =
+            SystemSimulator::new(chip_s.clone(), Topology::ring(2)).run(&loads, 1, 2).unwrap_err();
+        assert!(matches!(homogeneous, SimError::CoreCountMismatch { .. }));
+        let report = SystemSimulator::new(chip_s, Topology::ring(2).with_chip_override(1, chip_l))
+            .run(&loads, 1, 2)
+            .expect("the override slot accepts the larger program");
+        assert_eq!(report.chips.as_ref().unwrap().len(), 2);
+        assert!(report.makespan_ns > 0.0);
     }
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates BOTH pinned-performance artifacts in one step so they
+# cannot drift apart by hand:
+#
+#   * tests/golden/              — byte-pinned analytic SimReports
+#     (barrier schedule mode: the golden executor is the paper's
+#     full-chip-barrier model; interleaving is opt-in and never
+#     golden-pinned)
+#   * crates/bench/baselines/ci_baseline.json — the bench-smoke
+#     perf-trajectory gate, regenerated exactly as CI runs it
+#     (--quick, barrier AND interleaved schedule axes)
+#
+# Run from anywhere inside the repo; commit the resulting diff only
+# for intentional model changes.
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+BASELINE=crates/bench/baselines/ci_baseline.json
+
+echo "== regenerating golden fixtures (barrier mode) =="
+GOLDEN_REGEN=1 cargo test -q --test engine_determinism
+
+echo "== regenerating ${BASELINE} =="
+rm -f "${BASELINE}"
+cargo run --release -p compass-bench --bin topology_sweep -- --quick --json "${BASELINE}"
+cargo run --release -p compass-bench --bin topology_sweep -- --quick --schedule interleaved --json "${BASELINE}"
+cargo run --release -p compass-bench --bin timing_mode_sweep -- --quick --json "${BASELINE}"
+
+echo "== done; review with: git diff tests/golden ${BASELINE} =="

@@ -69,7 +69,7 @@ fn single_chip_system_report_is_byte_identical_to_golden() {
         )
         .expect("compiles");
     let report = SystemSimulator::new(chip, Topology::single())
-        .run(&[ChipLoad { programs: compiled.programs(), handoff: None }], 1, 4)
+        .run(&[ChipLoad::new(compiled.programs())], 1, 4)
         .expect("simulates");
     let serialized = serde_json::to_string(&report).expect("serializes");
     let path: PathBuf =
