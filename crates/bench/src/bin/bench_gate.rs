@@ -1,11 +1,16 @@
 //! CI perf-trajectory gate.
 //!
 //! Compares a fresh `BENCH_ci.json` (written by `topology_sweep` /
-//! `timing_mode_sweep` with `--json`) against the committed baseline
-//! and exits non-zero when any configuration's simulated cycle count
-//! regressed by more than the tolerance (default 20%). The simulated
-//! makespans are deterministic for a fixed seed, so the gate is exact:
-//! the tolerance absorbs intentional model refinements, not noise.
+//! `timing_mode_sweep` / `engine_hotpath` with `--json`) against the
+//! committed baseline and exits non-zero when any configuration's
+//! simulated cycle count regressed by more than the tolerance
+//! (default 20%). The simulated makespans are deterministic for a
+//! fixed seed, so the gate is exact: the tolerance absorbs
+//! intentional model refinements, not noise. Hot-path records are
+//! direction-aware: `hotpath:gate:*` speedup ratios fail when their
+//! *throughput* drops past the tolerance, and `hotpath:abs:*`
+//! wall-clock metrics ride along ungated (they depend on the machine
+//! that measured them).
 //!
 //! ```text
 //! bench_gate --current BENCH_ci.json \

@@ -359,11 +359,25 @@ pub fn append_records(path: &str, fresh: Vec<BenchRecord>) {
     std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
 }
 
+/// Prefix of hot-path records gated on **throughput** (higher is
+/// better) instead of makespan: same-process speedup ratios from
+/// `engine_hotpath`, machine-independent by construction.
+pub const HOTPATH_GATE_PREFIX: &str = "hotpath:gate:";
+
+/// Prefix of hot-path records carried in the trajectory for
+/// visibility only: absolute wall-clock events/sec and GA-generation
+/// latency. They vary with the machine that ran them, so the gate
+/// skips them entirely (including the missing-record check).
+pub const HOTPATH_ABS_PREFIX: &str = "hotpath:abs:";
+
 /// Compares a current perf trajectory against a committed baseline:
 /// every baseline record must exist in `current` with a makespan no
-/// more than `tolerance` (fractional) above the baseline. Returns the
-/// list of violations (empty on success); new configurations absent
-/// from the baseline are allowed.
+/// more than `tolerance` (fractional) above the baseline — except
+/// hot-path records, which are either gated on throughput
+/// ([`HOTPATH_GATE_PREFIX`]: a relative drop beyond `tolerance`
+/// fails) or informational ([`HOTPATH_ABS_PREFIX`]: never gated).
+/// Returns the list of violations (empty on success); new
+/// configurations absent from the baseline are allowed.
 pub fn check_against_baseline(
     current: &[BenchRecord],
     baseline: &[BenchRecord],
@@ -371,8 +385,23 @@ pub fn check_against_baseline(
 ) -> Vec<String> {
     let mut violations = Vec::new();
     for base in baseline {
+        if base.name.starts_with(HOTPATH_ABS_PREFIX) {
+            continue;
+        }
         match current.iter().find(|r| r.name == base.name) {
             None => violations.push(format!("{}: missing from current run", base.name)),
+            Some(now) if base.name.starts_with(HOTPATH_GATE_PREFIX) => {
+                let floor = base.throughput_ips * (1.0 - tolerance);
+                if now.throughput_ips < floor {
+                    violations.push(format!(
+                        "{}: throughput {:.3} fell more than {:.0}% below baseline {:.3}",
+                        base.name,
+                        now.throughput_ips,
+                        100.0 * tolerance,
+                        base.throughput_ips
+                    ));
+                }
+            }
             Some(now) => {
                 let limit = base.makespan_ns * (1.0 + tolerance);
                 if now.makespan_ns > limit {
@@ -508,6 +537,37 @@ mod tests {
         assert!(violations.iter().any(|v| v.starts_with("b:")));
         assert!(violations.iter().any(|v| v.starts_with("gone:")));
         assert!(check_against_baseline(&current, &current, 0.0).is_empty());
+    }
+
+    #[test]
+    fn hotpath_records_gate_on_throughput_and_abs_records_never_gate() {
+        let record = |name: &str, ns: f64, ips: f64| BenchRecord {
+            name: name.to_string(),
+            makespan_ns: ns,
+            throughput_ips: ips,
+        };
+        let baseline = vec![
+            record("hotpath:gate:queue-speedup", 0.25, 4.0),
+            record("hotpath:abs:queue:calendar", 50.0, 2.0e7),
+            record("topology:x", 100.0, 1.0),
+        ];
+        // Speedup within tolerance, abs record missing (machine may
+        // not re-measure), makespan fine: no violations.
+        let ok =
+            vec![record("hotpath:gate:queue-speedup", 0.30, 3.4), record("topology:x", 105.0, 1.0)];
+        assert!(check_against_baseline(&ok, &baseline, 0.2).is_empty());
+        // Speedup collapsed by more than 20%: violation — and the
+        // makespan field of a hotpath record is never what's judged.
+        let bad =
+            vec![record("hotpath:gate:queue-speedup", 0.25, 3.0), record("topology:x", 100.0, 1.0)];
+        let violations = check_against_baseline(&bad, &baseline, 0.2);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("throughput"));
+        // A missing *gated* hotpath record still fails.
+        let gone = vec![record("topology:x", 100.0, 1.0)];
+        assert!(check_against_baseline(&gone, &baseline, 0.2)
+            .iter()
+            .any(|v| v.contains("missing")));
     }
 
     #[test]

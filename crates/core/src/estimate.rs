@@ -389,6 +389,20 @@ impl<'c> Estimator<'c> {
     pub fn estimate_group(&self, plans: &GroupPlan, batch: usize) -> GroupEstimate {
         let partitions: Vec<PartitionEstimate> =
             plans.plans().iter().map(|p| self.estimate_partition(p, batch)).collect();
+        self.combine_group(plans, partitions, batch)
+    }
+
+    /// Folds already-computed per-partition estimates into the group
+    /// estimate — the per-segment memo path of the fitness cache,
+    /// where each partition's estimate may have been computed under a
+    /// *different* group. Bitwise identical to
+    /// [`Self::estimate_group`] given the same per-partition numbers.
+    pub(crate) fn combine_group(
+        &self,
+        plans: &GroupPlan,
+        partitions: Vec<PartitionEstimate>,
+        batch: usize,
+    ) -> GroupEstimate {
         let serial_ns: f64 = partitions.iter().map(|p| p.latency_ns).sum();
         let batch_latency_ns = match self.schedule {
             ScheduleMode::Barrier => serial_ns,

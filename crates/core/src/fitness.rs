@@ -1,16 +1,39 @@
 //! Partition-group fitness and partition scores (paper §III-C1/C2).
+//!
+//! ## Memoization
+//!
+//! The GA re-scores thousands of candidates per run, and the
+//! population is massively redundant at two levels:
+//!
+//! * **whole chromosomes** — survivors are re-evaluated every
+//!   generation, so the context memoizes full evaluations by interned
+//!   cut vector and returns [`Arc`]s: a hit is a hash lookup plus a
+//!   pointer bump, with no plan or estimate cloned;
+//! * **segments** — different chromosomes overwhelmingly share
+//!   contiguous `[start, end)` unit spans (a mutation moves one cut;
+//!   every other partition is unchanged). A partition's plan,
+//!   replication, packing, and estimate depend *only* on its own span
+//!   (see [`crate::plan::SegmentPlanner`]), so they are memoized per
+//!   segment and reused across every group in the population. A new
+//!   chromosome made of known segments costs per-partition clones and
+//!   the group fold — no planning, packing, or estimation.
+//!
+//! Under the `parallel` feature, [`FitnessContext::evaluate_batch`]
+//! fans out only the *true segment misses*, by reference — no
+//! per-candidate cloning before the fan-out.
 
 use crate::decompose::UnitSequence;
-use crate::estimate::{Estimator, GroupEstimate, SystemScaling};
-use crate::partition::PartitionGroup;
-use crate::plan::GroupPlan;
-use crate::replication::optimize_group;
+use crate::estimate::{Estimator, GroupEstimate, PartitionEstimate, SystemScaling};
+use crate::partition::{Partition, PartitionGroup};
+use crate::plan::{GroupPlan, PartitionPlan, SegmentPlanner};
+use crate::replication::optimize_partition;
 use crate::system::SystemTarget;
 use crate::validity::ValidityMap;
+use fxhash::{FxHashMap, FxHashSet};
 use pim_arch::{ChipSpec, ScheduleMode, TimingMode};
 use pim_model::Network;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// What the GA optimizes (the user-selectable fitness of §III-C1).
 /// Lower is better in both modes.
@@ -40,11 +63,20 @@ pub struct EvaluatedGroup {
     pub pgf: f64,
 }
 
-/// Evaluation context shared across a GA run; memoizes evaluations by
-/// cut vector, since selected individuals survive across generations.
+/// One memoized segment: its replication-optimized plan (with a
+/// placeholder partition index) and its analytical estimate at the
+/// context's batch size and modes.
+struct SegmentEval {
+    plan: PartitionPlan,
+    estimate: PartitionEstimate,
+}
+
+/// Evaluation context shared across a GA run; memoizes whole
+/// evaluations by interned cut vector and partition plans/estimates by
+/// `(start, end)` segment (see the module docs).
 pub struct FitnessContext<'a> {
-    network: &'a Network,
     seq: &'a UnitSequence,
+    planner: SegmentPlanner<'a>,
     validity: &'a ValidityMap,
     chip: &'a ChipSpec,
     batch: usize,
@@ -55,7 +87,8 @@ pub struct FitnessContext<'a> {
     /// Interconnect terms derived from `system` once (route walks are
     /// not free; candidates are scored thousands of times).
     system_scaling: Option<SystemScaling>,
-    cache: HashMap<Vec<usize>, EvaluatedGroup>,
+    cache: FxHashMap<Arc<[usize]>, Arc<EvaluatedGroup>>,
+    segments: FxHashMap<(usize, usize), Arc<SegmentEval>>,
 }
 
 impl<'a> FitnessContext<'a> {
@@ -70,8 +103,8 @@ impl<'a> FitnessContext<'a> {
         kind: FitnessKind,
     ) -> Self {
         Self {
-            network,
             seq,
+            planner: SegmentPlanner::new(network, seq),
             validity,
             chip,
             batch,
@@ -80,17 +113,26 @@ impl<'a> FitnessContext<'a> {
             schedule_mode: ScheduleMode::Barrier,
             system: None,
             system_scaling: None,
-            cache: HashMap::new(),
+            cache: FxHashMap::default(),
+            segments: FxHashMap::default(),
         }
+    }
+
+    /// Drops every memoized score (both the whole-group memo and the
+    /// segment memo) — required whenever a knob that shapes scores
+    /// changes.
+    fn clear_caches(&mut self) {
+        self.cache.clear();
+        self.segments.clear();
     }
 
     /// Scores candidates with the given memory timing mode, so the GA
     /// tunes partitions against the machine the closed-loop simulator
-    /// will time. Clears the memo cache (cached scores are
+    /// will time. Clears the memo caches (cached scores are
     /// mode-specific).
     pub fn with_timing_mode(mut self, mode: TimingMode) -> Self {
         if mode != self.timing_mode {
-            self.cache.clear();
+            self.clear_caches();
         }
         self.timing_mode = mode;
         self
@@ -100,11 +142,11 @@ impl<'a> FitnessContext<'a> {
     /// policy (see [`Estimator::with_schedule_mode`]): under
     /// [`ScheduleMode::Interleaved`] the GA optimizes the bottleneck
     /// stage rather than the serial sum, matching what the interleaved
-    /// executor will actually run. Clears the memo cache (cached
+    /// executor will actually run. Clears the memo caches (cached
     /// scores are mode-specific).
     pub fn with_schedule_mode(mut self, mode: ScheduleMode) -> Self {
         if mode != self.schedule_mode {
-            self.cache.clear();
+            self.clear_caches();
         }
         self.schedule_mode = mode;
         self
@@ -113,10 +155,10 @@ impl<'a> FitnessContext<'a> {
     /// Scores candidates for a multi-chip deployment (see
     /// [`Estimator::with_system`]), so the GA tunes partitions for
     /// the topology the system simulator will run. Clears the memo
-    /// cache (cached scores are target-specific).
+    /// caches (cached scores are target-specific).
     pub fn with_system_target(mut self, target: Option<SystemTarget>) -> Self {
         if target != self.system {
-            self.cache.clear();
+            self.clear_caches();
         }
         self.system_scaling = target.as_ref().and_then(SystemScaling::of);
         self.system = target;
@@ -138,27 +180,70 @@ impl<'a> FitnessContext<'a> {
         self.seq
     }
 
-    /// Evaluates (or recalls) a group.
-    pub fn evaluate(&mut self, group: &PartitionGroup) -> EvaluatedGroup {
-        if let Some(hit) = self.cache.get(group.cuts()) {
-            return hit.clone();
+    /// The estimator every segment and group is scored with.
+    fn estimator(&self) -> Estimator<'a> {
+        Estimator::new(self.chip)
+            .with_timing_mode(self.timing_mode)
+            .with_schedule_mode(self.schedule_mode)
+            .with_system_scaling(self.system_scaling)
+    }
+
+    /// Plans, replication-optimizes, and estimates one segment. Pure
+    /// with respect to shared immutable state, so segment misses can
+    /// fan out across threads.
+    fn compute_segment(
+        planner: &SegmentPlanner<'_>,
+        estimator: &Estimator<'_>,
+        chip: &ChipSpec,
+        batch: usize,
+        partition: Partition,
+    ) -> SegmentEval {
+        let mut plan = planner.plan(0, partition);
+        optimize_partition(&mut plan, chip);
+        let estimate = estimator.estimate_partition(&plan, batch);
+        SegmentEval { plan, estimate }
+    }
+
+    /// Recalls (or computes and memoizes) one segment.
+    fn segment_eval(&mut self, partition: Partition) -> Arc<SegmentEval> {
+        let key = (partition.start, partition.end);
+        if let Some(hit) = self.segments.get(&key) {
+            return Arc::clone(hit);
         }
-        let eval = self.evaluate_uncached(group);
-        self.cache.insert(group.cuts().to_vec(), eval.clone());
+        let eval = Arc::new(Self::compute_segment(
+            &self.planner,
+            &self.estimator(),
+            self.chip,
+            self.batch,
+            partition,
+        ));
+        self.segments.insert(key, Arc::clone(&eval));
+        eval
+    }
+
+    /// Evaluates (or recalls) a group. Cache hits are pointer bumps;
+    /// misses assemble the group from memoized segments and compute
+    /// only what no earlier chromosome already paid for.
+    pub fn evaluate(&mut self, group: &PartitionGroup) -> Arc<EvaluatedGroup> {
+        if let Some(hit) = self.cache.get(group.cuts()) {
+            return Arc::clone(hit);
+        }
+        let eval = Arc::new(self.evaluate_uncached(group));
+        self.cache.insert(group.cuts().into(), Arc::clone(&eval));
         eval
     }
 
     /// Evaluates a whole batch of groups, recalling cached results and
-    /// computing the misses — in parallel when the `parallel` feature
-    /// is enabled (each candidate is independent: plans, replication,
-    /// and the analytical estimate touch only shared immutable state).
+    /// computing the misses. Under the `parallel` feature the *segment
+    /// misses* — the only real work — fan out across threads, by
+    /// reference.
     ///
     /// Results are identical to calling [`Self::evaluate`] in order,
     /// whatever the thread count.
-    pub fn evaluate_batch(&mut self, groups: &[PartitionGroup]) -> Vec<EvaluatedGroup> {
+    pub fn evaluate_batch(&mut self, groups: &[PartitionGroup]) -> Vec<Arc<EvaluatedGroup>> {
         // Unique cache misses, first-occurrence order.
         let mut misses: Vec<&PartitionGroup> = Vec::new();
-        let mut miss_cuts: std::collections::HashSet<&[usize]> = std::collections::HashSet::new();
+        let mut miss_cuts: FxHashSet<&[usize]> = FxHashSet::default();
         for group in groups {
             if !self.cache.contains_key(group.cuts()) && miss_cuts.insert(group.cuts()) {
                 misses.push(group);
@@ -166,36 +251,58 @@ impl<'a> FitnessContext<'a> {
         }
 
         #[cfg(feature = "parallel")]
-        let fresh: Vec<EvaluatedGroup> = {
-            use rayon::prelude::*;
-            misses
-                .iter()
-                .map(|g| (*g).clone())
-                .collect::<Vec<_>>()
-                .into_par_iter()
-                .map(|g| self.evaluate_uncached(&g))
-                .collect()
-        };
-        #[cfg(not(feature = "parallel"))]
-        let fresh: Vec<EvaluatedGroup> = misses.iter().map(|g| self.evaluate_uncached(g)).collect();
-
-        for eval in fresh {
-            self.cache.insert(eval.group.cuts().to_vec(), eval);
+        if !misses.is_empty() {
+            // Unique segment misses, first-occurrence order.
+            let mut seg_misses: Vec<Partition> = Vec::new();
+            let mut seen: FxHashSet<(usize, usize)> = FxHashSet::default();
+            for group in &misses {
+                for part in group.partitions() {
+                    let key = (part.start, part.end);
+                    if !self.segments.contains_key(&key) && seen.insert(key) {
+                        seg_misses.push(part);
+                    }
+                }
+            }
+            if !seg_misses.is_empty() {
+                use rayon::prelude::*;
+                let planner = &self.planner;
+                let estimator = self.estimator();
+                let chip = self.chip;
+                let batch = self.batch;
+                let fresh: Vec<SegmentEval> = seg_misses
+                    .par_iter()
+                    .map(|&part| Self::compute_segment(planner, &estimator, chip, batch, part))
+                    .collect();
+                for (part, eval) in seg_misses.iter().zip(fresh) {
+                    self.segments.insert((part.start, part.end), Arc::new(eval));
+                }
+            }
         }
-        groups.iter().map(|g| self.cache[g.cuts()].clone()).collect()
+
+        // Assemble the miss groups (every segment is memoized by now
+        // under `parallel`; computed inline otherwise) and recall.
+        for group in misses {
+            let eval = Arc::new(self.evaluate_uncached(group));
+            self.cache.insert(group.cuts().into(), eval);
+        }
+        groups.iter().map(|g| Arc::clone(&self.cache[g.cuts()])).collect()
     }
 
-    /// The evaluation itself: plan, replicate, estimate, score. Pure
-    /// with respect to the context's shared references, so batches can
-    /// fan out across threads.
-    fn evaluate_uncached(&self, group: &PartitionGroup) -> EvaluatedGroup {
-        let mut plans = GroupPlan::build(self.network, self.seq, group);
-        optimize_group(&mut plans, self.chip);
-        let estimate = Estimator::new(self.chip)
-            .with_timing_mode(self.timing_mode)
-            .with_schedule_mode(self.schedule_mode)
-            .with_system_scaling(self.system_scaling)
-            .estimate_group(&plans, self.batch);
+    /// The evaluation itself: per-segment plan/replicate/estimate
+    /// (through the segment memo), then the group fold and score.
+    fn evaluate_uncached(&mut self, group: &PartitionGroup) -> EvaluatedGroup {
+        let parts = group.partitions();
+        let mut plans = Vec::with_capacity(parts.len());
+        let mut estimates = Vec::with_capacity(parts.len());
+        for (k, &part) in parts.iter().enumerate() {
+            let seg = self.segment_eval(part);
+            let mut plan = seg.plan.clone();
+            plan.index = k;
+            plans.push(plan);
+            estimates.push(seg.estimate);
+        }
+        let plans = GroupPlan::from_plans(plans);
+        let estimate = self.estimator().combine_group(&plans, estimates, self.batch);
         // Under interleaving the group's batch cycle is shorter than
         // the serial partition sum; scale each partition's share so
         // `PGF = Σ f(Pₖ)` still equals the latency the executor pays
@@ -218,16 +325,21 @@ impl<'a> FitnessContext<'a> {
         EvaluatedGroup { group: group.clone(), plans, estimate, partition_fitness, pgf }
     }
 
-    /// Number of memoized evaluations.
+    /// Number of memoized whole-group evaluations.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Number of memoized `(start, end)` segments.
+    pub fn segment_cache_len(&self) -> usize {
+        self.segments.len()
     }
 }
 
 /// Mean per-unit fitness `E[m(xᵢ)]` over a population (§III-C2):
 /// `m(xᵢ) = f(P)/|P|` where `P` is the partition containing `xᵢ` in a
 /// given individual; the expectation averages over the population.
-pub fn mean_unit_fitness(population: &[EvaluatedGroup], unit_count: usize) -> Vec<f64> {
+pub fn mean_unit_fitness(population: &[Arc<EvaluatedGroup>], unit_count: usize) -> Vec<f64> {
     let mut sums = vec![0.0; unit_count];
     if population.is_empty() {
         return sums;
@@ -314,6 +426,69 @@ mod tests {
         let b = ctx.evaluate(&group);
         assert_eq!(ctx.cache_len(), 1);
         assert_eq!(a.pgf, b.pgf);
+        // The second call is a pointer bump, not a recomputation.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(ctx.segment_cache_len(), group.partition_count());
+    }
+
+    #[test]
+    fn segments_are_shared_across_groups() {
+        // Two chromosomes differing by one cut share every other
+        // segment: the segment memo must grow by at most the two new
+        // spans, and the shared partitions' plans must be reused.
+        let f = fixture();
+        let mut ctx =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = PartitionGroup::random(&mut rng, &f.validity);
+        let a = ctx.evaluate(&base);
+        let segs_after_first = ctx.segment_cache_len();
+        assert_eq!(segs_after_first, base.partition_count());
+        // Drop one cut (the first whose merged span stays valid):
+        // every partition except the merged pair is unchanged.
+        let cuts = base.cuts();
+        assert!(cuts.len() >= 2, "resnet18 on chip-S yields many partitions");
+        let (dropped, merged) = (0..cuts.len())
+            .find_map(|i| {
+                let mut c = cuts.to_vec();
+                c.remove(i);
+                PartitionGroup::from_cuts(c, &f.validity).map(|g| (i, g))
+            })
+            .expect("some adjacent pair merges within validity");
+        let b = ctx.evaluate(&merged);
+        // Only the merged span is new.
+        assert_eq!(ctx.segment_cache_len(), segs_after_first + 1);
+        // Partitions before and after the merged pair score
+        // identically through the shared segment memo.
+        assert_eq!(&a.partition_fitness[..dropped], &b.partition_fitness[..dropped]);
+        assert_eq!(
+            &a.partition_fitness[dropped + 2..],
+            &b.partition_fitness[dropped + 1..],
+            "shared segments must reuse the memoized estimate"
+        );
+    }
+
+    #[test]
+    fn evaluate_batch_matches_sequential_evaluate() {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(17);
+        let groups: Vec<PartitionGroup> =
+            (0..12).map(|_| PartitionGroup::random(&mut rng, &f.validity)).collect();
+        // Include duplicates to exercise the first-occurrence dedup.
+        let mut batch_input = groups.clone();
+        batch_input.extend(groups.iter().take(3).cloned());
+
+        let mut seq_ctx =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
+        let sequential: Vec<f64> = batch_input.iter().map(|g| seq_ctx.evaluate(g).pgf).collect();
+
+        let mut batch_ctx =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
+        let batched: Vec<f64> =
+            batch_ctx.evaluate_batch(&batch_input).iter().map(|e| e.pgf).collect();
+        assert_eq!(sequential, batched);
+        assert_eq!(seq_ctx.cache_len(), batch_ctx.cache_len());
+        assert_eq!(seq_ctx.segment_cache_len(), batch_ctx.segment_cache_len());
     }
 
     #[test]
@@ -327,6 +502,7 @@ mod tests {
         assert_eq!(ctx.cache_len(), 1);
         let mut ctx = ctx.with_timing_mode(pim_arch::TimingMode::ClosedLoop);
         assert_eq!(ctx.cache_len(), 0, "mode switch must invalidate memoized scores");
+        assert_eq!(ctx.segment_cache_len(), 0, "segment scores are mode-specific too");
         let closed = ctx.evaluate(&group);
         assert_ne!(analytic.pgf, closed.pgf);
     }
@@ -345,6 +521,7 @@ mod tests {
         let target = SystemTarget::new(Topology::ring(2), SystemStrategy::BatchShard);
         let mut ctx = ctx.with_system_target(Some(target));
         assert_eq!(ctx.cache_len(), 0, "target switch must invalidate memoized scores");
+        assert_eq!(ctx.segment_cache_len(), 0);
         let sharded = ctx.evaluate(&group);
         assert!(sharded.pgf < single.pgf, "half the batch per chip must score cheaper");
     }
@@ -394,7 +571,7 @@ mod tests {
         let mut ctx =
             FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let mut rng = StdRng::seed_from_u64(4);
-        let evals: Vec<EvaluatedGroup> = (0..5)
+        let evals: Vec<Arc<EvaluatedGroup>> = (0..5)
             .map(|_| {
                 let g = PartitionGroup::random(&mut rng, &f.validity);
                 ctx.evaluate(&g)
@@ -411,7 +588,7 @@ mod tests {
         let mut ctx =
             FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let mut rng = StdRng::seed_from_u64(5);
-        let evals: Vec<EvaluatedGroup> = (0..8)
+        let evals: Vec<Arc<EvaluatedGroup>> = (0..8)
             .map(|_| {
                 let g = PartitionGroup::random(&mut rng, &f.validity);
                 ctx.evaluate(&g)

@@ -145,6 +145,224 @@ impl PartitionPlan {
     }
 }
 
+/// Precomputed, group-independent planning state for one
+/// `(network, decomposition)` pair.
+///
+/// The key fact behind it: a partition's plan depends **only on its
+/// own `[start, end)` unit span**, never on where the group's other
+/// cuts fall. Slices are the units inside the span; a non-crossbar
+/// node attaches to the span containing its latest-produced transitive
+/// input's *unit position* (a group-independent number, since the
+/// unit→partition map is monotone); and entries/exits reduce to
+/// "is this producer/consumer wholly (or partially) inside the span".
+/// The planner precomputes those per-node positions once, after which
+/// [`SegmentPlanner::plan`] resolves any contiguous segment in
+/// isolation — the foundation of the fitness cache's segment memo,
+/// which reuses one segment's plan across every partition group in a
+/// GA population that shares it.
+pub struct SegmentPlanner<'a> {
+    network: &'a Network,
+    seq: &'a UnitSequence,
+    /// `(node, start, end)` per weighted node, in unit order.
+    node_ranges: Vec<(NodeId, usize, usize)>,
+    /// Unit index -> index into `node_ranges` of the owning node.
+    unit_owner: Vec<usize>,
+    /// Production unit position of every node (by `NodeId::index`):
+    /// a weighted node produces at its last unit; an Input "before
+    /// unit 0"; any other node at the max over its inputs.
+    produced_pos: Vec<usize>,
+    /// Non-weighted, non-Input nodes sorted by (production position,
+    /// id): the nodes attached to a segment are one contiguous range.
+    attach_order: Vec<(usize, NodeId)>,
+}
+
+impl<'a> SegmentPlanner<'a> {
+    /// Precomputes the planning state (one pass over the network).
+    pub fn new(network: &'a Network, seq: &'a UnitSequence) -> Self {
+        let node_ranges: Vec<(NodeId, usize, usize)> =
+            seq.node_ranges().map(|(n, r)| (n, r.start, r.end)).collect();
+        let mut unit_owner = vec![usize::MAX; seq.len()];
+        for (ri, &(_, start, end)) in node_ranges.iter().enumerate() {
+            for slot in &mut unit_owner[start..end] {
+                *slot = ri;
+            }
+        }
+        let mut produced_pos = vec![0usize; network.nodes().len()];
+        for &(node, _, end) in &node_ranges {
+            produced_pos[node.index()] = end - 1;
+        }
+        let mut attach_order = Vec::new();
+        for node in network.nodes() {
+            if node.kind.is_weighted() || matches!(node.kind, LayerKind::Input { .. }) {
+                continue;
+            }
+            // Inputs precede their consumers (topological id order),
+            // so transitive positions are already resolved.
+            let mut latest = 0usize;
+            for &input in &node.inputs {
+                latest = latest.max(produced_pos[input.index()]);
+            }
+            produced_pos[node.id.index()] = latest;
+            attach_order.push((latest, node.id));
+        }
+        attach_order.sort_unstable();
+        Self { network, seq, node_ranges, unit_owner, produced_pos, attach_order }
+    }
+
+    /// `true` when `id` is computed *wholly* inside `[start, end)`:
+    /// a weighted node with its full unit range in the span, or a
+    /// non-weighted node attached to it (Input nodes never are).
+    fn computed_whole(&self, id: NodeId, start: usize, end: usize) -> bool {
+        let node = self.network.node(id);
+        if node.kind.is_weighted() {
+            match self.seq.range_of(id) {
+                Some(r) => start <= r.start && r.end <= end,
+                None => false,
+            }
+        } else if matches!(node.kind, LayerKind::Input { .. }) {
+            false
+        } else {
+            let pos = self.produced_pos[id.index()];
+            (start..end).contains(&pos)
+        }
+    }
+
+    /// Resolves the plan of the `[start, end)` segment as partition
+    /// number `index`. Identical to the corresponding plan of any
+    /// [`GroupPlan::build`] whose group cuts this exact span.
+    pub fn plan(&self, index: usize, partition: Partition) -> PartitionPlan {
+        let (start, end) = (partition.start, partition.end);
+        let activation_bits = 4; // matches chip precision; see Estimator.
+        let network = self.network;
+        let seq = self.seq;
+
+        // 1. Slices: walk the span's units, one slice per maximal run
+        //    of a single weighted node.
+        let mut slices = Vec::new();
+        let mut i = start;
+        while i < end {
+            let (node_id, node_start, node_end) = self.node_ranges[self.unit_owner[i]];
+            debug_assert!((node_start..node_end).contains(&i));
+            let node = network.node(node_id);
+            let node_bits: usize = seq.span_weight_bits(node_start..node_end);
+            let span_end = node_end.min(end);
+            let units = i..span_end;
+            let crossbars = seq.span_crossbars(units.clone());
+            let weight_bits = seq.span_weight_bits(units.clone());
+            let unit_crossbars: Vec<usize> = units.clone().map(|u| seq.unit(u).crossbars).collect();
+            let unit_weight_bits: Vec<usize> =
+                units.clone().map(|u| seq.unit(u).weight_bits).collect();
+            let spatial = seq.unit(i).mvms_per_sample;
+            let row_chunks_extra =
+                seq.units()[units.clone()].iter().filter(|u| u.row_split).count().saturating_sub(1);
+            let out_elems = node.output_shape.elements();
+            let fraction = if node_bits == 0 { 1.0 } else { weight_bits as f64 / node_bits as f64 };
+            slices.push(NodeSlice {
+                node: node_id,
+                units: units.clone(),
+                crossbars,
+                weight_bits,
+                unit_crossbars,
+                unit_weight_bits,
+                fraction,
+                mvms_per_sample: spatial,
+                activations_per_sample: spatial * crossbars,
+                reduction_elements: row_chunks_extra
+                    * ((out_elems as f64 * fraction).ceil() as usize),
+                replication: 1,
+            });
+            i = span_end;
+        }
+
+        // 2. Attached non-crossbar nodes: production position inside
+        //    the span (paper §III-B2 — the latest-produced input).
+        let lo = self.attach_order.partition_point(|&(pos, _)| pos < start);
+        let hi = self.attach_order.partition_point(|&(pos, _)| pos < end);
+        let mut attached: Vec<NodeId> =
+            self.attach_order[lo..hi].iter().map(|&(_, id)| id).collect();
+        attached.sort_unstable();
+
+        // 3. Entries, exits, VFU work, intra-partition traffic.
+        let mut entry_bytes: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut exit_bytes: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut intra = 0usize;
+        let mut vfu = 0usize;
+
+        // Consumers of each slice/attached node.
+        let local_nodes: Vec<NodeId> =
+            slices.iter().map(|s| s.node).chain(attached.iter().copied()).collect();
+
+        for &id in &local_nodes {
+            let node = network.node(id);
+            // Inputs: on-chip if produced (whole) here, else DRAM.
+            for &input in &node.inputs {
+                let in_node = network.node(input);
+                let bytes = in_node.output_shape.bytes(activation_bits);
+                if self.computed_whole(input, start, end) {
+                    intra += bytes;
+                } else {
+                    // Partially-local producers only need the remote
+                    // fraction.
+                    let local_fraction =
+                        slices.iter().find(|s| s.node == input).map(|s| s.fraction).unwrap_or(0.0);
+                    let remote = ((1.0 - local_fraction) * bytes as f64).ceil() as usize;
+                    if remote > 0 {
+                        let e = entry_bytes.entry(input).or_insert(0);
+                        *e = (*e).max(remote);
+                    }
+                    if local_fraction > 0.0 {
+                        intra += bytes - ((1.0 - local_fraction) * bytes as f64).ceil() as usize;
+                    }
+                }
+            }
+            // VFU work for attached layers.
+            if !node.kind.is_weighted() {
+                vfu += vfu_elements(network, id);
+            }
+        }
+        for slice in &slices {
+            vfu += slice.reduction_elements;
+        }
+
+        // Exits: a locally computed value leaves the chip if any
+        // consumer is not computed here, if it is a network output,
+        // or if it is a partial slice (stored for later reassembly).
+        for &id in &local_nodes {
+            let node = network.node(id);
+            let bytes = node.output_shape.bytes(activation_bits);
+            let slice_fraction = slices.iter().find(|s| s.node == id).map(|s| s.fraction);
+            let is_partial = slice_fraction.map(|f| f < 1.0).unwrap_or(false);
+            let consumers = network.consumers(id);
+            let leaves = consumers.is_empty()
+                || consumers.iter().any(|&c| !local_consumer(network, c, &local_nodes));
+            if is_partial {
+                let frac = slice_fraction.unwrap_or(1.0);
+                exit_bytes.insert(id, (bytes as f64 * frac).ceil() as usize);
+            } else if leaves {
+                exit_bytes.insert(id, bytes);
+            }
+        }
+
+        PartitionPlan {
+            index,
+            partition,
+            slices,
+            attached,
+            entries: entry_bytes
+                .into_iter()
+                .map(|(node, bytes_per_sample)| TensorTransfer { node, bytes_per_sample })
+                .collect(),
+            exits: exit_bytes
+                .into_iter()
+                .map(|(node, bytes_per_sample)| TensorTransfer { node, bytes_per_sample })
+                .collect(),
+            vfu_elements_per_sample: vfu,
+            intra_traffic_bytes_per_sample: intra,
+            packing: None,
+        }
+    }
+}
+
 /// Plans for every partition of a group, in execution order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GroupPlan {
@@ -158,213 +376,25 @@ impl GroupPlan {
     /// in the partition of its *latest-produced* input — found by
     /// walking the dependence graph backwards — so Add/Concat nodes
     /// land where their last operand becomes available.
+    ///
+    /// Each partition's plan is a pure function of its unit span (see
+    /// [`SegmentPlanner`]); callers resolving many groups over one
+    /// network should hold a planner and memoize per segment instead.
     pub fn build(network: &Network, seq: &UnitSequence, group: &PartitionGroup) -> Self {
-        let part_count = group.partition_count();
-        let activation_bits = 4; // matches chip precision; see Estimator.
-
-        // 1. Partition index where each weighted node's *last* unit
-        //    lives, plus whether the node is wholly inside one
-        //    partition.
-        let mut produced_in: BTreeMap<NodeId, usize> = BTreeMap::new();
-        let mut whole_in: BTreeMap<NodeId, Option<usize>> = BTreeMap::new();
-        for (node, range) in seq.node_ranges() {
-            let first = group.partition_of_unit(range.start);
-            let last = group.partition_of_unit(range.end - 1);
-            produced_in.insert(node, last);
-            whole_in.insert(node, if first == last { Some(first) } else { None });
+        let planner = SegmentPlanner::new(network, seq);
+        Self {
+            plans: (0..group.partition_count())
+                .map(|k| planner.plan(k, group.partition(k)))
+                .collect(),
         }
-
-        // 2. Attach non-weighted nodes: partition of the latest
-        //    produced transitive input (Input nodes produce "before
-        //    partition 0").
-        let mut attach: BTreeMap<NodeId, usize> = BTreeMap::new();
-        for node in network.nodes() {
-            if node.kind.is_weighted() {
-                continue;
-            }
-            if matches!(node.kind, LayerKind::Input { .. }) {
-                continue;
-            }
-            let mut latest = 0usize;
-            for &input in &node.inputs {
-                let p = Self::production_partition(network, input, &produced_in, &attach);
-                latest = latest.max(p);
-            }
-            attach.insert(node.id, latest);
-        }
-
-        // 3. Build per-partition node sets and slices.
-        let mut plans: Vec<PartitionPlan> = (0..part_count)
-            .map(|index| PartitionPlan {
-                index,
-                partition: group.partition(index),
-                slices: Vec::new(),
-                attached: Vec::new(),
-                entries: Vec::new(),
-                exits: Vec::new(),
-                vfu_elements_per_sample: 0,
-                intra_traffic_bytes_per_sample: 0,
-                packing: None,
-            })
-            .collect();
-
-        for (node_id, range) in seq.node_ranges() {
-            let node = network.node(node_id);
-            let node_bits: usize = seq.span_weight_bits(range.clone());
-            let mut i = range.start;
-            while i < range.end {
-                let p = group.partition_of_unit(i);
-                let span_end = group.partition(p).end.min(range.end);
-                let units = i..span_end;
-                let crossbars = seq.span_crossbars(units.clone());
-                let weight_bits = seq.span_weight_bits(units.clone());
-                let unit_crossbars: Vec<usize> =
-                    units.clone().map(|u| seq.unit(u).crossbars).collect();
-                let unit_weight_bits: Vec<usize> =
-                    units.clone().map(|u| seq.unit(u).weight_bits).collect();
-                let spatial = seq.unit(i).mvms_per_sample;
-                let row_chunks_extra = seq.units()[units.clone()]
-                    .iter()
-                    .filter(|u| u.row_split)
-                    .count()
-                    .saturating_sub(1);
-                let out_elems = node.output_shape.elements();
-                let fraction =
-                    if node_bits == 0 { 1.0 } else { weight_bits as f64 / node_bits as f64 };
-                plans[p].slices.push(NodeSlice {
-                    node: node_id,
-                    units: units.clone(),
-                    crossbars,
-                    weight_bits,
-                    unit_crossbars,
-                    unit_weight_bits,
-                    fraction,
-                    mvms_per_sample: spatial,
-                    activations_per_sample: spatial * crossbars,
-                    reduction_elements: row_chunks_extra
-                        * ((out_elems as f64 * fraction).ceil() as usize),
-                    replication: 1,
-                });
-                i = span_end;
-            }
-        }
-        for (&node_id, &p) in &attach {
-            plans[p].attached.push(node_id);
-        }
-        for plan in &mut plans {
-            plan.attached.sort_unstable();
-        }
-
-        // 4. Entries, exits, VFU work, intra-partition traffic.
-        for plan in &mut plans {
-            let p = plan.index;
-            let computed_whole = |id: NodeId| -> bool {
-                let node = network.node(id);
-                if node.kind.is_weighted() {
-                    whole_in.get(&id).copied().flatten() == Some(p)
-                } else if matches!(node.kind, LayerKind::Input { .. }) {
-                    false
-                } else {
-                    attach.get(&id).copied() == Some(p)
-                }
-            };
-            let mut entry_bytes: BTreeMap<NodeId, usize> = BTreeMap::new();
-            let mut exit_bytes: BTreeMap<NodeId, usize> = BTreeMap::new();
-            let mut intra = 0usize;
-            let mut vfu = 0usize;
-
-            // Consumers of each slice/attached node.
-            let local_nodes: Vec<NodeId> =
-                plan.slices.iter().map(|s| s.node).chain(plan.attached.iter().copied()).collect();
-
-            for &id in &local_nodes {
-                let node = network.node(id);
-                // Inputs: on-chip if produced (whole) here, else DRAM.
-                for &input in &node.inputs {
-                    let in_node = network.node(input);
-                    let bytes = in_node.output_shape.bytes(activation_bits);
-                    if computed_whole(input) {
-                        intra += bytes;
-                    } else {
-                        // Partially-local producers only need the
-                        // remote fraction.
-                        let local_fraction = plan
-                            .slices
-                            .iter()
-                            .find(|s| s.node == input)
-                            .map(|s| s.fraction)
-                            .unwrap_or(0.0);
-                        let remote = ((1.0 - local_fraction) * bytes as f64).ceil() as usize;
-                        if remote > 0 {
-                            let e = entry_bytes.entry(input).or_insert(0);
-                            *e = (*e).max(remote);
-                        }
-                        if local_fraction > 0.0 {
-                            intra +=
-                                bytes - ((1.0 - local_fraction) * bytes as f64).ceil() as usize;
-                        }
-                    }
-                }
-                // VFU work for attached layers.
-                if !node.kind.is_weighted() {
-                    vfu += vfu_elements(network, id);
-                }
-            }
-            for slice in &plan.slices {
-                vfu += slice.reduction_elements;
-            }
-
-            // Exits: a locally computed value leaves the chip if any
-            // consumer is not computed here, if it is a network output,
-            // or if it is a partial slice (stored for later
-            // reassembly).
-            for &id in &local_nodes {
-                let node = network.node(id);
-                let bytes = node.output_shape.bytes(activation_bits);
-                let slice_fraction = plan.slices.iter().find(|s| s.node == id).map(|s| s.fraction);
-                let is_partial = slice_fraction.map(|f| f < 1.0).unwrap_or(false);
-                let consumers = network.consumers(id);
-                let leaves = consumers.is_empty()
-                    || consumers.iter().any(|&c| !local_consumer(network, c, &local_nodes));
-                if is_partial {
-                    let frac = slice_fraction.unwrap_or(1.0);
-                    exit_bytes.insert(id, (bytes as f64 * frac).ceil() as usize);
-                } else if leaves {
-                    exit_bytes.insert(id, bytes);
-                }
-            }
-
-            plan.entries = entry_bytes
-                .into_iter()
-                .map(|(node, bytes_per_sample)| TensorTransfer { node, bytes_per_sample })
-                .collect();
-            plan.exits = exit_bytes
-                .into_iter()
-                .map(|(node, bytes_per_sample)| TensorTransfer { node, bytes_per_sample })
-                .collect();
-            plan.vfu_elements_per_sample = vfu;
-            plan.intra_traffic_bytes_per_sample = intra;
-        }
-
-        Self { plans }
     }
 
-    fn production_partition(
-        network: &Network,
-        id: NodeId,
-        produced_in: &BTreeMap<NodeId, usize>,
-        attach: &BTreeMap<NodeId, usize>,
-    ) -> usize {
-        let node = network.node(id);
-        if node.kind.is_weighted() {
-            produced_in.get(&id).copied().unwrap_or(0)
-        } else if matches!(node.kind, LayerKind::Input { .. }) {
-            0
-        } else {
-            // Non-weighted nodes are attached before their consumers
-            // are processed (topological order), so lookups hit.
-            attach.get(&id).copied().unwrap_or(0)
-        }
+    /// Assembles a group plan from already-resolved partition plans
+    /// (the fitness cache's segment-memo path). Plans must be in
+    /// execution order with correct `index` fields.
+    pub(crate) fn from_plans(plans: Vec<PartitionPlan>) -> Self {
+        debug_assert!(plans.iter().enumerate().all(|(k, p)| p.index == k));
+        Self { plans }
     }
 
     /// The plans in execution order.

@@ -22,14 +22,49 @@ pub trait Component<E>: Any {
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
 }
 
+/// Cold panic helpers: the schedule calls sit on the simulator's
+/// hottest path, and inlining `panic!` format machinery there costs
+/// registers and icache on every call. The checks stay (a past event
+/// is a simulator bug that must fail loudly in every build); only the
+/// formatting is moved out of line.
+#[cold]
+#[inline(never)]
+fn past_schedule_panic(time: SimTime, now: SimTime) -> ! {
+    panic!("cannot schedule into the past: {time} < {now}");
+}
+
+#[cold]
+#[inline(never)]
+fn past_delay_panic(delay_ns: f64) -> ! {
+    panic!("cannot schedule into the past: delay {delay_ns} ns");
+}
+
+#[cold]
+#[inline(never)]
+fn missing_component_panic() -> ! {
+    panic!("event addressed to missing component");
+}
+
+#[cold]
+#[inline(never)]
+fn backwards_queue_panic() -> ! {
+    panic!("event queue went backwards");
+}
+
 /// The slice of engine state a component may touch while handling an
-/// event: the clock, the queue, the seeded RNG, and the component
-/// registry (for spawning — never for reaching into a peer).
+/// event: the clock, the queue, the seeded RNG, and the spawn list
+/// (for registering new components — never for reaching into a peer).
 pub struct EngineCtx<'a, E> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
     rng: &'a mut SimRng,
-    components: &'a mut Vec<Option<Box<dyn Component<E>>>>,
+    /// Components spawned during the current dispatch; the engine
+    /// folds them into the registry right after the handler returns,
+    /// so the dispatched component itself never has to leave its slot.
+    spawned: &'a mut Vec<Box<dyn Component<E>>>,
+    /// Number of components already in the registry (spawn ids start
+    /// here + the spawn list length).
+    registered: usize,
 }
 
 impl<E: 'static> EngineCtx<'_, E> {
@@ -38,8 +73,8 @@ impl<E: 'static> EngineCtx<'_, E> {
     /// time is only known dynamically (e.g. a chip sequencer spawning
     /// its cores when a pipeline stage's inputs arrive).
     pub fn add_component<C: Component<E>>(&mut self, component: C) -> ComponentId {
-        let id = ComponentId(self.components.len());
-        self.components.push(Some(Box::new(component)));
+        let id = ComponentId(self.registered + self.spawned.len());
+        self.spawned.push(Box::new(component));
         id
     }
 }
@@ -56,8 +91,11 @@ impl<E> EngineCtx<'_, E> {
     ///
     /// Panics if `time` is earlier than the clock (events cannot fire
     /// in the past).
+    #[inline]
     pub fn schedule(&mut self, time: SimTime, target: ComponentId, payload: E) {
-        assert!(time >= self.now, "cannot schedule into the past: {time} < {}", self.now);
+        if time < self.now {
+            past_schedule_panic(time, self.now);
+        }
         self.queue.push(time, target, payload);
     }
 
@@ -67,8 +105,13 @@ impl<E> EngineCtx<'_, E> {
     ///
     /// Panics if `delay_ns` is negative or non-finite (events cannot
     /// fire in the past).
+    #[inline]
     pub fn schedule_in(&mut self, delay_ns: f64, target: ComponentId, payload: E) {
-        assert!(delay_ns >= 0.0, "cannot schedule into the past: delay {delay_ns} ns");
+        // NaN must panic too, so order the comparison to catch it.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(delay_ns >= 0.0) {
+            past_delay_panic(delay_ns);
+        }
         let time = self.now.advance(delay_ns);
         self.queue.push(time, target, payload);
     }
@@ -84,6 +127,13 @@ impl<E> EngineCtx<'_, E> {
 /// Events are processed in `(time, sequence)` order; the sequence id
 /// is assigned at scheduling time, so two runs with the same seed and
 /// the same component behaviour produce bit-identical histories.
+///
+/// Dispatch drains the queue one *instant* at a time: the instant's
+/// first event comes from a full pop, the rest of the burst from
+/// [`EventQueue::pop_at`] — O(1) pops off the queue's active bucket —
+/// delivered in sequence order while the target components stay in
+/// their registry slots. No per-event `Option::take`/put round-trip,
+/// no per-event allocation, no intermediate batch buffer.
 ///
 /// # Example
 ///
@@ -117,6 +167,9 @@ pub struct Engine<E> {
     now: SimTime,
     queue: EventQueue<E>,
     components: Vec<Option<Box<dyn Component<E>>>>,
+    /// Spawn list shared with dispatch (see [`EngineCtx`]); kept here
+    /// so its allocation is reused across events.
+    spawned: Vec<Box<dyn Component<E>>>,
     rng: SimRng,
     processed: u64,
 }
@@ -128,9 +181,32 @@ impl<E: 'static> Engine<E> {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             components: Vec::new(),
+            spawned: Vec::new(),
             rng: SimRng::seed_from_u64(seed),
             processed: 0,
         }
+    }
+
+    /// Swaps the calendar queue for the retired binary-heap reference
+    /// implementation (the seed-era queue, kept as an ordering
+    /// oracle). Only meaningful on a fresh engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are already pending — the two queues must see
+    /// the identical schedule from the start.
+    #[cfg(any(test, feature = "reference-queue"))]
+    pub fn use_reference_queue(&mut self) {
+        assert!(self.queue.is_empty(), "switch queues before scheduling");
+        self.queue = EventQueue::reference();
+    }
+
+    /// Pre-sizes the event queue for roughly `events` pending events —
+    /// a hint, not a limit. Simulators that know their workload size
+    /// call this once before scheduling to avoid growth reallocations
+    /// on the hot path.
+    pub fn reserve_events(&mut self, events: usize) {
+        self.queue.reserve(events);
     }
 
     /// Registers a component, returning its address.
@@ -203,33 +279,79 @@ impl<E: 'static> Engine<E> {
         self.queue.push(time, target, payload);
     }
 
-    /// Dispatches events in `(time, seq)` order until the queue is
-    /// empty, returning the number of events processed.
+    /// Advances the clock to the next pending instant and dispatches
+    /// every event scheduled at it — including events handlers
+    /// schedule *at* the instant mid-drain — in sequence order.
+    /// Returns the number of events processed, `0` when the queue is
+    /// idle.
+    ///
+    /// The drain is zero-copy: the instant's first event comes from
+    /// `pop`, the rest of the burst from [`EventQueue::pop_at`] (each
+    /// an O(1) pop off the queue's active bucket), and the target
+    /// components are dispatched in place — no per-event
+    /// `Option::take`/put round-trip, no intermediate batch buffer.
     ///
     /// # Panics
     ///
     /// Panics if an event addresses a component that was never
     /// registered or has been extracted.
+    pub fn step(&mut self) -> u64 {
+        let first = match self.queue.pop() {
+            Some(event) => event,
+            None => return 0,
+        };
+        let time = first.time;
+        if time < self.now {
+            backwards_queue_panic();
+        }
+        self.now = time;
+        self.dispatch(first);
+        let mut n = 1u64;
+        while let Some(event) = self.queue.pop_at(time) {
+            self.dispatch(event);
+            n += 1;
+        }
+        self.processed += n;
+        n
+    }
+
+    /// Delivers one event to its component in place, folding any
+    /// mid-dispatch spawns into the registry afterwards.
+    #[inline]
+    fn dispatch(&mut self, event: Event<E>) {
+        let registered = self.components.len();
+        let component = match self.components[event.target.0].as_mut() {
+            Some(c) => c,
+            None => missing_component_panic(),
+        };
+        let mut ctx = EngineCtx {
+            now: self.now,
+            queue: &mut self.queue,
+            rng: &mut self.rng,
+            spawned: &mut self.spawned,
+            registered,
+        };
+        component.on_event(event, &mut ctx);
+        if !self.spawned.is_empty() {
+            self.components.extend(self.spawned.drain(..).map(Some));
+        }
+    }
+
+    /// Dispatches events in `(time, seq)` order until the queue is
+    /// empty, returning the number of events processed.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Self::step`].
     pub fn run_until_idle(&mut self) -> u64 {
         let mut count = 0u64;
-        while let Some(event) = self.queue.pop() {
-            assert!(event.time >= self.now, "event queue went backwards");
-            self.now = event.time;
-            let target = event.target;
-            let mut component =
-                self.components[target.0].take().expect("event addressed to missing component");
-            let mut ctx = EngineCtx {
-                now: self.now,
-                queue: &mut self.queue,
-                rng: &mut self.rng,
-                components: &mut self.components,
-            };
-            component.on_event(event, &mut ctx);
-            self.components[target.0] = Some(component);
-            count += 1;
+        loop {
+            let n = self.step();
+            if n == 0 {
+                return count;
+            }
+            count += n;
         }
-        self.processed += count;
-        count
     }
 }
 
@@ -314,6 +436,41 @@ mod tests {
     }
 
     #[test]
+    fn spawned_component_receives_same_instant_events() {
+        // A spawn plus a zero-delay event to the child: the child must
+        // be in the registry by the time the follow-up instant (same
+        // timestamp, later sequence id) dispatches.
+        struct Spawner;
+        struct Child {
+            heard: u32,
+        }
+        impl Component<u32> for Spawner {
+            fn on_event(&mut self, event: Event<u32>, ctx: &mut EngineCtx<'_, u32>) {
+                let child = ctx.add_component(Child { heard: 0 });
+                ctx.schedule(event.time, child, event.payload);
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+        }
+        impl Component<u32> for Child {
+            fn on_event(&mut self, event: Event<u32>, _: &mut EngineCtx<'_, u32>) {
+                self.heard += event.payload;
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+        }
+        let mut engine = Engine::new(0);
+        let spawner = engine.add_component(Spawner);
+        engine.schedule(SimTime::from_ns(5.0), spawner, 3);
+        engine.run_until_idle();
+        let child: Child = engine.extract(ComponentId(1)).unwrap();
+        assert_eq!(child.heard, 3);
+        assert_eq!(engine.now(), SimTime::from_ns(5.0));
+    }
+
+    #[test]
     fn clock_is_monotone_and_processed_counts() {
         struct Sink;
         impl Component<()> for Sink {
@@ -330,5 +487,86 @@ mod tests {
         assert_eq!(engine.run_until_idle(), 3);
         assert_eq!(engine.processed(), 3);
         assert_eq!(engine.now(), SimTime::from_ns(5.0));
+    }
+
+    #[test]
+    fn step_processes_one_instant_at_a_time() {
+        struct Sink {
+            seen: Vec<(f64, u32)>,
+        }
+        impl Component<u32> for Sink {
+            fn on_event(&mut self, event: Event<u32>, _: &mut EngineCtx<'_, u32>) {
+                self.seen.push((event.time.as_ns(), event.payload));
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+        }
+        let mut engine = Engine::new(0);
+        let id = engine.add_component(Sink { seen: Vec::new() });
+        engine.reserve_events(16);
+        engine.schedule(SimTime::from_ns(1.0), id, 0);
+        engine.schedule(SimTime::from_ns(1.0), id, 1);
+        engine.schedule(SimTime::from_ns(2.0), id, 2);
+        assert_eq!(engine.step(), 2, "both t=1 events in one step");
+        assert_eq!(engine.now(), SimTime::from_ns(1.0));
+        assert_eq!(engine.step(), 1);
+        assert_eq!(engine.step(), 0);
+        let sink: Sink = engine.extract(id).unwrap();
+        assert_eq!(sink.seen, vec![(1.0, 0), (1.0, 1), (2.0, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        struct Rewind;
+        impl Component<()> for Rewind {
+            fn on_event(&mut self, _: Event<()>, ctx: &mut EngineCtx<'_, ()>) {
+                ctx.schedule(SimTime::ZERO, ComponentId(0), ());
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+        }
+        let mut engine = Engine::new(0);
+        let id = engine.add_component(Rewind);
+        engine.schedule(SimTime::from_ns(3.0), id, ());
+        engine.run_until_idle();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn negative_delay_panics() {
+        struct Rewind;
+        impl Component<()> for Rewind {
+            fn on_event(&mut self, event: Event<()>, ctx: &mut EngineCtx<'_, ()>) {
+                ctx.schedule_in(-1.0, event.target, ());
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+        }
+        let mut engine = Engine::new(0);
+        let id = engine.add_component(Rewind);
+        engine.schedule(SimTime::ZERO, id, ());
+        engine.run_until_idle();
+    }
+
+    #[test]
+    fn reference_queue_engine_matches_calendar_engine() {
+        fn run(reference: bool) -> (u64, f64, Vec<(f64, u32)>) {
+            let mut engine = Engine::new(9);
+            if reference {
+                engine.use_reference_queue();
+            }
+            let a = engine.add_component(Player { peer: Some(ComponentId(1)), log: Vec::new() });
+            let _b = engine.add_component(Player { peer: Some(ComponentId(0)), log: Vec::new() });
+            engine.schedule(SimTime::ZERO, a, 9);
+            let n = engine.run_until_idle();
+            let now = engine.now().as_ns();
+            let pa: Player = engine.extract(a).unwrap();
+            (n, now, pa.log)
+        }
+        assert_eq!(run(false), run(true));
     }
 }

@@ -99,6 +99,15 @@ impl ChipSimulator {
         self
     }
 
+    /// Runs on the engine's retired binary-heap event queue (the
+    /// determinism suites' oracle; see
+    /// [`SystemSimulator::with_reference_queue`]).
+    #[cfg(feature = "reference-queue")]
+    pub fn with_reference_queue(mut self, enabled: bool) -> Self {
+        self.system = self.system.with_reference_queue(enabled);
+        self
+    }
+
     /// The closed-loop channel count in effect: explicit, or derived
     /// from the chip's aggregate bandwidth over one LPDDR3 channel's
     /// peak (the presets' 6.4 GB/s maps to one channel).

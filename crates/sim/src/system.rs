@@ -124,6 +124,8 @@ pub struct SystemSimulator {
     dram_channels: Option<usize>,
     interleave_bytes: usize,
     dram_reorder: bool,
+    #[cfg(feature = "reference-queue")]
+    reference_queue: bool,
 }
 
 impl SystemSimulator {
@@ -140,7 +142,19 @@ impl SystemSimulator {
             dram_channels: None,
             interleave_bytes: DEFAULT_INTERLEAVE_BYTES,
             dram_reorder: false,
+            #[cfg(feature = "reference-queue")]
+            reference_queue: false,
         }
+    }
+
+    /// Runs the simulation on the engine's retired binary-heap event
+    /// queue instead of the calendar queue — the determinism suites'
+    /// oracle. Timing and reports are identical by construction; this
+    /// knob exists so tests can *prove* that, byte for byte.
+    #[cfg(feature = "reference-queue")]
+    pub fn with_reference_queue(mut self, enabled: bool) -> Self {
+        self.reference_queue = enabled;
+        self
     }
 
     /// The system topology.
@@ -317,6 +331,27 @@ impl SystemSimulator {
         let rounds = rounds.max(1);
         let chips = loads.len();
         let mut engine: Engine<ChipEvent> = Engine::new(0);
+        #[cfg(feature = "reference-queue")]
+        if self.reference_queue {
+            engine.use_reference_queue();
+        }
+        // Pre-size the event queue for *peak pending* events: each
+        // live component (a core of an in-flight stage, the shared
+        // channel/bus/rendezvous/DRAM per chip, the interconnect)
+        // keeps only a bounded handful of events in flight, so peak
+        // occupancy scales with concurrent components — not with
+        // instructions × rounds, which measures throughput. A hint
+        // only; the queue grows past it transparently.
+        let stage_cores: usize = loads
+            .iter()
+            .map(|l| match self.schedule {
+                // Barrier mode runs one stage per chip at a time.
+                ScheduleMode::Barrier => l.programs.iter().map(|p| p.cores()).max().unwrap_or(0),
+                // Interleaving can have every partition in flight.
+                ScheduleMode::Interleaved => l.programs.iter().map(|p| p.cores()).sum(),
+            })
+            .sum();
+        engine.reserve_events(((stage_cores + 8 * chips) * 8).clamp(256, 1 << 16));
 
         struct ChipParts {
             dram: Option<ComponentId>,

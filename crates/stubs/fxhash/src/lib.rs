@@ -1,0 +1,128 @@
+//! Offline polyfill of the `fxhash` crate subset this workspace uses:
+//! [`FxHasher`], [`FxBuildHasher`], and the [`FxHashMap`] /
+//! [`FxHashSet`] aliases.
+//!
+//! Implements the rustc "Fx" algorithm (rotate, xor, multiply by a
+//! golden-ratio-derived constant, one word at a time). Unlike the
+//! standard library's SipHash it is **not** DoS-resistant — which is
+//! exactly right for the GA's memo tables: keys are short integer
+//! vectors produced by the program itself, lookups sit on the fitness
+//! hot path, and hashes must be cheap and deterministic across runs.
+//! In an online environment, swap the real crate back in via
+//! `Cargo.toml` only (see `crates/stubs/README.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the golden ratio (same constant rustc uses for
+/// 64-bit Fx hashing).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx streaming hasher: one rotate-xor-multiply per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (word, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(word.try_into().expect("8-byte chunk")));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (word, rest) = bytes.split_at(4);
+            self.add_to_hash(u32::from_le_bytes(word.try_into().expect("4-byte chunk")) as u64);
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Builds [`FxHasher`]s (stateless, so every build is identical and
+/// hashes are stable across processes and runs).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let cuts: Vec<usize> = vec![3, 17, 42, 99];
+        assert_eq!(hash_of(&cuts), hash_of(&cuts.clone()));
+        assert_ne!(hash_of(&cuts), hash_of(&vec![3usize, 17, 42, 100]));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<(usize, usize), &str> = FxHashMap::default();
+        map.insert((0, 5), "segment");
+        assert_eq!(map.get(&(0, 5)), Some(&"segment"));
+        let mut set: FxHashSet<Vec<usize>> = FxHashSet::default();
+        assert!(set.insert(vec![1, 2]));
+        assert!(!set.insert(vec![1, 2]));
+    }
+
+    #[test]
+    fn streams_and_one_shot_agree_on_word_boundaries() {
+        // write() in 8-byte chunks must equal write_u64 per word.
+        let mut a = FxHasher::default();
+        a.write(&[1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0]);
+        let mut b = FxHasher::default();
+        b.write_u64(1);
+        b.write_u64(2);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,5 +1,7 @@
 //! Offline polyfill of the `rayon` subset this workspace uses:
-//! `into_par_iter().map(..).collect::<Vec<_>>()`.
+//! `into_par_iter().map(..).collect::<Vec<_>>()` over owned
+//! collections and `par_iter().map(..).collect::<Vec<_>>()` over
+//! slices (borrowed items, no per-item clone before fan-out).
 //!
 //! Work is split into contiguous chunks across `std::thread::scope`
 //! threads (one per available core), and results are concatenated in
@@ -84,9 +86,37 @@ impl<T: Send, F> ParMap<T, F> {
     }
 }
 
+/// Borrowing counterpart of [`IntoParallelIterator`], mirroring
+/// rayon's `IntoParallelRefIterator`: `par_iter()` on a slice (or
+/// anything that derefs to one, e.g. `Vec`) yields `&T` items, so
+/// callers fan work out without cloning every element first.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+
+    /// Iterates the collection by reference.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
 /// Glob import target mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParIter, ParMap};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
 }
 
 #[cfg(test)]
@@ -98,6 +128,16 @@ mod tests {
         let out: Vec<usize> =
             (0..1000).collect::<Vec<_>>().into_par_iter().map(|x| x * 2).collect();
         assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows_and_preserves_order() {
+        let items: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = items.par_iter().map(|s| s.len()).collect();
+        assert_eq!(out, items.iter().map(|s| s.len()).collect::<Vec<_>>());
+        // Slices work too.
+        let out: Vec<usize> = items[10..20].par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 10);
     }
 
     #[test]

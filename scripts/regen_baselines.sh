@@ -25,5 +25,9 @@ rm -f "${BASELINE}"
 cargo run --release -p compass-bench --bin topology_sweep -- --quick --json "${BASELINE}"
 cargo run --release -p compass-bench --bin topology_sweep -- --quick --schedule interleaved --json "${BASELINE}"
 cargo run --release -p compass-bench --bin timing_mode_sweep -- --quick --json "${BASELINE}"
+# Hot-path records: the hotpath:gate:* speedup ratios are gated (they
+# are same-process ratios, stable across machines); the hotpath:abs:*
+# events/sec and GA-generation numbers are trajectory-only.
+cargo run --release -p compass-bench --bin engine_hotpath -- --quick --json "${BASELINE}" --min-speedup 3.0
 
 echo "== done; review with: git diff tests/golden ${BASELINE} =="

@@ -1,0 +1,142 @@
+//! Calendar-queue ↔ reference-heap equivalence.
+//!
+//! PR 5 replaced the engine's binary-heap event queue with a two-tier
+//! calendar queue. The heap survives as the *reference
+//! implementation* (`pim-engine`'s `reference-queue` feature); this
+//! suite runs whole simulations on both queues and demands
+//! **byte-identical serialized [`pim_sim::SimReport`]s** — the
+//! strongest statement that the calendar queue preserves exact
+//! `(time, seq)` dispatch order, across:
+//!
+//! * both timing modes (`analytic`, `closed-loop`) × both CI
+//!   topologies (`single`, `ring:2`) — the four env matrix legs,
+//! * the interleaved schedule mode (multi-stage in flight, mid-run
+//!   `add_component` core spawns with same-instant follow-up events),
+//! * FR-FCFS DRAM reordering (same-instant service-order sensitivity).
+
+use compass::{CompileOptions, Compiler, GaParams, Strategy};
+use pim_arch::{ChipSpec, ScheduleMode, TimingMode, Topology};
+use pim_sim::{ChipLoad, ChipSimulator, SystemSimulator};
+
+fn compiled_programs(batch: usize) -> compass::CompiledModel {
+    let chip = ChipSpec::chip_s();
+    Compiler::new(chip)
+        .compile(
+            &pim_model::zoo::tiny_cnn(),
+            &CompileOptions::new()
+                .with_strategy(Strategy::Greedy)
+                .with_batch_size(batch)
+                .with_ga(GaParams::fast())
+                .with_seed(11),
+        )
+        .expect("compiles")
+}
+
+/// Serialized report of a single-chip run on either queue.
+fn chip_report(timing: TimingMode, schedule: ScheduleMode, reference: bool) -> String {
+    let compiled = compiled_programs(2);
+    let sim = ChipSimulator::new(ChipSpec::chip_s())
+        .with_timing_mode(timing)
+        .with_schedule_mode(schedule)
+        .with_reference_queue(reference);
+    let rounds = match schedule {
+        ScheduleMode::Barrier => 1,
+        ScheduleMode::Interleaved => 4,
+    };
+    let report = sim.run_batches(compiled.programs(), rounds, 2).expect("simulates");
+    serde_json::to_string(&report).expect("serializes")
+}
+
+/// Serialized report of a 2-chip pipelined system run on either queue.
+fn system_report(timing: TimingMode, reference: bool) -> String {
+    let compiled = compiled_programs(2);
+    let loads = [
+        ChipLoad::new(compiled.programs()).with_handoff(1, 4096),
+        ChipLoad::new(compiled.programs()),
+    ];
+    let report = SystemSimulator::new(ChipSpec::chip_s(), Topology::ring(2))
+        .with_timing_mode(timing)
+        .with_reference_queue(reference)
+        .run(&loads, 3, 2)
+        .expect("simulates");
+    serde_json::to_string(&report).expect("serializes")
+}
+
+#[test]
+fn single_chip_analytic_reports_are_byte_identical() {
+    let a = chip_report(TimingMode::Analytic, ScheduleMode::Barrier, false);
+    let b = chip_report(TimingMode::Analytic, ScheduleMode::Barrier, true);
+    assert_eq!(a, b, "calendar vs reference queue (analytic, single)");
+}
+
+#[test]
+fn single_chip_closed_loop_reports_are_byte_identical() {
+    let a = chip_report(TimingMode::ClosedLoop, ScheduleMode::Barrier, false);
+    let b = chip_report(TimingMode::ClosedLoop, ScheduleMode::Barrier, true);
+    assert_eq!(a, b, "calendar vs reference queue (closed-loop, single)");
+}
+
+#[test]
+fn ring2_analytic_reports_are_byte_identical() {
+    let a = system_report(TimingMode::Analytic, false);
+    let b = system_report(TimingMode::Analytic, true);
+    assert_eq!(a, b, "calendar vs reference queue (analytic, ring:2)");
+}
+
+#[test]
+fn ring2_closed_loop_reports_are_byte_identical() {
+    let a = system_report(TimingMode::ClosedLoop, false);
+    let b = system_report(TimingMode::ClosedLoop, true);
+    assert_eq!(a, b, "calendar vs reference queue (closed-loop, ring:2)");
+}
+
+#[test]
+fn interleaved_schedule_reports_are_byte_identical() {
+    // Interleaving keeps several stages in flight: mid-run core spawns
+    // (`EngineCtx::add_component`) plus same-instant cross-stage
+    // events — the dispatch pattern most sensitive to queue order.
+    for timing in [TimingMode::Analytic, TimingMode::ClosedLoop] {
+        let a = chip_report(timing, ScheduleMode::Interleaved, false);
+        let b = chip_report(timing, ScheduleMode::Interleaved, true);
+        assert_eq!(a, b, "calendar vs reference queue (interleaved, {timing})");
+    }
+}
+
+#[test]
+fn dram_reorder_reports_are_byte_identical() {
+    // FR-FCFS reordering groups same-instant accesses: the service
+    // order depends directly on the queue's same-instant FIFO
+    // guarantee.
+    let run = |reference: bool| {
+        let compiled = compiled_programs(4);
+        let report = ChipSimulator::new(ChipSpec::chip_s())
+            .with_timing_mode(TimingMode::ClosedLoop)
+            .with_dram_channels(2)
+            .with_dram_reorder(true)
+            .with_reference_queue(reference)
+            .run(compiled.programs(), 4)
+            .expect("simulates");
+        serde_json::to_string(&report).expect("serializes")
+    };
+    assert_eq!(run(false), run(true), "calendar vs reference queue (FR-FCFS)");
+}
+
+#[test]
+fn env_selected_leg_is_byte_identical() {
+    // Whatever PIM_TIMING_MODE / PIM_TOPOLOGY the CI matrix selects,
+    // the two queues agree on it.
+    let timing = TimingMode::from_env();
+    let topology = Topology::from_env();
+    let compiled = compiled_programs(2);
+    let loads: Vec<ChipLoad<'_>> =
+        (0..topology.chips()).map(|_| ChipLoad::new(compiled.programs())).collect();
+    let run = |reference: bool| {
+        let report = SystemSimulator::new(ChipSpec::chip_s(), topology.clone())
+            .with_timing_mode(timing)
+            .with_reference_queue(reference)
+            .run(&loads, 2, 2)
+            .expect("simulates");
+        serde_json::to_string(&report).expect("serializes")
+    };
+    assert_eq!(run(false), run(true), "calendar vs reference queue ({timing}, {topology})");
+}
