@@ -264,6 +264,16 @@ impl Topology {
         self.links.iter().map(|l| l.spec.bandwidth_gbps).fold(f64::INFINITY, f64::min)
     }
 
+    /// The smallest per-hop link propagation latency, ns — the
+    /// conservative lookahead of a sharded (per-chip event loop)
+    /// simulation: no cross-chip effect can land sooner than one link
+    /// traversal, so every shard may safely advance that far beyond
+    /// the globally earliest pending event. `None` when there are no
+    /// links (a single chip has nothing to synchronize with).
+    pub fn min_link_latency_ns(&self) -> Option<f64> {
+        self.links.iter().map(|l| l.spec.latency_ns).min_by(f64::total_cmp)
+    }
+
     /// The worst-case route latency between any ordered chip pair
     /// (sum of per-hop propagation latencies), ns. Zero for a single
     /// chip.
@@ -445,6 +455,13 @@ mod tests {
         // The ring's worst pair is two hops away.
         assert!((ring.max_route_latency_ns() - 2.0 * LinkSpec::board().latency_ns).abs() < 1e-9);
         assert_eq!(Topology::single().max_route_latency_ns(), 0.0);
+    }
+
+    #[test]
+    fn min_link_latency_is_the_shard_lookahead() {
+        assert_eq!(Topology::ring(4).min_link_latency_ns(), Some(LinkSpec::board().latency_ns));
+        assert_eq!(Topology::fully_connected(3).min_link_latency_ns(), Some(120.0));
+        assert_eq!(Topology::single().min_link_latency_ns(), None, "no links, no lookahead");
     }
 
     #[test]

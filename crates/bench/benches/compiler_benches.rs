@@ -116,7 +116,7 @@ fn bench_scheduler(c: &mut Criterion) {
     let group = baselines::greedy(&validity);
     let mut plans = GroupPlan::build(&net, &seq, &group);
     optimize_group(&mut plans, &chip);
-    let options = SchedulerOptions { batch: 8, chunks_per_sample: 4 };
+    let options = SchedulerOptions { batch: 8, chunks_per_sample: 4, ..Default::default() };
     c.bench_function("schedule_group/resnet18-S-8", |b| {
         b.iter(|| schedule_group(black_box(&net), black_box(plans.plans()), &chip, &options))
     });

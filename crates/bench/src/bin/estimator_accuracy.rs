@@ -35,7 +35,7 @@ fn main() {
         let mut plans = GroupPlan::build(&net, &seq, &group);
         optimize_group(&mut plans, &chip);
         let est = estimator.estimate_group(&plans, batch).batch_latency_ns;
-        let options = SchedulerOptions { batch, chunks_per_sample: 4 };
+        let options = SchedulerOptions { batch, chunks_per_sample: 4, ..Default::default() };
         let programs = schedule_group(&net, plans.plans(), &chip, &options);
         let sim = simulator.run(&programs, batch).expect("simulates").makespan_ns;
         pairs.push((est, sim));

@@ -315,6 +315,7 @@ impl Compiler {
         let scheduler_options = SchedulerOptions {
             batch: options.batch_size,
             chunks_per_sample: options.chunks_per_sample,
+            schedule: options.schedule_mode,
         };
         let programs = schedule_group(network, plans.plans(), &self.chip, &scheduler_options);
 

@@ -423,13 +423,18 @@ impl<'c> Estimator<'c> {
                 // Stages sharing a crossbar group serialize, so the
                 // cycle is bounded below by the busiest core's total
                 // occupancy — the executor cannot overlap what the
-                // packing put on one core. (Today's packer fills from
-                // core 0, so compiled groups serialize completely and
-                // this bound equals the barrier sum; disjoint packings
-                // get the full amortization.)
+                // packing put on one core. The scheduler shifts
+                // alternating partitions onto disjoint groups where
+                // capacity allows (`interleave_offsets`); applying the
+                // same offsets here prices exactly the overlap the
+                // executor will deliver. Groups whose packings still
+                // collide (unpacked plans, a stage wider than half the
+                // chip) keep the barrier-sum bound.
+                let offsets = crate::scheduler::interleave_offsets(plans.plans(), self.chip);
                 let mut core_occupancy_ns: Vec<f64> = Vec::new();
-                for (plan, est) in plans.plans().iter().zip(&partitions) {
+                for ((plan, est), &offset) in plans.plans().iter().zip(&partitions).zip(&offsets) {
                     for core in plan_used_cores(plan, self.chip) {
+                        let core = core + offset;
                         if core_occupancy_ns.len() <= core {
                             core_occupancy_ns.resize(core + 1, 0.0);
                         }
@@ -594,21 +599,58 @@ mod tests {
         let bottleneck = barrier.partitions.iter().map(|p| p.latency_ns).fold(0.0, f64::max);
         assert!(interleaved.batch_latency_ns >= bottleneck - 1e-9);
         assert!(interleaved.batch_latency_ns <= barrier.batch_latency_ns + 1e-9);
-        // The packer fills every partition from core 0, so compiled
-        // groups fully serialize: the occupancy bound must equal the
-        // barrier sum — the GA cannot be lured by overlap the executor
-        // would never deliver (tests/interleaving.rs pins the executor
-        // side of the same claim-conflict behaviour).
-        assert!(
-            (interleaved.batch_latency_ns - barrier.batch_latency_ns).abs() < 1e-6,
-            "core-0-conflicting plans must pace like barrier mode: {} vs {}",
-            interleaved.batch_latency_ns,
-            barrier.batch_latency_ns
-        );
+        // When no interleave offsets apply the packings all collide on
+        // core 0 and fully serialize: the occupancy bound must equal
+        // the barrier sum — the GA cannot be lured by overlap the
+        // executor would never deliver (tests/interleaving.rs pins the
+        // executor side of the same claim-conflict behaviour).
+        let offsets = crate::scheduler::interleave_offsets(plans.plans(), &chip);
+        if offsets.iter().all(|&o| o == 0) {
+            assert!(
+                (interleaved.batch_latency_ns - barrier.batch_latency_ns).abs() < 1e-6,
+                "core-0-conflicting plans must pace like barrier mode: {} vs {}",
+                interleaved.batch_latency_ns,
+                barrier.batch_latency_ns
+            );
+        }
         // Per-partition estimates are mode-independent.
         for (a, b) in barrier.partitions.iter().zip(&interleaved.partitions) {
             assert_eq!(a.latency_ns, b.latency_ns);
         }
+    }
+
+    #[test]
+    fn disjoint_interleaved_packing_beats_the_barrier_estimate() {
+        use pim_arch::ScheduleMode;
+        // A group whose widest partition fits half the chip: the
+        // scheduler shifts alternating stages onto disjoint crossbar
+        // groups, so the occupancy bound no longer pins the estimate
+        // to the barrier sum and interleaving strictly wins.
+        let chip = ChipSpec::chip_l();
+        let net = zoo::tiny_cnn();
+        let plans = (0..64u64)
+            .map(|seed| optimized_plans(&net, &chip, seed))
+            .find(|plans| {
+                plans.len() > 1
+                    && crate::scheduler::interleave_offsets(plans.plans(), &chip)
+                        .iter()
+                        .any(|&o| o > 0)
+            })
+            .expect("some seed yields a half-chip multi-partition group");
+        let batch = 8;
+        let barrier = Estimator::new(&chip).estimate_group(&plans, batch);
+        let interleaved = Estimator::new(&chip)
+            .with_schedule_mode(ScheduleMode::Interleaved)
+            .estimate_group(&plans, batch);
+        assert!(
+            interleaved.batch_latency_ns < barrier.batch_latency_ns - 1e-9,
+            "disjoint groups must overlap: {} vs {}",
+            interleaved.batch_latency_ns,
+            barrier.batch_latency_ns
+        );
+        // Still bounded below by the bottleneck stage.
+        let bottleneck = barrier.partitions.iter().map(|p| p.latency_ns).fold(0.0, f64::max);
+        assert!(interleaved.batch_latency_ns >= bottleneck - 1e-9);
     }
 
     #[test]

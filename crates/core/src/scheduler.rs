@@ -10,7 +10,7 @@
 
 use crate::plan::PartitionPlan;
 use crate::replication::replica_items;
-use pim_arch::ChipSpec;
+use pim_arch::{ChipSpec, ScheduleMode};
 use pim_isa::{ChipProgram, CoreId, Instruction, Tag, VectorOpKind};
 use pim_model::{LayerKind, Network, NodeId};
 use serde::{Deserialize, Serialize};
@@ -25,11 +25,18 @@ pub struct SchedulerOptions {
     /// maps this many times per sample, enabling intra-sample
     /// pipelining in the simulator.
     pub chunks_per_sample: usize,
+    /// Stage dispatch the programs are scheduled for. Under
+    /// [`ScheduleMode::Interleaved`], alternating partitions shift
+    /// onto disjoint crossbar groups where capacity allows (see
+    /// [`interleave_offsets`]), so the interleaved executor can
+    /// actually overlap adjacent stages instead of serializing on the
+    /// core-0 claim every packing otherwise starts from.
+    pub schedule: ScheduleMode,
 }
 
 impl Default for SchedulerOptions {
     fn default() -> Self {
-        Self { batch: 1, chunks_per_sample: 4 }
+        Self { batch: 1, chunks_per_sample: 4, schedule: ScheduleMode::Barrier }
     }
 }
 
@@ -44,6 +51,20 @@ pub fn schedule_partition(
     options: &SchedulerOptions,
     tag_base: &mut u64,
 ) -> ChipProgram {
+    schedule_partition_at(network, plan, chip, options, tag_base, 0)
+}
+
+/// [`schedule_partition`] with every core assignment shifted up by
+/// `core_offset` — how interleaved groups land alternating partitions
+/// on disjoint crossbar groups (see [`interleave_offsets`]).
+fn schedule_partition_at(
+    network: &Network,
+    plan: &PartitionPlan,
+    chip: &ChipSpec,
+    options: &SchedulerOptions,
+    tag_base: &mut u64,
+    core_offset: usize,
+) -> ChipProgram {
     let mut program = ChipProgram::new(chip.cores);
     let chunks = options.chunks_per_sample.max(1);
     let batch = options.batch.max(1);
@@ -54,8 +75,14 @@ pub fn schedule_partition(
     let assignment: Vec<usize> = plan
         .packing
         .as_ref()
-        .map(|p| p.assignment.clone())
-        .unwrap_or_else(|| items.iter().enumerate().map(|(i, _)| i % chip.cores).collect());
+        .map(|p| p.assignment.iter().map(|&c| c + core_offset).collect())
+        .unwrap_or_else(|| {
+            items.iter().enumerate().map(|(i, _)| (i + core_offset) % chip.cores).collect()
+        });
+    debug_assert!(
+        assignment.iter().all(|&c| c < chip.cores),
+        "core offset must keep every assignment on-chip"
+    );
     // Weights stream from DRAM once (replica 0) and are broadcast to
     // replica crossbars on chip (paper §II-A: "loaded from global
     // memory and broadcast to the crossbars for writing"), so DRAM
@@ -232,14 +259,54 @@ pub fn schedule_partition(
 
 /// Schedules every partition of a group, returning one program per
 /// partition in execution order.
+///
+/// Under [`ScheduleMode::Interleaved`] alternating partitions are
+/// shifted onto disjoint crossbar groups where capacity allows, so
+/// the interleaved executor overlaps adjacent stages instead of
+/// serializing on shared cores (see [`interleave_offsets`]).
 pub fn schedule_group(
     network: &Network,
     plans: &[PartitionPlan],
     chip: &ChipSpec,
     options: &SchedulerOptions,
 ) -> Vec<ChipProgram> {
+    let offsets = match options.schedule {
+        ScheduleMode::Barrier => vec![0; plans.len()],
+        ScheduleMode::Interleaved => interleave_offsets(plans, chip),
+    };
     let mut tag_base = 0u64;
-    plans.iter().map(|p| schedule_partition(network, p, chip, options, &mut tag_base)).collect()
+    plans
+        .iter()
+        .zip(&offsets)
+        .map(|(p, &off)| schedule_partition_at(network, p, chip, options, &mut tag_base, off))
+        .collect()
+}
+
+/// Per-partition core offsets that let [`ScheduleMode::Interleaved`]
+/// overlap adjacent stages on disjoint crossbar groups.
+///
+/// The packer assigns every partition's crossbars from core 0 up, so
+/// consecutive stages collide on core 0 and the interleaved executor
+/// serializes them round-major. When every partition is packed and
+/// the widest one occupies at most half the chip, odd-indexed
+/// partitions shift onto the upper half: adjacent stages then claim
+/// disjoint groups and genuinely overlap. Anything else — an unpacked
+/// plan, or a partition wider than half the chip — keeps every offset
+/// at zero, leaving the schedule unchanged. The estimator's occupancy
+/// bound applies the same offsets so GA fitness prices exactly the
+/// overlap the executor will deliver.
+pub(crate) fn interleave_offsets(plans: &[PartitionPlan], chip: &ChipSpec) -> Vec<usize> {
+    let zeros = vec![0usize; plans.len()];
+    let mut base = 0usize;
+    for plan in plans {
+        let Some(packing) = plan.packing.as_ref() else { return zeros };
+        let width = packing.assignment.iter().map(|&c| c + 1).max().unwrap_or(0);
+        base = base.max(width);
+    }
+    if base == 0 || 2 * base > chip.cores {
+        return zeros;
+    }
+    (0..plans.len()).map(|i| if i % 2 == 1 { base } else { 0 }).collect()
 }
 
 /// Splits `total` into `chunks` shares: the remainder goes to the
@@ -283,7 +350,7 @@ mod tests {
         let group = PartitionGroup::random(&mut rng, &validity);
         let mut plans = GroupPlan::build(net, &seq, &group);
         optimize_group(&mut plans, chip);
-        let options = SchedulerOptions { batch: 4, chunks_per_sample: 2 };
+        let options = SchedulerOptions { batch: 4, chunks_per_sample: 2, ..Default::default() };
         let programs = schedule_group(net, plans.plans(), chip, &options);
         (plans, programs)
     }
@@ -395,7 +462,7 @@ mod tests {
         let mut plans = GroupPlan::build(&net, &seq, &group);
         optimize_group(&mut plans, &chip);
         let mk = |batch| {
-            let options = SchedulerOptions { batch, chunks_per_sample: 2 };
+            let options = SchedulerOptions { batch, chunks_per_sample: 2, ..Default::default() };
             let programs = schedule_group(&net, plans.plans(), &chip, &options);
             programs.iter().map(|p| p.stats().mvm_waves).sum::<usize>()
         };
@@ -410,6 +477,85 @@ mod tests {
                 assert_eq!(sum, total);
             }
         }
+    }
+
+    fn touched_cores(program: &ChipProgram) -> std::collections::BTreeSet<usize> {
+        program
+            .iter()
+            .enumerate()
+            .filter(|(_, core)| core.iter().next().is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn random_plans(
+        net: &Network,
+        chip: &ChipSpec,
+        want_offsets: bool,
+    ) -> Option<crate::plan::GroupPlan> {
+        let seq = decompose(net, chip);
+        let validity = ValidityMap::build(&seq, chip);
+        (0..64u64).find_map(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let group = PartitionGroup::random(&mut rng, &validity);
+            let mut plans = GroupPlan::build(net, &seq, &group);
+            optimize_group(&mut plans, chip);
+            let applied = interleave_offsets(plans.plans(), chip).iter().any(|&o| o > 0);
+            (plans.len() > 1 && applied == want_offsets).then_some(plans)
+        })
+    }
+
+    #[test]
+    fn interleaved_groups_pack_alternating_partitions_disjointly() {
+        // A multi-partition group whose widest partition fits half the
+        // chip: offsets apply, so alternating interleaved programs must
+        // land on disjoint crossbar groups.
+        let chip = ChipSpec::chip_l();
+        let net = zoo::tiny_cnn();
+        let plans = random_plans(&net, &chip, true)
+            .expect("some seed yields a half-chip multi-partition group");
+        let base = SchedulerOptions { batch: 2, chunks_per_sample: 2, ..Default::default() };
+        let barrier = schedule_group(&net, plans.plans(), &chip, &base);
+        let interleaved = schedule_group(
+            &net,
+            plans.plans(),
+            &chip,
+            &SchedulerOptions { schedule: ScheduleMode::Interleaved, ..base },
+        );
+        // Adjacent interleaved stages claim disjoint groups...
+        for pair in interleaved.windows(2) {
+            let (a, b) = (touched_cores(&pair[0]), touched_cores(&pair[1]));
+            assert!(a.is_disjoint(&b), "adjacent interleaved stages must not share cores");
+        }
+        // ...whereas every barrier packing starts from core 0.
+        for program in &barrier {
+            assert!(touched_cores(program).contains(&0));
+        }
+        // The shift relocates the work without changing it.
+        for (a, b) in barrier.iter().zip(&interleaved) {
+            assert_eq!(a.total_instructions(), b.total_instructions());
+            assert_eq!(a.stats().mvm_waves, b.stats().mvm_waves);
+        }
+    }
+
+    #[test]
+    fn offsets_stay_zero_when_a_partition_needs_over_half_the_chip() {
+        // When the widest partition exceeds half the chip, shifting
+        // would fall off the end: the interleaved schedule must be
+        // byte-identical to the barrier one.
+        let chip = ChipSpec::chip_s();
+        let net = zoo::resnet18();
+        let plans =
+            random_plans(&net, &chip, false).expect("some seed yields an over-half-chip group");
+        let base = SchedulerOptions { batch: 2, chunks_per_sample: 2, ..Default::default() };
+        let barrier = schedule_group(&net, plans.plans(), &chip, &base);
+        let interleaved = schedule_group(
+            &net,
+            plans.plans(),
+            &chip,
+            &SchedulerOptions { schedule: ScheduleMode::Interleaved, ..base },
+        );
+        assert_eq!(barrier, interleaved, "zero offsets must leave programs untouched");
     }
 
     #[test]

@@ -264,7 +264,11 @@ pub fn plan_system(
                         network,
                         plans,
                         chip,
-                        &SchedulerOptions { batch: shard, chunks_per_sample },
+                        &SchedulerOptions {
+                            batch: shard,
+                            chunks_per_sample,
+                            schedule: ScheduleMode::Barrier,
+                        },
                     )
                 } else {
                     Vec::new()
@@ -306,7 +310,11 @@ pub fn plan_system(
                             network,
                             &plans[from..to],
                             chip,
-                            &SchedulerOptions { batch: shard, chunks_per_sample },
+                            &SchedulerOptions {
+                                batch: shard,
+                                chunks_per_sample,
+                                schedule: ScheduleMode::Barrier,
+                            },
                         )
                     } else {
                         Vec::new()

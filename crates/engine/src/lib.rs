@@ -55,12 +55,16 @@ mod engine;
 mod graph;
 mod queue;
 mod rng;
+#[cfg(feature = "sharded")]
+mod shard;
 mod time;
 
-pub use engine::{Component, Engine, EngineCtx};
+pub use engine::{Component, Engine, EngineCtx, RemoteEvent};
 pub use graph::{ClaimKind, TaskGraph};
 pub use queue::{Event, EventQueue};
 pub use rng::SimRng;
+#[cfg(feature = "sharded")]
+pub use shard::{run_sharded, Boundary, ShardSession};
 pub use time::SimTime;
 
 /// The address of a registered [`Component`] within an [`Engine`].

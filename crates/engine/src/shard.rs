@@ -1,0 +1,290 @@
+//! Conservative-lookahead parallel simulation: one engine per shard,
+//! windows bounded by the minimum cross-shard latency.
+//!
+//! The classic CMB (Chandy–Misra–Bryant) null-message discipline,
+//! specialized to a hub-and-spoke partitioning: every cross-shard
+//! event passes through one *boundary* process (for PIM systems, the
+//! interconnect — see `pim-sim`), and every boundary traversal takes
+//! at least `lookahead_ns`. That makes the horizon computation global
+//! and trivial: if the earliest pending event anywhere in the system
+//! is at `t_min`, no shard can receive a *new* inbound message before
+//! `t_min + lookahead_ns`, so every shard may safely run to that
+//! horizon in parallel.
+//!
+//! Per window the coordinator (the calling thread) runs three phases:
+//!
+//! 1. **Release** — the boundary hands each shard the inbound messages
+//!    that fire strictly before the horizon ([`Boundary::release`]).
+//!    These are always deliverable: they were produced at least one
+//!    lookahead earlier, so every shard's clock is still at or before
+//!    their timestamps.
+//! 2. **Advance** — every shard injects its inbox and runs its own
+//!    event loop to the horizon on its own thread
+//!    ([`Engine::run_until`]), capturing events addressed to
+//!    non-local components as [`RemoteEvent`] exports (in exact
+//!    `(time, seq)` pop order).
+//! 3. **Absorb** — the boundary takes the fresh exports in
+//!    deterministic (shard-id, emission) order and processes its own
+//!    work below the horizon ([`Boundary::absorb`]); anything it
+//!    produces lands at or beyond the horizon (the lookahead
+//!    guarantee), never behind a shard's clock.
+//!
+//! Rendezvous is a plain channel pair per shard (one send + one
+//! receive per window each way); shards block between windows, so the
+//! schedule — and therefore every simulation result — is independent
+//! of thread timing.
+
+use crate::engine::RemoteEvent;
+use crate::time::SimTime;
+use std::sync::mpsc;
+
+/// The stationary process every cross-shard event passes through —
+/// the hub of the partitioned simulation (for PIM systems, the
+/// interconnect). Driven by [`run_sharded`]'s coordinator between
+/// shard windows; never runs concurrently with itself.
+pub trait Boundary<E> {
+    /// The timestamp of the boundary's earliest pending work, if any.
+    /// Participates in the global `t_min` that sets each window's
+    /// horizon.
+    fn next_time(&self) -> Option<SimTime>;
+
+    /// Releases the inbound messages that fire strictly before
+    /// `horizon`, grouped by destination shard (the returned vector
+    /// has one inbox per shard, in shard-id order).
+    fn release(&mut self, horizon: SimTime) -> Vec<Vec<RemoteEvent<E>>>;
+
+    /// Absorbs the exports each shard captured during the window just
+    /// completed (`exports[shard]` is in that shard's `(time, seq)`
+    /// pop order) and processes all boundary-internal work strictly
+    /// below `horizon`. Every message this produces must fire at or
+    /// beyond `horizon` — that is the lookahead contract the whole
+    /// scheme rests on.
+    fn absorb(&mut self, exports: Vec<Vec<RemoteEvent<E>>>, horizon: SimTime);
+}
+
+/// What a shard worker reports at each rendezvous: its next pending
+/// instant (`None` when idle) and the cross-shard events it captured
+/// during the window just completed.
+struct ShardReady<E> {
+    next: Option<SimTime>,
+    exports: Vec<RemoteEvent<E>>,
+}
+
+/// What the coordinator tells a shard worker at each rendezvous.
+enum ShardCommand<E> {
+    /// Inject `inbox` and advance to `horizon`.
+    Window { horizon: SimTime, inbox: Vec<RemoteEvent<E>> },
+    /// The simulation is globally idle; wind down.
+    Finish,
+}
+
+/// A shard worker's end of the window protocol. The worker closure
+/// builds its engine, calls [`ShardSession::drive`], and extracts its
+/// results once `drive` returns.
+pub struct ShardSession<E> {
+    commands: mpsc::Receiver<ShardCommand<E>>,
+    replies: mpsc::Sender<ShardReady<E>>,
+}
+
+impl<E: 'static> ShardSession<E> {
+    /// Runs `engine` window-by-window until the coordinator signals
+    /// global idleness. The engine must have export capture enabled
+    /// ([`Engine::enable_exports`]) so cross-shard events are mailed
+    /// out instead of panicking.
+    pub fn drive(self, engine: &mut crate::Engine<E>) {
+        loop {
+            let ready =
+                ShardReady { next: engine.peek_next_time(), exports: engine.take_exports() };
+            if self.replies.send(ready).is_err() {
+                return;
+            }
+            match self.commands.recv() {
+                Ok(ShardCommand::Window { horizon, inbox }) => {
+                    for message in inbox {
+                        engine.schedule(message.time, message.target, message.payload);
+                    }
+                    engine.run_until(horizon);
+                }
+                Ok(ShardCommand::Finish) | Err(_) => return,
+            }
+        }
+    }
+}
+
+/// Runs `shards` as parallel event loops synchronized through
+/// `boundary`, returning each shard closure's result in shard order.
+///
+/// Each closure receives a [`ShardSession`] and is expected to build
+/// its engine, [`ShardSession::drive`] it, and return whatever final
+/// state the caller needs (the closure runs on its own
+/// `std::thread`, so the result must be `Send`). `lookahead_ns` is
+/// the minimum latency of any boundary traversal and must be
+/// positive — a zero lookahead admits no safe window.
+///
+/// # Panics
+///
+/// Panics if `lookahead_ns` is not strictly positive, or if a shard
+/// worker panics (the panic is propagated).
+pub fn run_sharded<E, B, R, F>(shards: Vec<F>, boundary: &mut B, lookahead_ns: f64) -> Vec<R>
+where
+    E: Send + 'static,
+    B: Boundary<E> + ?Sized,
+    R: Send,
+    F: FnOnce(ShardSession<E>) -> R + Send,
+{
+    assert!(lookahead_ns > 0.0, "conservative lookahead requires a positive link latency");
+    let n = shards.len();
+    std::thread::scope(|scope| {
+        let mut commands = Vec::with_capacity(n);
+        let mut replies = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for shard in shards {
+            let (command_tx, command_rx) = mpsc::channel();
+            let (reply_tx, reply_rx) = mpsc::channel();
+            commands.push(command_tx);
+            replies.push(reply_rx);
+            let session = ShardSession { commands: command_rx, replies: reply_tx };
+            workers.push(scope.spawn(move || shard(session)));
+        }
+        let mut horizon = SimTime::ZERO;
+        loop {
+            // Rendezvous: every shard's frontier + window exports, in
+            // shard order (the only order the boundary ever sees).
+            let mut nexts = Vec::with_capacity(n);
+            let mut exports = Vec::with_capacity(n);
+            for reply in &replies {
+                let ready = reply.recv().expect("shard worker disconnected before finishing");
+                nexts.push(ready.next);
+                exports.push(ready.exports);
+            }
+            boundary.absorb(exports, horizon);
+            let t_min = nexts.iter().flatten().copied().chain(boundary.next_time()).min();
+            let Some(t_min) = t_min else {
+                for command in &commands {
+                    let _ = command.send(ShardCommand::Finish);
+                }
+                break;
+            };
+            horizon = t_min.advance(lookahead_ns);
+            let mut inboxes = boundary.release(horizon);
+            assert_eq!(inboxes.len(), n, "boundary must produce one inbox per shard");
+            for (command, inbox) in commands.iter().zip(inboxes.drain(..)) {
+                command
+                    .send(ShardCommand::Window { horizon, inbox })
+                    .expect("shard worker disconnected mid-run");
+            }
+        }
+        workers
+            .into_iter()
+            .map(|worker| match worker.join() {
+                Ok(result) => result,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Component, ComponentId, Engine, EngineCtx, Event};
+
+    /// Two counters on separate shards ping-ponging through a boundary
+    /// that adds a fixed latency per crossing — the minimal CMB
+    /// system. Shard 0 owns component 0, shard 1 owns component 1.
+    struct Counter {
+        peer: ComponentId,
+        heard: Vec<(f64, u32)>,
+    }
+
+    impl Component<u32> for Counter {
+        fn on_event(&mut self, event: Event<u32>, ctx: &mut EngineCtx<'_, u32>) {
+            self.heard.push((event.time.as_ns(), event.payload));
+            if event.payload > 0 {
+                // The peer is a padded slot here: export.
+                ctx.schedule(event.time, self.peer, event.payload - 1);
+            }
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+            self
+        }
+    }
+
+    /// Forwards every export to its target `latency` later.
+    struct Relay {
+        latency: f64,
+        pending: Vec<RemoteEvent<u32>>,
+        owner_of: Vec<usize>,
+    }
+
+    impl Boundary<u32> for Relay {
+        fn next_time(&self) -> Option<SimTime> {
+            self.pending.iter().map(|m| m.time).min()
+        }
+        fn release(&mut self, horizon: SimTime) -> Vec<Vec<RemoteEvent<u32>>> {
+            let mut inboxes: Vec<Vec<RemoteEvent<u32>>> = vec![Vec::new(); 2];
+            let mut keep = Vec::new();
+            for message in self.pending.drain(..) {
+                if message.time < horizon {
+                    inboxes[self.owner_of[message.target.0]].push(message);
+                } else {
+                    keep.push(message);
+                }
+            }
+            self.pending = keep;
+            inboxes
+        }
+        fn absorb(&mut self, exports: Vec<Vec<RemoteEvent<u32>>>, _horizon: SimTime) {
+            for shard_exports in exports {
+                for message in shard_exports {
+                    self.pending.push(RemoteEvent {
+                        time: message.time.advance(self.latency),
+                        target: message.target,
+                        payload: message.payload,
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_shards_ping_pong_deterministically() {
+        let run = || -> Vec<Vec<(f64, u32)>> {
+            let shards: Vec<_> = (0..2usize)
+                .map(|me| {
+                    move |session: ShardSession<u32>| {
+                        let mut engine: Engine<u32> = Engine::new(0);
+                        engine.enable_exports();
+                        // Global layout: component 0 then component 1.
+                        let mine = ComponentId(me);
+                        let peer = ComponentId(1 - me);
+                        if me == 0 {
+                            engine.add_component(Counter { peer, heard: Vec::new() });
+                            engine.pad_components(1);
+                            engine.schedule(SimTime::ZERO, mine, 4);
+                        } else {
+                            engine.pad_components(1);
+                            engine.add_component(Counter { peer, heard: Vec::new() });
+                        }
+                        session.drive(&mut engine);
+                        engine.extract::<Counter>(mine).expect("counter").heard
+                    }
+                })
+                .collect();
+            let mut relay = Relay { latency: 10.0, pending: Vec::new(), owner_of: vec![0, 1] };
+            run_sharded(shards, &mut relay, 10.0)
+        };
+        let logs = run();
+        assert_eq!(logs[0], vec![(0.0, 4), (20.0, 2), (40.0, 0)]);
+        assert_eq!(logs[1], vec![(10.0, 3), (30.0, 1)]);
+        assert_eq!(run(), logs, "repeated sharded runs are identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive link latency")]
+    fn zero_lookahead_is_rejected() {
+        let shards: Vec<fn(ShardSession<u32>)> = Vec::new();
+        let mut relay = Relay { latency: 0.0, pending: Vec::new(), owner_of: Vec::new() };
+        run_sharded(shards, &mut relay, 0.0);
+    }
+}

@@ -40,6 +40,13 @@ use pim_dram::{DramConfig, DramEnergy, TraceStats};
 use pim_engine::{Component, ComponentId, Engine, EngineCtx, Event, SimTime};
 use pim_isa::{ChipProgram, CoreId};
 use std::any::Any;
+#[cfg(feature = "sharded")]
+use std::cmp::Reverse;
+#[cfg(feature = "sharded")]
+use std::collections::BinaryHeap;
+
+#[cfg(feature = "sharded")]
+use pim_engine::RemoteEvent;
 
 /// Default closed-loop address-interleave granularity: two LPDDR3 rows
 /// per stripe keeps sequential streams row-friendly while still
@@ -124,8 +131,13 @@ pub struct SystemSimulator {
     dram_channels: Option<usize>,
     interleave_bytes: usize,
     dram_reorder: bool,
+    /// Explicit event-queue pre-size hint; `None` derives one from the
+    /// workload.
+    event_capacity: Option<usize>,
     #[cfg(feature = "reference-queue")]
     reference_queue: bool,
+    #[cfg(feature = "sharded")]
+    sharded: bool,
 }
 
 impl SystemSimulator {
@@ -142,9 +154,23 @@ impl SystemSimulator {
             dram_channels: None,
             interleave_bytes: DEFAULT_INTERLEAVE_BYTES,
             dram_reorder: false,
+            event_capacity: None,
             #[cfg(feature = "reference-queue")]
             reference_queue: false,
+            #[cfg(feature = "sharded")]
+            sharded: std::env::var("PIM_SHARDED").map(|v| v == "1").unwrap_or(false),
         }
+    }
+
+    /// Runs multi-chip simulations with one event-loop thread per chip
+    /// shard (conservative link-latency lookahead; reports stay
+    /// byte-identical to the single-threaded engine). Defaults to the
+    /// `PIM_SHARDED=1` environment switch. Single-chip topologies have
+    /// no links to synchronize over and always run single-threaded.
+    #[cfg(feature = "sharded")]
+    pub fn with_sharded(mut self, enabled: bool) -> Self {
+        self.sharded = enabled;
+        self
     }
 
     /// Runs the simulation on the engine's retired binary-heap event
@@ -209,6 +235,15 @@ impl SystemSimulator {
     /// is the documented closed-loop behaviour.
     pub fn with_dram_reorder(mut self, enabled: bool) -> Self {
         self.dram_reorder = enabled;
+        self
+    }
+
+    /// Pre-sizes the event queue for a known workload. A hint only —
+    /// the queue grows past it transparently; the default derives a
+    /// size from the loads at `run` time. Sharded runs split an
+    /// explicit hint evenly across the shards.
+    pub fn with_event_capacity(mut self, events: usize) -> Self {
+        self.event_capacity = Some(events);
         self
     }
 
@@ -329,55 +364,134 @@ impl SystemSimulator {
     ) -> Result<SimReport, SimError> {
         self.validate(loads)?;
         let rounds = rounds.max(1);
+        #[cfg(feature = "sharded")]
+        if self.sharded && loads.len() > 1 {
+            // Single-chip topologies have no links — no conservative
+            // lookahead and nothing to parallelize.
+            if let Some(lookahead) = self.topology.min_link_latency_ns().filter(|&l| l > 0.0) {
+                return self.run_sharded(loads, rounds, samples_per_round, lookahead);
+            }
+        }
+        self.run_single(loads, rounds, samples_per_round)
+    }
+
+    /// Peak concurrently-live stage cores of one chip's load under
+    /// the schedule in effect.
+    fn stage_cores_of(&self, load: &ChipLoad<'_>) -> usize {
+        match self.schedule {
+            // Barrier mode runs one stage per chip at a time.
+            ScheduleMode::Barrier => load.programs.iter().map(|p| p.cores()).max().unwrap_or(0),
+            // Interleaving can have every partition in flight.
+            ScheduleMode::Interleaved => load.programs.iter().map(|p| p.cores()).sum(),
+        }
+    }
+
+    /// The event-queue pre-size for a whole-system engine: the
+    /// explicit [`with_event_capacity`](Self::with_event_capacity)
+    /// hint, or a derivation from *peak pending* events — each live
+    /// component (a core of an in-flight stage, the shared
+    /// channel/bus/rendezvous/DRAM per chip, the interconnect) keeps
+    /// only a bounded handful of events in flight, so peak occupancy
+    /// scales with concurrent components — not with instructions ×
+    /// rounds, which measures throughput. A hint only; the queue
+    /// grows past it transparently.
+    fn event_capacity_for(&self, loads: &[ChipLoad<'_>]) -> usize {
+        self.event_capacity.unwrap_or_else(|| {
+            let stage_cores: usize = loads.iter().map(|l| self.stage_cores_of(l)).sum();
+            ((stage_cores + 8 * loads.len()) * 8).clamp(256, 1 << 16)
+        })
+    }
+
+    /// One shard's slice of the pre-size: an explicit hint is split
+    /// evenly across chips; the derived default counts only the
+    /// shard's own stage cores and shared components.
+    #[cfg(feature = "sharded")]
+    fn shard_event_capacity(&self, load: &ChipLoad<'_>, chips: usize) -> usize {
+        self.event_capacity
+            .map(|cap| (cap / chips).max(256))
+            .unwrap_or_else(|| ((self.stage_cores_of(load) + 8) * 8).clamp(256, 1 << 16))
+    }
+
+    /// Registers chip `c`'s shared components in the canonical order —
+    /// `[dram?, rendezvous, channel, bus]` — and returns their
+    /// addresses. The single-threaded engine and every shard use this
+    /// same layout, so global component ids are identical across
+    /// execution modes.
+    fn register_chip(&self, engine: &mut Engine<ChipEvent>, c: usize) -> ChipParts {
+        let chip = self.chip_for(c);
+        let dram = match self.mode {
+            TimingMode::Analytic => {
+                self.replay_dram.then(|| engine.add_component(InlineDram::new()))
+            }
+            TimingMode::ClosedLoop => Some(engine.add_component(ClosedLoopDram::new(
+                self.dram_channel_count_for(chip),
+                self.interleave_bytes,
+                self.dram_reorder,
+            ))),
+        };
+        let rendezvous = engine.add_component(Rendezvous::default());
+        let channel = engine.add_component(MemChannel::new(chip, dram, self.mode));
+        let bus = engine.add_component(BusComponent::new(chip, rendezvous));
+        ChipParts { dram, channel, bus, rendezvous }
+    }
+
+    /// Builds chip `c`'s sequencer over its stage graph and per-source
+    /// hand-off ledger: batch b's head stage carries one external
+    /// dependency per upstream producer, so a fast producer can never
+    /// stand in for a slow one.
+    fn sequencer_for(
+        &self,
+        c: usize,
+        loads: &[ChipLoad<'_>],
+        rounds: usize,
+        parts: &ChipParts,
+        interconnect: ComponentId,
+    ) -> ChipSequencer {
+        let load = &loads[c];
+        let upstream: Vec<(usize, usize)> = loads
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.handoffs.iter().any(|h| h.dst == c))
+            .map(|(src, _)| (src, 0))
+            .collect();
+        let graph = StageGraph::build(load.programs, rounds, self.schedule, upstream.len());
+        let nodes = rounds * load.programs.len();
+        ChipSequencer {
+            chip_index: c,
+            programs: load.programs.to_vec(),
+            timing: CoreTiming::of(self.chip_for(c)),
+            channel: parts.channel,
+            bus: parts.bus,
+            rendezvous: parts.rendezvous,
+            interconnect,
+            handoffs: load.handoffs.clone(),
+            upstream,
+            rounds,
+            schedule: self.schedule,
+            graph,
+            running: (0..nodes).map(|_| None).collect(),
+            wait_from: vec![None; rounds],
+            handoff_wait_ns: 0.0,
+            records: Vec::new(),
+        }
+    }
+
+    /// The classic path: every chip on one engine, one event loop.
+    fn run_single(
+        &self,
+        loads: &[ChipLoad<'_>],
+        rounds: usize,
+        samples_per_round: usize,
+    ) -> Result<SimReport, SimError> {
         let chips = loads.len();
         let mut engine: Engine<ChipEvent> = Engine::new(0);
         #[cfg(feature = "reference-queue")]
         if self.reference_queue {
             engine.use_reference_queue();
         }
-        // Pre-size the event queue for *peak pending* events: each
-        // live component (a core of an in-flight stage, the shared
-        // channel/bus/rendezvous/DRAM per chip, the interconnect)
-        // keeps only a bounded handful of events in flight, so peak
-        // occupancy scales with concurrent components — not with
-        // instructions × rounds, which measures throughput. A hint
-        // only; the queue grows past it transparently.
-        let stage_cores: usize = loads
-            .iter()
-            .map(|l| match self.schedule {
-                // Barrier mode runs one stage per chip at a time.
-                ScheduleMode::Barrier => l.programs.iter().map(|p| p.cores()).max().unwrap_or(0),
-                // Interleaving can have every partition in flight.
-                ScheduleMode::Interleaved => l.programs.iter().map(|p| p.cores()).sum(),
-            })
-            .sum();
-        engine.reserve_events(((stage_cores + 8 * chips) * 8).clamp(256, 1 << 16));
-
-        struct ChipParts {
-            dram: Option<ComponentId>,
-            channel: ComponentId,
-            bus: ComponentId,
-            rendezvous: ComponentId,
-        }
-        let parts: Vec<ChipParts> = (0..chips)
-            .map(|c| {
-                let chip = self.chip_for(c);
-                let dram = match self.mode {
-                    TimingMode::Analytic => {
-                        self.replay_dram.then(|| engine.add_component(InlineDram::new()))
-                    }
-                    TimingMode::ClosedLoop => Some(engine.add_component(ClosedLoopDram::new(
-                        self.dram_channel_count_for(chip),
-                        self.interleave_bytes,
-                        self.dram_reorder,
-                    ))),
-                };
-                let rendezvous = engine.add_component(Rendezvous::default());
-                let channel = engine.add_component(MemChannel::new(chip, dram, self.mode));
-                let bus = engine.add_component(BusComponent::new(chip, rendezvous));
-                ChipParts { dram, channel, bus, rendezvous }
-            })
-            .collect();
+        engine.reserve_events(self.event_capacity_for(loads));
+        let parts: Vec<ChipParts> =
+            (0..chips).map(|c| self.register_chip(&mut engine, c)).collect();
 
         // The interconnect is registered before the sequencers, so the
         // sequencer addresses it must deliver to are the next `chips`
@@ -388,37 +502,14 @@ impl SystemSimulator {
         let interconnect =
             engine.add_component(InterconnectComponent::new(&self.topology, &sequencer_ids));
         assert_eq!(interconnect, interconnect_id);
-
-        for (c, load) in loads.iter().enumerate() {
-            // Per-source hand-off ledger: batch b's head stage carries
-            // one external dependency per upstream producer, so a fast
-            // producer can never stand in for a slow one.
-            let upstream: Vec<(usize, usize)> = loads
-                .iter()
-                .enumerate()
-                .filter(|(_, l)| l.handoffs.iter().any(|h| h.dst == c))
-                .map(|(src, _)| (src, 0))
-                .collect();
-            let graph = StageGraph::build(load.programs, rounds, self.schedule, upstream.len());
-            let nodes = rounds * load.programs.len();
-            let id = engine.add_component(ChipSequencer {
-                chip_index: c,
-                programs: load.programs.to_vec(),
-                timing: CoreTiming::of(self.chip_for(c)),
-                channel: parts[c].channel,
-                bus: parts[c].bus,
-                rendezvous: parts[c].rendezvous,
-                interconnect: interconnect_id,
-                handoffs: load.handoffs.clone(),
-                upstream,
+        for c in 0..chips {
+            let id = engine.add_component(self.sequencer_for(
+                c,
+                loads,
                 rounds,
-                schedule: self.schedule,
-                graph,
-                running: (0..nodes).map(|_| None).collect(),
-                wait_from: vec![None; rounds],
-                handoff_wait_ns: 0.0,
-                records: Vec::new(),
-            });
+                &parts[c],
+                interconnect_id,
+            ));
             assert_eq!(id, sequencer_ids[c]);
         }
         for &id in &sequencer_ids {
@@ -426,13 +517,70 @@ impl SystemSimulator {
         }
         engine.run_until_idle();
 
-        // --- Fold the per-chip outcomes into one report -------------
-        let mut sequencers: Vec<ChipSequencer> = sequencer_ids
-            .iter()
-            .map(|&id| engine.extract(id).expect("sequencer survives the run"))
+        let outcomes: Vec<ChipOutcome> = (0..chips)
+            .map(|c| self.chip_outcome(&mut engine, &parts[c], sequencer_ids[c]))
             .collect();
-        if sequencers.iter().any(|s| !s.graph.all_complete()) {
-            return Err(deadlock_of(&mut engine, &sequencers));
+        let links = (!self.topology.is_single()).then(|| {
+            let ic: InterconnectComponent =
+                engine.extract(interconnect_id).expect("interconnect survives the run");
+            ic.stats
+        });
+        self.fold_report(loads, rounds, samples_per_round, outcomes, links)
+    }
+
+    /// Extracts everything the report fold needs about one chip from
+    /// its (drained or stalled) engine — the hand-off from simulation
+    /// to accounting, engine-free so sharded workers can produce it
+    /// on their own threads.
+    fn chip_outcome(
+        &self,
+        engine: &mut Engine<ChipEvent>,
+        parts: &ChipParts,
+        sequencer: ComponentId,
+    ) -> ChipOutcome {
+        let sequencer: ChipSequencer =
+            engine.extract(sequencer).expect("sequencer survives the run");
+        let mut stalled_cores = Vec::new();
+        if !sequencer.graph.all_complete() {
+            for stage in sequencer.running.iter().flatten() {
+                stalled_cores.push(
+                    stage
+                        .cores
+                        .iter()
+                        .map(|&id| engine.extract(id).expect("core component survives the run"))
+                        .collect(),
+                );
+            }
+        }
+        let channel: MemChannel = engine.extract(parts.channel).expect("channel survives the run");
+        let rendezvous: Rendezvous =
+            engine.extract(parts.rendezvous).expect("rendezvous survives the run");
+        let (inline_dram, closed_dram) = match self.mode {
+            TimingMode::Analytic => {
+                (parts.dram.map(|id| engine.extract(id).expect("dram survives the run")), None)
+            }
+            TimingMode::ClosedLoop => {
+                let id = parts.dram.expect("closed-loop mode wires a DRAM component");
+                (None, Some(engine.extract(id).expect("dram survives the run")))
+            }
+        };
+        ChipOutcome { sequencer, channel, rendezvous, inline_dram, closed_dram, stalled_cores }
+    }
+
+    /// Folds per-chip outcomes into one [`SimReport`]. Shared by the
+    /// single-threaded and sharded paths: identical outcomes fold to
+    /// identical bytes.
+    fn fold_report(
+        &self,
+        loads: &[ChipLoad<'_>],
+        rounds: usize,
+        samples_per_round: usize,
+        mut outcomes: Vec<ChipOutcome>,
+        links: Option<Vec<LinkStats>>,
+    ) -> Result<SimReport, SimError> {
+        let chips = loads.len();
+        if outcomes.iter().any(|o| !o.sequencer.graph.all_complete()) {
+            return Err(deadlock_of(&outcomes));
         }
         let energy_models: Vec<EnergyModel> =
             (0..chips).map(|c| EnergyModel::new(self.chip_for(c))).collect();
@@ -441,7 +589,7 @@ impl SystemSimulator {
         let mut energy = PowerBreakdown::new();
         let mut summaries = Vec::with_capacity(chips);
         for (c, load) in loads.iter().enumerate() {
-            let seq = &mut sequencers[c];
+            let seq = &mut outcomes[c].sequencer;
             // Interleaving may finish stages out of round-major order;
             // reports stay in (round, partition) order either way.
             seq.records.sort_by_key(|r| (r.round, r.partition));
@@ -493,32 +641,30 @@ impl SystemSimulator {
         let mut dram_energy: Option<DramEnergy> = None;
         let mut dram_trace = TraceStats::default();
         let mut dram_channels: Option<Vec<pim_dram::ChannelStats>> = None;
-        for part in &parts {
+        for outcome in &outcomes {
             if self.schedule == ScheduleMode::Interleaved {
                 // Every drained stage retires its rendezvous tag
                 // bucket, so nothing may survive a completed run.
-                let rendezvous: Rendezvous =
-                    engine.extract(part.rendezvous).expect("rendezvous survives the run");
                 debug_assert!(
-                    rendezvous.delivered.is_empty(),
+                    outcome.rendezvous.delivered.is_empty(),
                     "interleaved stages must retire their rendezvous tag buckets"
                 );
             }
-            let channel: MemChannel =
-                engine.extract(part.channel).expect("channel survives the run");
             if self.replay_dram || self.mode == TimingMode::ClosedLoop {
-                dram_trace.requests += channel.stats.requests;
-                dram_trace.read_bytes += channel.stats.read_bytes;
-                dram_trace.write_bytes += channel.stats.write_bytes;
+                dram_trace.requests += outcome.channel.stats.requests;
+                dram_trace.read_bytes += outcome.channel.stats.read_bytes;
+                dram_trace.write_bytes += outcome.channel.stats.write_bytes;
             }
             let chip_energy = match self.mode {
-                TimingMode::Analytic => part.dram.and_then(|id| {
-                    let dram: InlineDram = engine.extract(id).expect("dram survives the run");
-                    (dram.requests > 0).then(|| dram.sim.energy())
-                }),
+                TimingMode::Analytic => outcome
+                    .inline_dram
+                    .as_ref()
+                    .and_then(|dram| (dram.requests > 0).then(|| dram.sim.energy())),
                 TimingMode::ClosedLoop => {
-                    let id = part.dram.expect("closed-loop mode wires a DRAM component");
-                    let dram: ClosedLoopDram = engine.extract(id).expect("dram survives the run");
+                    let dram = outcome
+                        .closed_dram
+                        .as_ref()
+                        .expect("closed-loop mode wires a DRAM component");
                     dram_channels.get_or_insert_with(Vec::new).extend(dram.mem.channel_stats());
                     (dram.requests > 0).then(|| dram.mem.energy())
                 }
@@ -537,12 +683,6 @@ impl SystemSimulator {
             }
         }
 
-        let multi = !self.topology.is_single();
-        let links = multi.then(|| {
-            let ic: InterconnectComponent =
-                engine.extract(interconnect_id).expect("interconnect survives the run");
-            ic.stats
-        });
         Ok(SimReport {
             batch: (samples_per_round * rounds).max(1),
             partitions,
@@ -551,9 +691,90 @@ impl SystemSimulator {
             dram_energy,
             dram_trace,
             dram_channels,
-            chips: multi.then_some(summaries),
+            chips: (!self.topology.is_single()).then_some(summaries),
             links,
         })
+    }
+
+    /// The sharded path: one engine thread per chip, synchronized
+    /// through the interconnect-as-[`pim_engine::Boundary`] with the
+    /// minimum link latency as the conservative lookahead. Component
+    /// layout, event times, and link accounting reproduce the single
+    /// engine exactly, so the folded report is byte-identical.
+    #[cfg(feature = "sharded")]
+    fn run_sharded(
+        &self,
+        loads: &[ChipLoad<'_>],
+        rounds: usize,
+        samples_per_round: usize,
+        lookahead_ns: f64,
+    ) -> Result<SimReport, SimError> {
+        let chips = loads.len();
+        // Mirror the single-engine global layout — per chip
+        // `[dram?, rendezvous, channel, bus]`, then the interconnect,
+        // then the sequencers — with each shard registering only its
+        // own chip's components and padding the rest as vacant slots,
+        // so every cross-shard address is identical in every engine.
+        let per_chip = 3 + usize::from(match self.mode {
+            TimingMode::Analytic => self.replay_dram,
+            TimingMode::ClosedLoop => true,
+        });
+        let interconnect_id = ComponentId(chips * per_chip);
+        let sequencer_ids: Vec<ComponentId> =
+            (0..chips).map(|c| ComponentId(interconnect_id.0 + 1 + c)).collect();
+        let mut boundary = LinkBoundary::new(
+            InterconnectComponent::new(&self.topology, &sequencer_ids),
+            interconnect_id,
+            chips,
+        );
+        let sequencer_ids = &sequencer_ids;
+        let shards: Vec<_> = (0..chips)
+            .map(|c| {
+                move |session: pim_engine::ShardSession<ChipEvent>| -> ChipOutcome {
+                    let mut engine: Engine<ChipEvent> = Engine::new(0);
+                    #[cfg(feature = "reference-queue")]
+                    if self.reference_queue {
+                        engine.use_reference_queue();
+                    }
+                    engine.reserve_events(self.shard_event_capacity(&loads[c], chips));
+                    engine.enable_exports();
+                    let mut parts = None;
+                    for cc in 0..chips {
+                        if cc == c {
+                            parts = Some(self.register_chip(&mut engine, c));
+                        } else {
+                            engine.pad_components(per_chip);
+                        }
+                    }
+                    let parts = parts.expect("own chip registered");
+                    // The interconnect slot: vacant here, so its
+                    // events export to the coordinator's boundary.
+                    engine.pad_components(1);
+                    for cc in 0..chips {
+                        if cc == c {
+                            let id = engine.add_component(self.sequencer_for(
+                                c,
+                                loads,
+                                rounds,
+                                &parts,
+                                interconnect_id,
+                            ));
+                            assert_eq!(id, sequencer_ids[c]);
+                        } else {
+                            engine.pad_components(1);
+                        }
+                    }
+                    engine.schedule(SimTime::ZERO, sequencer_ids[c], ChipEvent::Kick);
+                    session.drive(&mut engine);
+                    self.chip_outcome(&mut engine, &parts, sequencer_ids[c])
+                }
+            })
+            .collect();
+        let outcomes = pim_engine::run_sharded(shards, &mut boundary, lookahead_ns);
+        // Sharded runs are multi-chip by construction (single-chip
+        // topologies never take this path), so links always report.
+        let links = Some(boundary.into_stats());
+        self.fold_report(loads, rounds, samples_per_round, outcomes, links)
     }
 }
 
@@ -562,12 +783,10 @@ impl SystemSimulator {
 /// waits on a recv whose send never executed. Chips that merely
 /// starved (their upstream producer is the deadlocked one, possibly
 /// at a lower index) have no active cores and are skipped.
-fn deadlock_of(engine: &mut Engine<ChipEvent>, sequencers: &[ChipSequencer]) -> SimError {
-    for seq in sequencers.iter().filter(|s| !s.graph.all_complete()) {
-        for stage in seq.running.iter().flatten() {
-            for (i, &id) in stage.cores.iter().enumerate() {
-                let core: CoreComponent =
-                    engine.extract(id).expect("core component survives the run");
+fn deadlock_of(outcomes: &[ChipOutcome]) -> SimError {
+    for outcome in outcomes.iter().filter(|o| !o.sequencer.graph.all_complete()) {
+        for stage in &outcome.stalled_cores {
+            for (i, core) in stage.iter().enumerate() {
                 if !core.finished {
                     let tag = core.blocked.expect("unfinished cores block on recv");
                     return SimError::Deadlock { core: CoreId(i), tag };
@@ -578,6 +797,198 @@ fn deadlock_of(engine: &mut Engine<ChipEvent>, sequencers: &[ChipSequencer]) -> 
     // Hand-off cycles are rejected up front, so an incomplete system
     // always contains at least one blocked core.
     unreachable!("incomplete system has no blocked core")
+}
+
+/// Component addresses of one chip's shared infrastructure.
+struct ChipParts {
+    dram: Option<ComponentId>,
+    channel: ComponentId,
+    bus: ComponentId,
+    rendezvous: ComponentId,
+}
+
+/// One chip's extracted end-of-run state — everything the report fold
+/// needs, detached from any engine so it can cross a shard thread.
+struct ChipOutcome {
+    sequencer: ChipSequencer,
+    channel: MemChannel,
+    rendezvous: Rendezvous,
+    inline_dram: Option<InlineDram>,
+    closed_dram: Option<ClosedLoopDram>,
+    /// Cores of stages still in flight when the run stalled, one
+    /// vector per running stage in node order — the deadlock
+    /// diagnosis walks these.
+    stalled_cores: Vec<Vec<CoreComponent>>,
+}
+
+/// One queued unit of boundary work in a sharded run.
+#[cfg(feature = "sharded")]
+#[derive(Debug)]
+enum TransferKind {
+    /// A hop still to be carried over a link.
+    Ship { src: usize, dst: usize, bytes: usize, hop: usize },
+    /// A terminal delivery to `dst`'s sequencer.
+    Arrival { src: usize, dst: usize },
+}
+
+/// A pending boundary transfer, ordered exactly as the single engine
+/// orders its events: primarily by firing time, then by the instant
+/// the work was scheduled, then by queue-arrival order — the
+/// `(time, seq)` discipline reconstructed across shards.
+#[cfg(feature = "sharded")]
+#[derive(Debug)]
+struct PendingTransfer {
+    time: SimTime,
+    /// The instant the work was scheduled: its own time for shard
+    /// exports (sequencers ship at `now`), the predecessor hop's
+    /// instant for relayed hops.
+    scheduled: SimTime,
+    counter: u64,
+    kind: TransferKind,
+}
+
+#[cfg(feature = "sharded")]
+impl PartialEq for PendingTransfer {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.scheduled, self.counter) == (other.time, other.scheduled, other.counter)
+    }
+}
+
+#[cfg(feature = "sharded")]
+impl Eq for PendingTransfer {}
+
+#[cfg(feature = "sharded")]
+impl PartialOrd for PendingTransfer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(feature = "sharded")]
+impl Ord for PendingTransfer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.scheduled, self.counter).cmp(&(other.time, other.scheduled, other.counter))
+    }
+}
+
+/// The sharded run's [`pim_engine::Boundary`]: the interconnect
+/// lifted out of the engines and driven by the coordinator between
+/// windows. All cross-chip `Ship`s export here; hops are carried in
+/// the exact `(time, seq)` order the single engine would use, so the
+/// link-contention arithmetic — including the order of its f64
+/// accumulations — is byte-identical.
+#[cfg(feature = "sharded")]
+struct LinkBoundary {
+    fabric: InterconnectComponent,
+    /// The interconnect's global component id (every non-terminal hop
+    /// re-targets it).
+    me: ComponentId,
+    chips: usize,
+    pending: BinaryHeap<Reverse<PendingTransfer>>,
+    counter: u64,
+}
+
+#[cfg(feature = "sharded")]
+impl LinkBoundary {
+    fn new(fabric: InterconnectComponent, me: ComponentId, chips: usize) -> Self {
+        Self { fabric, me, chips, pending: BinaryHeap::new(), counter: 0 }
+    }
+
+    /// Queues boundary work scheduled at instant `scheduled`,
+    /// classifying terminal ships (`hop` past the route) as arrivals
+    /// up front: they touch no link state, and carrying them as ships
+    /// into a later window would emit a delivery below that window's
+    /// horizon, violating the lookahead contract.
+    fn push(&mut self, time: SimTime, scheduled: SimTime, kind: TransferKind) {
+        let kind = match kind {
+            TransferKind::Ship { src, dst, hop, .. } if hop >= self.fabric.route_len(src, dst) => {
+                TransferKind::Arrival { src, dst }
+            }
+            other => other,
+        };
+        self.pending.push(Reverse(PendingTransfer {
+            time,
+            scheduled,
+            counter: self.counter,
+            kind,
+        }));
+        self.counter += 1;
+    }
+
+    /// The accumulated per-link statistics, for the report fold.
+    fn into_stats(self) -> Vec<LinkStats> {
+        self.fabric.stats
+    }
+}
+
+#[cfg(feature = "sharded")]
+impl pim_engine::Boundary<ChipEvent> for LinkBoundary {
+    fn next_time(&self) -> Option<SimTime> {
+        self.pending.peek().map(|Reverse(p)| p.time)
+    }
+
+    fn release(&mut self, horizon: SimTime) -> Vec<Vec<RemoteEvent<ChipEvent>>> {
+        let mut inboxes: Vec<Vec<RemoteEvent<ChipEvent>>> = vec![Vec::new(); self.chips];
+        let mut keep = Vec::new();
+        while self.pending.peek().is_some_and(|Reverse(p)| p.time < horizon) {
+            let Reverse(entry) = self.pending.pop().expect("peeked entry exists");
+            match entry.kind {
+                TransferKind::Arrival { src, dst } => inboxes[dst].push(RemoteEvent {
+                    time: entry.time,
+                    target: self.fabric.sequencers[dst],
+                    payload: ChipEvent::HandoffIn { src },
+                }),
+                // In-flight hops stay ours: the next window's exports
+                // may still contend their links at earlier instants.
+                TransferKind::Ship { .. } => keep.push(entry),
+            }
+        }
+        self.pending.extend(keep.into_iter().map(Reverse));
+        inboxes
+    }
+
+    fn absorb(&mut self, exports: Vec<Vec<RemoteEvent<ChipEvent>>>, horizon: SimTime) {
+        // Queue the fresh exports shard-major: every export's firing
+        // time equals its scheduling instant, so equal-time
+        // cross-shard ties fall back to shard id — the order the
+        // single engine's chip-major Kick seeding produces for
+        // symmetric chips.
+        for shard_exports in exports {
+            for event in shard_exports {
+                assert_eq!(
+                    event.target, self.me,
+                    "cross-shard events all address the interconnect"
+                );
+                let ChipEvent::Ship { src, dst, bytes, hop } = event.payload else {
+                    unreachable!("interconnect received {:?}", event.payload)
+                };
+                self.push(event.time, event.time, TransferKind::Ship { src, dst, bytes, hop });
+            }
+        }
+        // Carry every hop strictly below the horizon. All traffic
+        // that could contend these links is already queued — the
+        // shards have run past these instants — so processing in
+        // `(time, scheduled, arrival)` order reproduces the single
+        // engine's link arithmetic exactly. Everything `relay` emits
+        // lands at least one lookahead later, i.e. at or beyond the
+        // horizon, which is what makes the next window safe.
+        while self.pending.peek().is_some_and(|Reverse(p)| p.time < horizon) {
+            let Reverse(entry) = self.pending.pop().expect("peeked entry exists");
+            match entry.kind {
+                TransferKind::Ship { src, dst, bytes, hop } => {
+                    let (time, _target, payload) =
+                        self.fabric.relay(self.me, entry.time, src, dst, bytes, hop);
+                    let ChipEvent::Ship { src, dst, bytes, hop } = payload else {
+                        unreachable!("push classifies terminal hops as arrivals")
+                    };
+                    self.push(time, entry.time, TransferKind::Ship { src, dst, bytes, hop });
+                }
+                TransferKind::Arrival { .. } => {
+                    unreachable!("arrivals land at or beyond the horizon that created them")
+                }
+            }
+        }
+    }
 }
 
 /// Dispatches one chip's `(batch, partition)` stages from the ready
@@ -857,33 +1268,59 @@ impl InterconnectComponent {
             stats,
         }
     }
+
+    /// The number of link hops on the validated route from `src` to
+    /// `dst`.
+    #[cfg(feature = "sharded")]
+    fn route_len(&self, src: usize, dst: usize) -> usize {
+        self.routes[src][dst].as_ref().expect("validated route exists").len()
+    }
+
+    /// Carries one `Ship` one hop, returning the follow-on event to
+    /// schedule: the terminal hand-off to the destination sequencer,
+    /// or — after claiming the next link (serialization, queueing,
+    /// stats) — the next hop back to the interconnect (`me`).
+    /// Separated from `on_event` so the sharded boundary can drive
+    /// the identical arithmetic without an engine.
+    fn relay(
+        &mut self,
+        me: ComponentId,
+        time: SimTime,
+        src: usize,
+        dst: usize,
+        bytes: usize,
+        hop: usize,
+    ) -> (SimTime, ComponentId, ChipEvent) {
+        let route = self.routes[src][dst].as_ref().expect("validated route exists");
+        if hop >= route.len() {
+            return (time, self.sequencers[dst], ChipEvent::HandoffIn { src });
+        }
+        let link = route[hop];
+        let spec = self.links[link].spec;
+        let now = time.as_ns();
+        let start = now.max(self.free_ns[link]);
+        let serialization = spec.serialization_ns(bytes);
+        self.free_ns[link] = start + serialization;
+        let stats = &mut self.stats[link];
+        stats.transfers += 1;
+        stats.bytes += bytes as u64;
+        stats.busy_ns += serialization;
+        stats.wait_ns += start - now;
+        (
+            SimTime::from_ns(start + serialization + spec.latency_ns),
+            me,
+            ChipEvent::Ship { src, dst, bytes, hop: hop + 1 },
+        )
+    }
 }
 
 impl Component<ChipEvent> for InterconnectComponent {
     fn on_event(&mut self, event: Event<ChipEvent>, ctx: &mut EngineCtx<'_, ChipEvent>) {
         match event.payload {
             ChipEvent::Ship { src, dst, bytes, hop } => {
-                let route = self.routes[src][dst].as_ref().expect("validated route exists");
-                if hop >= route.len() {
-                    ctx.schedule(event.time, self.sequencers[dst], ChipEvent::HandoffIn { src });
-                    return;
-                }
-                let link = route[hop];
-                let spec = self.links[link].spec;
-                let now = event.time.as_ns();
-                let start = now.max(self.free_ns[link]);
-                let serialization = spec.serialization_ns(bytes);
-                self.free_ns[link] = start + serialization;
-                let stats = &mut self.stats[link];
-                stats.transfers += 1;
-                stats.bytes += bytes as u64;
-                stats.busy_ns += serialization;
-                stats.wait_ns += start - now;
-                ctx.schedule(
-                    SimTime::from_ns(start + serialization + spec.latency_ns),
-                    event.target,
-                    ChipEvent::Ship { src, dst, bytes, hop: hop + 1 },
-                );
+                let (time, target, payload) =
+                    self.relay(event.target, event.time, src, dst, bytes, hop);
+                ctx.schedule(time, target, payload);
             }
             other => unreachable!("interconnect received {other:?}"),
         }
@@ -1288,5 +1725,64 @@ mod tests {
             .expect("the override slot accepts the larger program");
         assert_eq!(report.chips.as_ref().unwrap().len(), 2);
         assert!(report.makespan_ns > 0.0);
+    }
+
+    #[cfg(feature = "sharded")]
+    #[test]
+    fn sharded_pipeline_matches_single_threaded() {
+        let chip = ChipSpec::chip_s();
+        let stage = mvm_program(chip.cores, 200);
+        let loads = [
+            ChipLoad::new(std::slice::from_ref(&stage)).with_handoff(1, 4096),
+            ChipLoad::new(std::slice::from_ref(&stage)),
+        ];
+        let run = |sharded: bool| {
+            SystemSimulator::new(chip.clone(), Topology::ring(2))
+                .with_sharded(sharded)
+                .run(&loads, 3, 1)
+                .unwrap()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[cfg(feature = "sharded")]
+    #[test]
+    fn sharded_multi_hop_contention_matches_single_threaded() {
+        // The hardest equivalence case: multi-hop routes relayed
+        // through an intermediate chip, shared-link queueing, an idle
+        // chip, and two symmetric producers shipping at identical
+        // instants (a cross-shard time tie).
+        let chip = ChipSpec::chip_s();
+        let stage = mvm_program(chip.cores, 10);
+        let bytes = 1 << 20;
+        let loads = [
+            ChipLoad::new(std::slice::from_ref(&stage)).with_handoff(2, bytes),
+            ChipLoad::new(std::slice::from_ref(&stage)).with_handoff(2, bytes),
+            ChipLoad::new(std::slice::from_ref(&stage)),
+            ChipLoad::new(&[]),
+        ];
+        let run = |sharded: bool| {
+            SystemSimulator::new(chip.clone(), Topology::ring(4))
+                .with_sharded(sharded)
+                .run(&loads, 2, 1)
+                .unwrap()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[cfg(feature = "sharded")]
+    #[test]
+    fn sharded_runs_diagnose_deadlocks() {
+        let chip = ChipSpec::chip_s();
+        let good = mvm_program(chip.cores, 5);
+        let mut bad = ChipProgram::new(chip.cores);
+        bad.core_mut(CoreId(2)).push(I::Recv { from: CoreId(0), bytes: 64, tag: Tag(404) });
+        let loads =
+            [ChipLoad::new(std::slice::from_ref(&good)), ChipLoad::new(std::slice::from_ref(&bad))];
+        let err = SystemSimulator::new(chip, Topology::ring(2))
+            .with_sharded(true)
+            .run(&loads, 1, 1)
+            .unwrap_err();
+        assert_eq!(err, SimError::Deadlock { core: CoreId(2), tag: Tag(404) });
     }
 }

@@ -3,9 +3,12 @@
 //! collections and `par_iter().map(..).collect::<Vec<_>>()` over
 //! slices (borrowed items, no per-item clone before fan-out).
 //!
-//! Work is split into contiguous chunks across `std::thread::scope`
-//! threads (one per available core), and results are concatenated in
-//! input order, so output ordering matches sequential execution.
+//! Scoped `std::thread` workers (bounded by the available
+//! parallelism) pull items one at a time from a shared queue, so an
+//! expensive item never strands the rest of a pre-cut chunk behind
+//! it. Each result is tagged with its input index and the collection
+//! is sorted back to input order, so output ordering matches
+//! sequential execution regardless of which worker ran what.
 
 /// Converts a collection into a "parallel" iterator.
 pub trait IntoParallelIterator {
@@ -63,26 +66,38 @@ impl<T: Send, F> ParMap<T, F> {
             let f = self.f;
             return self.items.into_iter().map(f).collect();
         }
-        let chunk = n.div_ceil(threads);
+        // Dynamic load balancing: workers pull the next item from a
+        // shared queue instead of owning a pre-cut contiguous chunk,
+        // so uneven per-item costs spread across threads. The guard
+        // is dropped before `f` runs — items execute concurrently,
+        // only the hand-off is serialized.
         let f = &self.f;
-        let mut chunks: Vec<Vec<T>> = Vec::new();
-        let mut items = self.items;
-        while !items.is_empty() {
-            let rest = items.split_off(chunk.min(items.len()));
-            chunks.push(items);
-            items = rest;
-        }
-        let mut results: Vec<Vec<U>> = Vec::new();
+        let queue = std::sync::Mutex::new(self.items.into_iter().enumerate());
+        let workers = threads.min(n);
+        let mut tagged: Vec<(usize, U)> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let Some((i, item)) = queue.lock().expect("task queue poisoned").next()
+                            else {
+                                break;
+                            };
+                            done.push((i, f(item)));
+                        }
+                        done
+                    })
+                })
                 .collect();
             for handle in handles {
-                results.push(handle.join().expect("worker thread panicked"));
+                tagged.extend(handle.join().expect("worker thread panicked"));
             }
         });
-        results.into_iter().flatten().collect()
+        tagged.sort_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, result)| result).collect()
     }
 }
 
@@ -146,5 +161,28 @@ mod tests {
         assert_eq!(out, vec![8]);
         let empty: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn each_item_runs_exactly_once_despite_uneven_costs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        // Front-load the expensive items: under static contiguous
+        // chunking they would pile onto the first worker; dynamic
+        // pulling spreads them. Either way, every item must be mapped
+        // exactly once and land at its input position.
+        let out: Vec<usize> = (0..257usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                if x < 8 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                x * x
+            })
+            .collect();
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+        assert_eq!(out, (0..257usize).map(|x| x * x).collect::<Vec<_>>());
     }
 }

@@ -27,7 +27,11 @@ cargo run --release -p compass-bench --bin topology_sweep -- --quick --schedule 
 cargo run --release -p compass-bench --bin timing_mode_sweep -- --quick --json "${BASELINE}"
 # Hot-path records: the hotpath:gate:* speedup ratios are gated (they
 # are same-process ratios, stable across machines); the hotpath:abs:*
-# events/sec and GA-generation numbers are trajectory-only.
-cargo run --release -p compass-bench --bin engine_hotpath -- --quick --json "${BASELINE}" --min-speedup 3.0
+# events/sec and GA-generation numbers are trajectory-only. The
+# sharded feature adds the hotpath:gate:shard:* scaling ratios; their
+# floor is parallelism-aware (it only gates when the regenerating host
+# has one hardware thread per chip — a narrow host pins the honest
+# single-core ratio and prints a note instead).
+cargo run --release -p compass-bench --features sharded --bin engine_hotpath -- --quick --json "${BASELINE}" --min-speedup 3.0 --min-shard-speedup 2.0
 
 echo "== done; review with: git diff tests/golden ${BASELINE} =="

@@ -79,9 +79,9 @@ fn interleaving_strictly_reduces_makespan_on_disjoint_stages() {
 
 #[test]
 fn interleaving_never_slows_a_compiled_workload() {
-    // Compiled partitions share cores (the packer fills from core 0),
-    // so claims mostly serialize them — but interleaving must never be
-    // slower than the barrier schedule.
+    // Partitions compiled for barrier mode share cores (every packing
+    // fills from core 0), so claims mostly serialize them — but
+    // interleaving must never be slower than the barrier schedule.
     let chip = ChipSpec::chip_s();
     let net = zoo::squeezenet();
     let batch = 2;
@@ -163,6 +163,70 @@ fn claim_conflicts_serialize_to_the_barrier_makespan() {
 }
 
 #[test]
+fn interleave_aware_packing_overlaps_compiled_stages() {
+    // Scheduling with `SchedulerOptions::schedule = Interleaved`
+    // shifts alternating partitions onto disjoint crossbar groups
+    // when the widest one fits half the chip, so a *compiled*
+    // workload — not just the hand-built disjoint programs above —
+    // genuinely overlaps under the interleaved executor.
+    use compass::plan::GroupPlan;
+    use compass::replication::optimize_group;
+    use compass::{decompose, PartitionGroup, ValidityMap};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let chip = ChipSpec::chip_l();
+    let net = zoo::tiny_cnn();
+    let seq = decompose(&net, &chip);
+    let validity = ValidityMap::build(&seq, &chip);
+    let batch = 4;
+    let schedule = |plans: &GroupPlan, mode: ScheduleMode| {
+        schedule_group(
+            &net,
+            plans.plans(),
+            &chip,
+            &SchedulerOptions { batch, chunks_per_sample: 2, schedule: mode },
+        )
+    };
+    let touched = |program: &ChipProgram| -> Vec<usize> {
+        (0..program.cores()).filter(|&c| program.core(CoreId(c)).iter().next().is_some()).collect()
+    };
+    // Find a multi-partition group the scheduler can actually spread:
+    // adjacent interleaved programs touch disjoint core sets.
+    let (plans, programs) = (0..64u64)
+        .find_map(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let group = PartitionGroup::random(&mut rng, &validity);
+            let mut plans = GroupPlan::build(&net, &seq, &group);
+            optimize_group(&mut plans, &chip);
+            let programs = schedule(&plans, ScheduleMode::Interleaved);
+            let disjoint = programs.len() > 1
+                && programs.windows(2).all(|pair| {
+                    let a = touched(&pair[0]);
+                    touched(&pair[1]).iter().all(|c| !a.contains(c))
+                });
+            disjoint.then_some((plans, programs))
+        })
+        .expect("some seed yields a half-chip multi-partition group");
+    let rounds = 4;
+    let run = |programs: &[ChipProgram], mode: ScheduleMode| {
+        ChipSimulator::new(chip.clone())
+            .with_schedule_mode(mode)
+            .run_batches(programs, rounds, batch)
+            .expect("simulates")
+    };
+    let barrier = run(&schedule(&plans, ScheduleMode::Barrier), ScheduleMode::Barrier);
+    let interleaved = run(&programs, ScheduleMode::Interleaved);
+    assert!(
+        interleaved.makespan_ns < barrier.makespan_ns,
+        "disjoint compiled stages must overlap: {} vs {} ns",
+        interleaved.makespan_ns,
+        barrier.makespan_ns
+    );
+    assert_eq!(interleaved.partitions.len(), barrier.partitions.len());
+}
+
+#[test]
 fn interleaved_schedules_are_deterministic_per_seed() {
     let chip = ChipSpec::chip_s();
     let net = zoo::squeezenet();
@@ -199,7 +263,7 @@ fn fan_out_schedule(
             net,
             &plans[range],
             chip,
-            &SchedulerOptions { batch: shard, chunks_per_sample: 4 },
+            &SchedulerOptions { batch: shard, chunks_per_sample: 4, ..Default::default() },
         )
     };
     SystemSchedule {

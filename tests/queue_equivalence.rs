@@ -121,6 +121,93 @@ fn dram_reorder_reports_are_byte_identical() {
     assert_eq!(run(false), run(true), "calendar vs reference queue (FR-FCFS)");
 }
 
+/// Sharded ↔ single-threaded equivalence (PR 6).
+///
+/// One engine thread per chip with the interconnect as the
+/// conservative-lookahead boundary must produce **byte-identical**
+/// serialized reports to the single-threaded engine, across
+/// topologies × timing modes × schedule modes, with a hand-off chain
+/// keeping cross-shard traffic live every round.
+#[cfg(feature = "sharded")]
+mod sharded {
+    use super::*;
+
+    fn compiled_with_seed(batch: usize, seed: u64) -> compass::CompiledModel {
+        Compiler::new(ChipSpec::chip_s())
+            .compile(
+                &pim_model::zoo::tiny_cnn(),
+                &CompileOptions::new()
+                    .with_strategy(Strategy::Greedy)
+                    .with_batch_size(batch)
+                    .with_ga(GaParams::fast())
+                    .with_seed(seed),
+            )
+            .expect("compiles")
+    }
+
+    fn report(
+        topology: Topology,
+        timing: TimingMode,
+        schedule: ScheduleMode,
+        sharded: bool,
+        seed: u64,
+    ) -> String {
+        let compiled = compiled_with_seed(2, seed);
+        let chips = topology.chips();
+        // Hand-off chain: every chip feeds its successor, so shard
+        // boundaries carry traffic every round.
+        let loads: Vec<ChipLoad<'_>> = (0..chips)
+            .map(|c| {
+                let load = ChipLoad::new(compiled.programs());
+                if c + 1 < chips {
+                    load.with_handoff(c + 1, 4096)
+                } else {
+                    load
+                }
+            })
+            .collect();
+        let report = SystemSimulator::new(ChipSpec::chip_s(), topology)
+            .with_timing_mode(timing)
+            .with_schedule_mode(schedule)
+            .with_sharded(sharded)
+            .run(&loads, 3, 2)
+            .expect("simulates");
+        serde_json::to_string(&report).expect("serializes")
+    }
+
+    #[test]
+    fn sharded_reports_match_single_threaded_across_the_matrix() {
+        for topology in [Topology::ring(2), Topology::ring(4), Topology::fully_connected(4)] {
+            for timing in [TimingMode::Analytic, TimingMode::ClosedLoop] {
+                for schedule in ScheduleMode::ALL {
+                    let single = report(topology.clone(), timing, schedule, false, 11);
+                    let sharded = report(topology.clone(), timing, schedule, true, 11);
+                    assert_eq!(
+                        single, sharded,
+                        "sharded vs single ({topology}, {timing}, {schedule})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic_across_seeds() {
+        for seed in [11u64, 23] {
+            let run = || {
+                report(
+                    Topology::ring(4),
+                    TimingMode::Analytic,
+                    ScheduleMode::Interleaved,
+                    true,
+                    seed,
+                )
+            };
+            assert_eq!(run(), run(), "seed {seed}: repeated sharded runs must be byte-identical");
+        }
+    }
+}
+
 #[test]
 fn env_selected_leg_is_byte_identical() {
     // Whatever PIM_TIMING_MODE / PIM_TOPOLOGY the CI matrix selects,
