@@ -357,6 +357,7 @@ fn main() -> ExitCode {
             name: name.to_string(),
             makespan_ns,
             throughput_ips,
+            host_parallelism: None,
         };
         compass_bench::append_records(
             &path,
@@ -378,7 +379,10 @@ fn main() -> ExitCode {
         );
         // Shard scaling: absolute wall times for visibility, plus the
         // same-process single/sharded ratio gated like the other
-        // speedups.
+        // speedups. Unlike the queue/engine ratios, shard speedup is a
+        // function of the measuring host's core count, so every shard
+        // record carries a parallelism stamp and the baseline gate
+        // only compares records measured at matching parallelism.
         #[cfg(feature = "sharded")]
         compass_bench::append_records(
             &path,
@@ -402,6 +406,7 @@ fn main() -> ExitCode {
                             s.speedup(),
                         ),
                     ]
+                    .map(compass_bench::BenchRecord::measured_on_this_host)
                 })
                 .collect(),
         );

@@ -73,6 +73,7 @@ fn main() {
                     ),
                     makespan_ns: result.simulated.makespan_ns,
                     throughput_ips: result.throughput(),
+                    host_parallelism: None,
                 });
             }
             let ratio = closed.simulated.makespan_ns / analytic.simulated.makespan_ns;

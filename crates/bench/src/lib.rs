@@ -243,6 +243,7 @@ impl SystemConfigResult {
             name: format!("topology:{}:{timing}:{}", self.label, self.strategy),
             makespan_ns: self.report.makespan_ns,
             throughput_ips: self.throughput(),
+            host_parallelism: None,
         }
     }
 }
@@ -313,7 +314,7 @@ pub fn run_system_config(
 /// One point of the CI perf trajectory: simulated cycle count (and
 /// throughput) of a named configuration. Deterministic for a fixed
 /// seed, so regressions are exact, not noisy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
     /// Stable configuration name.
     pub name: String,
@@ -321,6 +322,60 @@ pub struct BenchRecord {
     pub makespan_ns: f64,
     /// Simulated throughput, inferences/s.
     pub throughput_ips: f64,
+    /// Hardware threads of the host that measured this record, for
+    /// records whose value depends on them (shard-scaling wall
+    /// clocks). `None` for machine-independent simulated quantities.
+    pub host_parallelism: Option<usize>,
+}
+
+impl BenchRecord {
+    /// Stamps the record with the measuring host's hardware-thread
+    /// count, marking it comparable only against baselines measured
+    /// at the same parallelism.
+    #[must_use]
+    pub fn measured_on_this_host(mut self) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        self.host_parallelism = Some(threads);
+        self
+    }
+}
+
+// Hand-written so the `host_parallelism` field is emitted only when
+// present: stamped shard records round-trip, every other record (and
+// every committed baseline written before the field existed) keeps
+// its exact serialized form.
+impl Serialize for BenchRecord {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        self.name.serialize_json(out);
+        out.push_str(",\"makespan_ns\":");
+        self.makespan_ns.serialize_json(out);
+        out.push_str(",\"throughput_ips\":");
+        self.throughput_ips.serialize_json(out);
+        if let Some(threads) = &self.host_parallelism {
+            out.push_str(",\"host_parallelism\":");
+            threads.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl Deserialize for BenchRecord {
+    fn deserialize_json(value: &serde::json::Value) -> Result<Self, serde::json::JsonError> {
+        let host_parallelism = match serde::json::field(value, "host_parallelism") {
+            Ok(v) => Some(Deserialize::deserialize_json(v)?),
+            Err(_) => None,
+        };
+        Ok(Self {
+            name: Deserialize::deserialize_json(serde::json::field(value, "name")?)?,
+            makespan_ns: Deserialize::deserialize_json(serde::json::field(value, "makespan_ns")?)?,
+            throughput_ips: Deserialize::deserialize_json(serde::json::field(
+                value,
+                "throughput_ips",
+            )?)?,
+            host_parallelism,
+        })
+    }
 }
 
 /// Loads a perf-record file, returning an empty list when the file
@@ -391,6 +446,20 @@ pub fn check_against_baseline(
         match current.iter().find(|r| r.name == base.name) {
             None => violations.push(format!("{}: missing from current run", base.name)),
             Some(now) if base.name.starts_with(HOTPATH_GATE_PREFIX) => {
+                if base.host_parallelism != now.host_parallelism {
+                    let show = |p: Option<usize>| match p {
+                        Some(threads) => threads.to_string(),
+                        None => "unstamped".to_string(),
+                    };
+                    println!(
+                        "note: {} gate skipped — baseline measured at host parallelism {}, \
+                         this run at {}",
+                        base.name,
+                        show(base.host_parallelism),
+                        show(now.host_parallelism)
+                    );
+                    continue;
+                }
                 let floor = base.throughput_ips * (1.0 - tolerance);
                 if now.throughput_ips < floor {
                     violations.push(format!(
@@ -529,6 +598,7 @@ mod tests {
             name: name.to_string(),
             makespan_ns: ns,
             throughput_ips: 1.0,
+            host_parallelism: None,
         };
         let baseline = vec![record("a", 100.0), record("b", 100.0), record("gone", 100.0)];
         let current = vec![record("a", 119.0), record("b", 121.0), record("new", 50.0)];
@@ -545,6 +615,7 @@ mod tests {
             name: name.to_string(),
             makespan_ns: ns,
             throughput_ips: ips,
+            host_parallelism: None,
         };
         let baseline = vec![
             record("hotpath:gate:queue-speedup", 0.25, 4.0),
@@ -571,11 +642,45 @@ mod tests {
     }
 
     #[test]
+    fn parallelism_stamped_gates_skip_across_hosts_and_round_trip() {
+        let record = |name: &str, ips: f64, threads: Option<usize>| BenchRecord {
+            name: name.to_string(),
+            makespan_ns: 1.0 / ips,
+            throughput_ips: ips,
+            host_parallelism: threads,
+        };
+        // A shard-scaling gate measured on a 16-thread host must not
+        // fail a run on a 1-thread host (or vice versa) — nor judge an
+        // unstamped legacy baseline against a stamped run.
+        let baseline = vec![record("hotpath:gate:shard:ring:4", 2.0, Some(16))];
+        let collapsed = vec![record("hotpath:gate:shard:ring:4", 0.5, Some(1))];
+        assert!(check_against_baseline(&collapsed, &baseline, 0.2).is_empty());
+        let unstamped = vec![record("hotpath:gate:shard:ring:4", 0.5, None)];
+        assert!(check_against_baseline(&unstamped, &baseline, 0.2).is_empty());
+        // Same host parallelism: the gate applies as usual.
+        let same_host = vec![record("hotpath:gate:shard:ring:4", 0.5, Some(16))];
+        assert_eq!(check_against_baseline(&same_host, &baseline, 0.2).len(), 1);
+        // The stamp survives a serialize/deserialize round trip, and
+        // its absence costs nothing (legacy baselines still parse).
+        for rec in [record("a", 2.0, Some(4)), record("b", 3.0, None)] {
+            let json = serde_json::to_string(&vec![rec.clone()]).expect("serializes");
+            assert_eq!(rec.host_parallelism.is_some(), json.contains("host_parallelism"));
+            let back: Vec<BenchRecord> = serde_json::from_str(&json).expect("parses");
+            assert_eq!(back, vec![rec]);
+        }
+        // The self-stamp helper records this very host.
+        let stamped = record("c", 1.0, None).measured_on_this_host();
+        let here = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(stamped.host_parallelism, Some(here));
+    }
+
+    #[test]
     fn record_files_merge_and_round_trip() {
         let record = |name: &str, ns: f64| BenchRecord {
             name: name.to_string(),
             makespan_ns: ns,
             throughput_ips: 2.0,
+            host_parallelism: None,
         };
         let path = std::env::temp_dir().join("compass_bench_records_test.json");
         let path = path.to_str().unwrap().to_string();

@@ -46,6 +46,6 @@ mod error;
 mod stage;
 
 pub use error::SimError;
-pub use report::{ChipSimSummary, LinkStats, PartitionSimReport, SimReport};
+pub use report::{ChipSimSummary, EngineMode, LinkStats, PartitionSimReport, SimReport};
 pub use sim::ChipSimulator;
 pub use system::{ChipLoad, Handoff, SystemSimulator};

@@ -125,8 +125,33 @@ pub struct ChipSimSummary {
     pub handoff_wait_ns: f64,
 }
 
+/// How a run was executed — provenance metadata so benchmarks and
+/// logs cannot misattribute single-threaded numbers to the sharded
+/// path (e.g. after a silent sharding fallback on a single-chip or
+/// zero-latency-link system).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Every chip on one event loop.
+    SingleThread,
+    /// One engine thread per chip behind the conservative-lookahead
+    /// boundary.
+    Sharded {
+        /// Number of shard threads (one per chip).
+        shards: usize,
+    },
+}
+
+impl fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineMode::SingleThread => write!(f, "single-thread"),
+            EngineMode::Sharded { shards } => write!(f, "sharded:{shards}"),
+        }
+    }
+}
+
 /// The full simulation result for one batch cycle.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Batch size simulated.
     pub batch: usize,
@@ -150,6 +175,30 @@ pub struct SimReport {
     /// Per-link interconnect counters, present only for multi-chip
     /// topologies.
     pub links: Option<Vec<LinkStats>>,
+    /// Effective execution mode (run metadata). Excluded from both
+    /// serialization and equality: sharded and single-threaded runs
+    /// of the same system must stay byte-identical and compare equal,
+    /// while logs and benchmarks can still see which engine produced
+    /// the numbers. `None` for reports assembled outside a run (e.g.
+    /// deserialized fixtures).
+    pub engine: Option<EngineMode>,
+}
+
+// `engine` is provenance, not a result: two runs of the same system
+// on different engines are *required* to agree on everything else, so
+// equality ignores it (see the byte-identity suites).
+impl PartialEq for SimReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.batch == other.batch
+            && self.partitions == other.partitions
+            && self.makespan_ns == other.makespan_ns
+            && self.energy == other.energy
+            && self.dram_energy == other.dram_energy
+            && self.dram_trace == other.dram_trace
+            && self.dram_channels == other.dram_channels
+            && self.chips == other.chips
+            && self.links == other.links
+    }
 }
 
 // Hand-written (de)serialization: the trailing `dram_channels`,
@@ -210,6 +259,7 @@ impl Deserialize for SimReport {
             dram_channels: optional(value, "dram_channels")?,
             chips: optional(value, "chips")?,
             links: optional(value, "links")?,
+            engine: None,
         })
     }
 }
@@ -287,6 +337,7 @@ mod tests {
             dram_channels: None,
             chips: None,
             links: None,
+            engine: None,
         }
     }
 
@@ -358,5 +409,19 @@ mod tests {
         assert!(multi.contains("\"links\":["));
         let back: SimReport = serde_json::from_str(&multi).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn engine_mode_is_metadata_only() {
+        let mut r = report();
+        let plain = serde_json::to_string(&r).unwrap();
+        r.engine = Some(EngineMode::Sharded { shards: 4 });
+        let stamped = serde_json::to_string(&r).unwrap();
+        assert_eq!(plain, stamped, "engine mode must never leak into serialized reports");
+        let mut other = report();
+        other.engine = Some(EngineMode::SingleThread);
+        assert_eq!(r, other, "equality ignores the engine stamp");
+        assert_eq!(EngineMode::Sharded { shards: 4 }.to_string(), "sharded:4");
+        assert_eq!(EngineMode::SingleThread.to_string(), "single-thread");
     }
 }

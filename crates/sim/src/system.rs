@@ -33,7 +33,9 @@ use crate::components::{
     Rendezvous,
 };
 use crate::error::SimError;
-use crate::report::{ChipSimSummary, CoreActivity, LinkStats, PartitionSimReport, SimReport};
+use crate::report::{
+    ChipSimSummary, CoreActivity, EngineMode, LinkStats, PartitionSimReport, SimReport,
+};
 use crate::stage::StageGraph;
 use pim_arch::{ChipSpec, EnergyModel, Link, PowerBreakdown, ScheduleMode, TimingMode, Topology};
 use pim_dram::{DramConfig, DramEnergy, TraceStats};
@@ -365,14 +367,30 @@ impl SystemSimulator {
         self.validate(loads)?;
         let rounds = rounds.max(1);
         #[cfg(feature = "sharded")]
-        if self.sharded && loads.len() > 1 {
-            // Single-chip topologies have no links — no conservative
-            // lookahead and nothing to parallelize.
-            if let Some(lookahead) = self.topology.min_link_latency_ns().filter(|&l| l > 0.0) {
-                return self.run_sharded(loads, rounds, samples_per_round, lookahead);
+        if self.sharded {
+            match self.shard_fallback_reason(loads) {
+                None => return self.run_sharded(loads, rounds, samples_per_round),
+                Some(reason) => note_shard_fallback(reason),
             }
         }
         self.run_single(loads, rounds, samples_per_round)
+    }
+
+    /// Why a sharding request cannot be honoured for this system, if
+    /// it cannot: single-chip systems have nothing to parallelize, and
+    /// a zero-latency link admits no conservative lookahead window.
+    /// `None` means the sharded path will run. The effective mode is
+    /// always recorded in [`SimReport::engine`], so benchmarks cannot
+    /// misattribute single-threaded numbers to the sharded path.
+    #[cfg(feature = "sharded")]
+    fn shard_fallback_reason(&self, loads: &[ChipLoad<'_>]) -> Option<&'static str> {
+        if loads.len() <= 1 {
+            return Some("the system has a single chip, so there is nothing to parallelize");
+        }
+        if !self.topology.min_link_latency_ns().is_some_and(|latency| latency > 0.0) {
+            return Some("a zero-latency link admits no conservative lookahead window");
+        }
+        None
     }
 
     /// Peak concurrently-live stage cores of one chip's load under
@@ -525,7 +543,9 @@ impl SystemSimulator {
                 engine.extract(interconnect_id).expect("interconnect survives the run");
             ic.stats
         });
-        self.fold_report(loads, rounds, samples_per_round, outcomes, links)
+        let mut report = self.fold_report(loads, rounds, samples_per_round, outcomes, links)?;
+        report.engine = Some(EngineMode::SingleThread);
+        Ok(report)
     }
 
     /// Extracts everything the report fold needs about one chip from
@@ -693,21 +713,24 @@ impl SystemSimulator {
             dram_channels,
             chips: (!self.topology.is_single()).then_some(summaries),
             links,
+            // The caller stamps the effective mode.
+            engine: None,
         })
     }
 
     /// The sharded path: one engine thread per chip, synchronized
-    /// through the interconnect-as-[`pim_engine::Boundary`] with the
-    /// minimum link latency as the conservative lookahead. Component
-    /// layout, event times, and link accounting reproduce the single
-    /// engine exactly, so the folded report is byte-identical.
+    /// through the interconnect-as-[`pim_engine::Boundary`] with
+    /// dynamic per-chip lookahead derived from the declared hand-off
+    /// graph, each route's serialization + propagation, and the tails
+    /// of in-flight transfers. Component layout, event times, and
+    /// link accounting reproduce the single engine exactly, so the
+    /// folded report is byte-identical.
     #[cfg(feature = "sharded")]
     fn run_sharded(
         &self,
         loads: &[ChipLoad<'_>],
         rounds: usize,
         samples_per_round: usize,
-        lookahead_ns: f64,
     ) -> Result<SimReport, SimError> {
         let chips = loads.len();
         // Mirror the single-engine global layout — per chip
@@ -722,10 +745,22 @@ impl SystemSimulator {
         let interconnect_id = ComponentId(chips * per_chip);
         let sequencer_ids: Vec<ComponentId> =
             (0..chips).map(|c| ComponentId(interconnect_id.0 + 1 + c)).collect();
+        // Per-pair delivery lower bounds for the *declared* hand-off
+        // graph: only a chip whose load declares a hand-off to `dst`
+        // can ever ship there, and each route hop pays the hand-off's
+        // full serialization plus propagation even when uncontended.
+        let mut route_bounds = vec![vec![None; chips]; chips];
+        for (src, load) in loads.iter().enumerate() {
+            for handoff in &load.handoffs {
+                route_bounds[src][handoff.dst] =
+                    self.topology.route_transfer_bound_ns(src, handoff.dst, handoff.bytes);
+            }
+        }
         let mut boundary = LinkBoundary::new(
             InterconnectComponent::new(&self.topology, &sequencer_ids),
             interconnect_id,
             chips,
+            route_bounds,
         );
         let sequencer_ids = &sequencer_ids;
         let shards: Vec<_> = (0..chips)
@@ -770,11 +805,30 @@ impl SystemSimulator {
                 }
             })
             .collect();
-        let outcomes = pim_engine::run_sharded(shards, &mut boundary, lookahead_ns);
+        let outcomes = pim_engine::run_sharded(shards, &mut boundary);
         // Sharded runs are multi-chip by construction (single-chip
         // topologies never take this path), so links always report.
         let links = Some(boundary.into_stats());
-        self.fold_report(loads, rounds, samples_per_round, outcomes, links)
+        let mut report = self.fold_report(loads, rounds, samples_per_round, outcomes, links)?;
+        report.engine = Some(EngineMode::Sharded { shards: chips });
+        Ok(report)
+    }
+}
+
+/// Prints a once-per-process note that a sharding request fell back
+/// to the single-threaded engine. The report still records the
+/// effective mode ([`SimReport::engine`]); the note exists so
+/// interactive runs and benchmark logs surface the fallback without
+/// anyone inspecting report metadata.
+#[cfg(feature = "sharded")]
+fn note_shard_fallback(reason: &str) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static NOTED: AtomicBool = AtomicBool::new(false);
+    if !NOTED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "pim-sim note: sharded execution was requested, but {reason}; \
+             running on the single-threaded engine (reported once per process)"
+        );
     }
 }
 
@@ -823,7 +877,7 @@ struct ChipOutcome {
 
 /// One queued unit of boundary work in a sharded run.
 #[cfg(feature = "sharded")]
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum TransferKind {
     /// A hop still to be carried over a link.
     Ship { src: usize, dst: usize, bytes: usize, hop: usize },
@@ -833,8 +887,17 @@ enum TransferKind {
 
 /// A pending boundary transfer, ordered exactly as the single engine
 /// orders its events: primarily by firing time, then by the instant
-/// the work was scheduled, then by queue-arrival order — the
-/// `(time, seq)` discipline reconstructed across shards.
+/// the work was scheduled, then by `(lane, emit)` — a canonical
+/// tie-break that is independent of the rendezvous schedule. Fresh
+/// exports use their source shard as the lane (equal-instant
+/// cross-shard ties fall back to shard id, the order the single
+/// engine's chip-major Kick seeding produces for symmetric chips);
+/// boundary-relayed hops share one lane past every shard's (relays
+/// with equal `(time, scheduled)` are always carried in the same
+/// [`LinkBoundary::advance`] pass, so their emission order is already
+/// the processing order). Lanes make cross-window ties — which the
+/// old global-window protocol could never produce, but lazy pacing
+/// can — deterministic.
 #[cfg(feature = "sharded")]
 #[derive(Debug)]
 struct PendingTransfer {
@@ -843,14 +906,24 @@ struct PendingTransfer {
     /// exports (sequencers ship at `now`), the predecessor hop's
     /// instant for relayed hops.
     scheduled: SimTime,
-    counter: u64,
+    /// Source shard for fresh exports; `chips` for relayed hops.
+    lane: usize,
+    /// Per-lane monotone emission counter.
+    emit: u64,
     kind: TransferKind,
+}
+
+#[cfg(feature = "sharded")]
+impl PendingTransfer {
+    fn key(&self) -> (SimTime, SimTime, usize, u64) {
+        (self.time, self.scheduled, self.lane, self.emit)
+    }
 }
 
 #[cfg(feature = "sharded")]
 impl PartialEq for PendingTransfer {
     fn eq(&self, other: &Self) -> bool {
-        (self.time, self.scheduled, self.counter) == (other.time, other.scheduled, other.counter)
+        self.key() == other.key()
     }
 }
 
@@ -867,7 +940,20 @@ impl PartialOrd for PendingTransfer {
 #[cfg(feature = "sharded")]
 impl Ord for PendingTransfer {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.scheduled, self.counter).cmp(&(other.time, other.scheduled, other.counter))
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Replaces `slot` with `candidate` when it is earlier (or the slot
+/// is unset) — the min-fold for optional horizon times.
+#[cfg(feature = "sharded")]
+fn tighten(slot: &mut Option<SimTime>, candidate: SimTime) {
+    let earlier = match *slot {
+        Some(current) => candidate < current,
+        None => true,
+    };
+    if earlier {
+        *slot = Some(candidate);
     }
 }
 
@@ -877,6 +963,15 @@ impl Ord for PendingTransfer {
 /// the exact `(time, seq)` order the single engine would use, so the
 /// link-contention arithmetic — including the order of its f64
 /// accumulations — is byte-identical.
+///
+/// The boundary owns all lookahead knowledge: per-destination
+/// horizons come from the tails of in-flight [`PendingTransfer`]s
+/// (a hop ready at `t` delivers no earlier than `t` plus its
+/// remaining hops' serialization + propagation) and from the shards'
+/// frontiers propagated through the *declared* hand-off graph — only
+/// a chip whose load declares a hand-off to `dst` can ever ship
+/// there, so chips with no inbound producers get an unbounded
+/// horizon and run to completion in one window.
 #[cfg(feature = "sharded")]
 struct LinkBoundary {
     fabric: InterconnectComponent,
@@ -884,35 +979,123 @@ struct LinkBoundary {
     /// re-targets it).
     me: ComponentId,
     chips: usize,
+    /// In-flight (never terminal) hops, in global dispatch order.
     pending: BinaryHeap<Reverse<PendingTransfer>>,
-    counter: u64,
+    /// Finalized sequencer deliveries, per destination chip: their
+    /// times are exact, so they release lazily and never bound their
+    /// destination's horizon.
+    ready: Vec<BinaryHeap<Reverse<PendingTransfer>>>,
+    /// Per-lane emission counters (`chips + 1`: one per shard plus
+    /// the relay lane).
+    emit: Vec<u64>,
+    /// `route_bounds[src][dst]`: minimum delivery delay of the
+    /// declared `(src, dst)` hand-off over its route, `None` for
+    /// pairs no load declares.
+    route_bounds: Vec<Vec<Option<f64>>>,
 }
 
 #[cfg(feature = "sharded")]
 impl LinkBoundary {
-    fn new(fabric: InterconnectComponent, me: ComponentId, chips: usize) -> Self {
-        Self { fabric, me, chips, pending: BinaryHeap::new(), counter: 0 }
+    fn new(
+        fabric: InterconnectComponent,
+        me: ComponentId,
+        chips: usize,
+        route_bounds: Vec<Vec<Option<f64>>>,
+    ) -> Self {
+        Self {
+            fabric,
+            me,
+            chips,
+            pending: BinaryHeap::new(),
+            ready: (0..chips).map(|_| BinaryHeap::new()).collect(),
+            emit: vec![0; chips + 1],
+            route_bounds,
+        }
     }
 
-    /// Queues boundary work scheduled at instant `scheduled`,
-    /// classifying terminal ships (`hop` past the route) as arrivals
-    /// up front: they touch no link state, and carrying them as ships
-    /// into a later window would emit a delivery below that window's
-    /// horizon, violating the lookahead contract.
-    fn push(&mut self, time: SimTime, scheduled: SimTime, kind: TransferKind) {
+    /// Queues boundary work scheduled at instant `scheduled` on
+    /// `lane`, classifying terminal ships (`hop` past the route) as
+    /// arrivals up front: they touch no link state and their delivery
+    /// times are final, so they go straight to their destination's
+    /// ready queue.
+    fn push(&mut self, time: SimTime, scheduled: SimTime, lane: usize, kind: TransferKind) {
         let kind = match kind {
             TransferKind::Ship { src, dst, hop, .. } if hop >= self.fabric.route_len(src, dst) => {
                 TransferKind::Arrival { src, dst }
             }
             other => other,
         };
-        self.pending.push(Reverse(PendingTransfer {
-            time,
-            scheduled,
-            counter: self.counter,
-            kind,
-        }));
-        self.counter += 1;
+        let emit = self.emit[lane];
+        self.emit[lane] += 1;
+        let entry = PendingTransfer { time, scheduled, lane, emit, kind };
+        match entry.kind {
+            TransferKind::Arrival { dst, .. } => self.ready[dst].push(Reverse(entry)),
+            TransferKind::Ship { .. } => self.pending.push(Reverse(entry)),
+        }
+    }
+
+    /// Earliest possible delivery instant of an in-flight hop: its
+    /// ready time plus full serialization + propagation of every
+    /// remaining hop (each hop re-serializes the payload), all
+    /// contention-free — the tail bound the dynamic lookahead is
+    /// built from.
+    fn ship_bound(&self, entry: &PendingTransfer) -> SimTime {
+        let TransferKind::Ship { src, dst, bytes, hop } = entry.kind else {
+            unreachable!("pending holds only in-flight hops")
+        };
+        let route = self.fabric.routes[src][dst].as_ref().expect("validated route exists");
+        let remaining: f64 = route[hop..]
+            .iter()
+            .map(|&link| {
+                let spec = self.fabric.links[link].spec;
+                spec.serialization_ns(bytes) + spec.latency_ns
+            })
+            .sum();
+        entry.time.advance(remaining)
+    }
+
+    /// Each chip's earliest possible *future send* instant: its local
+    /// frontier or earliest undelivered inbound (an in-flight tail or
+    /// a ready arrival can wake it), closed transitively over the
+    /// declared hand-off graph — a woken chip forwards influence
+    /// downstream, including back to the original sender.
+    fn effective_frontiers(&self, frontiers: &[Option<SimTime>]) -> Vec<Option<SimTime>> {
+        let mut eff: Vec<Option<SimTime>> = frontiers.to_vec();
+        for Reverse(entry) in &self.pending {
+            let TransferKind::Ship { dst, .. } = entry.kind else {
+                unreachable!("pending holds only in-flight hops")
+            };
+            tighten(&mut eff[dst], self.ship_bound(entry));
+        }
+        for (dst, queue) in self.ready.iter().enumerate() {
+            if let Some(Reverse(front)) = queue.peek() {
+                tighten(&mut eff[dst], front.time);
+            }
+        }
+        // Bellman-Ford over strictly positive edge weights: chips are
+        // few, the exact fixpoint is cheap.
+        loop {
+            let mut changed = false;
+            for src in 0..self.chips {
+                let Some(from) = eff[src] else { continue };
+                for (dst, bound) in self.route_bounds[src].iter().enumerate() {
+                    let Some(bound) = *bound else { continue };
+                    let via = from.advance(bound);
+                    let earlier = match eff[dst] {
+                        Some(current) => via < current,
+                        None => true,
+                    };
+                    if earlier {
+                        eff[dst] = Some(via);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        eff
     }
 
     /// The accumulated per-link statistics, for the report fold.
@@ -924,69 +1107,104 @@ impl LinkBoundary {
 #[cfg(feature = "sharded")]
 impl pim_engine::Boundary<ChipEvent> for LinkBoundary {
     fn next_time(&self) -> Option<SimTime> {
-        self.pending.peek().map(|Reverse(p)| p.time)
-    }
-
-    fn release(&mut self, horizon: SimTime) -> Vec<Vec<RemoteEvent<ChipEvent>>> {
-        let mut inboxes: Vec<Vec<RemoteEvent<ChipEvent>>> = vec![Vec::new(); self.chips];
-        let mut keep = Vec::new();
-        while self.pending.peek().is_some_and(|Reverse(p)| p.time < horizon) {
-            let Reverse(entry) = self.pending.pop().expect("peeked entry exists");
-            match entry.kind {
-                TransferKind::Arrival { src, dst } => inboxes[dst].push(RemoteEvent {
-                    time: entry.time,
-                    target: self.fabric.sequencers[dst],
-                    payload: ChipEvent::HandoffIn { src },
-                }),
-                // In-flight hops stay ours: the next window's exports
-                // may still contend their links at earlier instants.
-                TransferKind::Ship { .. } => keep.push(entry),
+        let mut next = self.pending.peek().map(|Reverse(p)| p.time);
+        for queue in &self.ready {
+            if let Some(Reverse(front)) = queue.peek() {
+                tighten(&mut next, front.time);
             }
         }
-        self.pending.extend(keep.into_iter().map(Reverse));
-        inboxes
+        next
     }
 
-    fn absorb(&mut self, exports: Vec<Vec<RemoteEvent<ChipEvent>>>, horizon: SimTime) {
-        // Queue the fresh exports shard-major: every export's firing
-        // time equals its scheduling instant, so equal-time
-        // cross-shard ties fall back to shard id — the order the
-        // single engine's chip-major Kick seeding produces for
-        // symmetric chips.
-        for shard_exports in exports {
-            for event in shard_exports {
-                assert_eq!(
-                    event.target, self.me,
-                    "cross-shard events all address the interconnect"
-                );
-                let ChipEvent::Ship { src, dst, bytes, hop } = event.payload else {
-                    unreachable!("interconnect received {:?}", event.payload)
-                };
-                self.push(event.time, event.time, TransferKind::Ship { src, dst, bytes, hop });
+    fn advance(&mut self, frontiers: &[Option<SimTime>]) {
+        // Carry every hop that can no longer be preceded by any
+        // future export: below the minimum effective frontier, no
+        // chip can emit new boundary work, so processing in
+        // `(time, scheduled, lane, emit)` order reproduces the single
+        // engine's link arithmetic exactly. Bounds only grow as hops
+        // are carried, so recomputing the frontier each step is
+        // monotone and the loop terminates.
+        loop {
+            let eff = self.effective_frontiers(frontiers);
+            let safe = eff.iter().flatten().min().copied();
+            let Some(Reverse(front)) = self.pending.peek() else { break };
+            let carriable = match safe {
+                Some(safe) => front.time < safe,
+                None => true,
+            };
+            if !carriable {
+                break;
             }
-        }
-        // Carry every hop strictly below the horizon. All traffic
-        // that could contend these links is already queued — the
-        // shards have run past these instants — so processing in
-        // `(time, scheduled, arrival)` order reproduces the single
-        // engine's link arithmetic exactly. Everything `relay` emits
-        // lands at least one lookahead later, i.e. at or beyond the
-        // horizon, which is what makes the next window safe.
-        while self.pending.peek().is_some_and(|Reverse(p)| p.time < horizon) {
             let Reverse(entry) = self.pending.pop().expect("peeked entry exists");
-            match entry.kind {
-                TransferKind::Ship { src, dst, bytes, hop } => {
-                    let (time, _target, payload) =
-                        self.fabric.relay(self.me, entry.time, src, dst, bytes, hop);
-                    let ChipEvent::Ship { src, dst, bytes, hop } = payload else {
-                        unreachable!("push classifies terminal hops as arrivals")
+            let TransferKind::Ship { src, dst, bytes, hop } = entry.kind else {
+                unreachable!("pending holds only in-flight hops")
+            };
+            let (time, _target, payload) =
+                self.fabric.relay(self.me, entry.time, src, dst, bytes, hop);
+            let ChipEvent::Ship { src, dst, bytes, hop } = payload else {
+                unreachable!("relay emits the next hop for non-terminal ships")
+            };
+            self.push(time, entry.time, self.chips, TransferKind::Ship { src, dst, bytes, hop });
+        }
+    }
+
+    fn horizons(&self, frontiers: &[Option<SimTime>]) -> Vec<Option<SimTime>> {
+        let eff = self.effective_frontiers(frontiers);
+        (0..self.chips)
+            .map(|dst| {
+                let mut horizon: Option<SimTime> = None;
+                // In-flight tails destined here.
+                for Reverse(entry) in &self.pending {
+                    let TransferKind::Ship { dst: ship_dst, .. } = entry.kind else {
+                        unreachable!("pending holds only in-flight hops")
                     };
-                    self.push(time, entry.time, TransferKind::Ship { src, dst, bytes, hop });
+                    if ship_dst == dst {
+                        tighten(&mut horizon, self.ship_bound(entry));
+                    }
                 }
-                TransferKind::Arrival { .. } => {
-                    unreachable!("arrivals land at or beyond the horizon that created them")
+                // Declared producers, at their effective frontiers.
+                for (src, from) in eff.iter().enumerate() {
+                    if let (Some(from), Some(bound)) = (*from, self.route_bounds[src][dst]) {
+                        tighten(&mut horizon, from.advance(bound));
+                    }
                 }
+                horizon
+            })
+            .collect()
+    }
+
+    fn release(&mut self, shard: usize, horizon: Option<SimTime>) -> Vec<RemoteEvent<ChipEvent>> {
+        let mut inbox = Vec::new();
+        while let Some(Reverse(front)) = self.ready[shard].peek() {
+            let deliverable = match horizon {
+                Some(horizon) => front.time < horizon,
+                None => true,
+            };
+            if !deliverable {
+                break;
             }
+            let Reverse(entry) = self.ready[shard].pop().expect("peeked entry exists");
+            let TransferKind::Arrival { src, dst } = entry.kind else {
+                unreachable!("ready queues hold only terminal deliveries")
+            };
+            inbox.push(RemoteEvent {
+                time: entry.time,
+                target: self.fabric.sequencers[dst],
+                payload: ChipEvent::HandoffIn { src },
+            });
+        }
+        inbox
+    }
+
+    fn absorb(&mut self, shard: usize, exports: Vec<RemoteEvent<ChipEvent>>) {
+        // Every export's firing time equals its scheduling instant
+        // (sequencers ship at `now`); the source shard is its lane.
+        for event in exports {
+            assert_eq!(event.target, self.me, "cross-shard events all address the interconnect");
+            let ChipEvent::Ship { src, dst, bytes, hop } = event.payload else {
+                unreachable!("interconnect received {:?}", event.payload)
+            };
+            self.push(event.time, event.time, shard, TransferKind::Ship { src, dst, bytes, hop });
         }
     }
 }
@@ -1784,5 +2002,82 @@ mod tests {
             .run(&loads, 1, 1)
             .unwrap_err();
         assert_eq!(err, SimError::Deadlock { core: CoreId(2), tag: Tag(404) });
+    }
+
+    /// A ring whose links all carry zero propagation latency — legal
+    /// for the single-threaded engine, unusable for conservative
+    /// lookahead.
+    #[cfg(feature = "sharded")]
+    fn zero_latency_ring() -> Topology {
+        let mut topo = Topology::ring(2);
+        for link in &mut topo.links {
+            link.spec.latency_ns = 0.0;
+        }
+        topo
+    }
+
+    #[cfg(feature = "sharded")]
+    #[test]
+    fn sharding_fallbacks_are_recorded_not_silent() {
+        use crate::report::EngineMode;
+        let chip = ChipSpec::chip_s();
+        let program = mvm_program(chip.cores, 5);
+        // Single chip: a sharding request has nothing to parallelize.
+        let single_load = [ChipLoad::new(std::slice::from_ref(&program))];
+        let sim = SystemSimulator::new(chip.clone(), Topology::single()).with_sharded(true);
+        assert!(sim.shard_fallback_reason(&single_load).unwrap().contains("single chip"));
+        let report = sim.run(&single_load, 1, 1).unwrap();
+        assert_eq!(report.engine, Some(EngineMode::SingleThread));
+        // Zero-latency links admit no conservative lookahead window.
+        let loads = [
+            ChipLoad::new(std::slice::from_ref(&program)).with_handoff(1, 4096),
+            ChipLoad::new(std::slice::from_ref(&program)),
+        ];
+        let sim = SystemSimulator::new(chip.clone(), zero_latency_ring()).with_sharded(true);
+        assert!(sim.shard_fallback_reason(&loads).unwrap().contains("zero-latency"));
+        let report = sim.run(&loads, 1, 1).unwrap();
+        assert_eq!(report.engine, Some(EngineMode::SingleThread));
+        // A shardable system records the sharded mode — and the
+        // request is honoured, not silently dropped.
+        let sim = SystemSimulator::new(chip.clone(), Topology::ring(2)).with_sharded(true);
+        assert_eq!(sim.shard_fallback_reason(&loads), None);
+        let report = sim.run(&loads, 1, 1).unwrap();
+        assert_eq!(report.engine, Some(EngineMode::Sharded { shards: 2 }));
+        // And an explicitly unsharded run says so too (explicit,
+        // because the PIM_SHARDED env switch may set the default).
+        let report = SystemSimulator::new(chip, Topology::ring(2))
+            .with_sharded(false)
+            .run(&loads, 1, 1)
+            .unwrap();
+        assert_eq!(report.engine, Some(EngineMode::SingleThread));
+    }
+
+    #[cfg(feature = "sharded")]
+    #[test]
+    fn late_traffic_reaches_a_long_idle_shard() {
+        // Lazy-release regression: chip 1 is idle from the first
+        // rendezvous on (its whole load gates on upstream hand-offs
+        // from slow chip 0), so for most of the run it reports no
+        // frontier while speculative deliveries accumulate at the
+        // boundary. It must keep receiving them — never be `Finish`ed
+        // early — and complete every round.
+        let chip = ChipSpec::chip_s();
+        let slow = mvm_program(chip.cores, 5_000);
+        let light = mvm_program(chip.cores, 1);
+        let loads = [
+            ChipLoad::new(std::slice::from_ref(&slow)).with_handoff(1, 65_536),
+            ChipLoad::new(std::slice::from_ref(&light)),
+        ];
+        let run = |sharded: bool| {
+            SystemSimulator::new(chip.clone(), Topology::ring(2))
+                .with_sharded(sharded)
+                .run(&loads, 3, 1)
+                .unwrap()
+        };
+        let sharded = run(true);
+        let consumer = &sharded.chips.as_ref().unwrap()[1];
+        assert_eq!(consumer.rounds, 3, "every late hand-off was delivered");
+        assert!(consumer.handoff_wait_ns > 0.0, "the consumer really did sit idle");
+        assert_eq!(sharded, run(false));
     }
 }

@@ -21,6 +21,10 @@ echo "== regenerating golden fixtures (barrier mode) =="
 GOLDEN_REGEN=1 cargo test -q --test engine_determinism
 
 echo "== regenerating ${BASELINE} =="
+# Count the committed records before the file is removed, so the
+# summary below can flag a sweep that silently dropped (or grew) the
+# trajectory — e.g. a bin invocation that stopped emitting records.
+COMMITTED_COUNT=$(git show "HEAD:${BASELINE}" 2>/dev/null | grep -o '"name":' | wc -l || echo 0)
 rm -f "${BASELINE}"
 cargo run --release -p compass-bench --bin topology_sweep -- --quick --json "${BASELINE}"
 cargo run --release -p compass-bench --bin topology_sweep -- --quick --schedule interleaved --json "${BASELINE}"
@@ -34,4 +38,9 @@ cargo run --release -p compass-bench --bin timing_mode_sweep -- --quick --json "
 # single-core ratio and prints a note instead).
 cargo run --release -p compass-bench --features sharded --bin engine_hotpath -- --quick --json "${BASELINE}" --min-speedup 3.0 --min-shard-speedup 2.0
 
+FRESH_COUNT=$(grep -o '"name":' "${BASELINE}" | wc -l)
+echo "== record count: ${FRESH_COUNT} regenerated vs ${COMMITTED_COUNT} committed at HEAD =="
+if [ "${FRESH_COUNT}" -ne "${COMMITTED_COUNT}" ]; then
+  echo "   (count changed — make sure every added/removed record is intentional)"
+fi
 echo "== done; review with: git diff tests/golden ${BASELINE} =="

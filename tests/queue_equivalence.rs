@@ -191,6 +191,62 @@ mod sharded {
         }
     }
 
+    /// Degenerate-window shapes for the dynamic-lookahead protocol:
+    /// the horizon is now derived from each shard's actual inbound
+    /// links and in-flight transfers, so the cases that stress it are
+    /// the ones where those quantities are lopsided.
+    #[test]
+    fn degenerate_windows_stay_byte_identical() {
+        // (a) Heterogeneous link latencies: one fast edge (40 ns) and
+        // one slow edge (600 ns) on the same ring, so per-destination
+        // horizons differ by over an order of magnitude.
+        let mut skewed = Topology::ring(4);
+        skewed.links[0].spec.latency_ns = 40.0;
+        skewed.links[1].spec.latency_ns = 600.0;
+        assert_eq!(
+            report(skewed.clone(), TimingMode::Analytic, ScheduleMode::Interleaved, false, 11),
+            report(skewed, TimingMode::Analytic, ScheduleMode::Interleaved, true, 11),
+            "heterogeneous link latencies"
+        );
+        // (b) A chip that receives no hand-offs at all: its shard has
+        // no inbound producer, so its horizon is unbounded and it runs
+        // each round in a single window.
+        let compiled = compiled_with_seed(2, 11);
+        let loads = [
+            ChipLoad::new(compiled.programs()).with_handoff(1, 4096),
+            ChipLoad::new(compiled.programs()),
+            ChipLoad::new(compiled.programs()),
+        ];
+        let run = |sharded: bool| {
+            let report = SystemSimulator::new(ChipSpec::chip_s(), Topology::fully_connected(3))
+                .with_sharded(sharded)
+                .run(&loads, 2, 2)
+                .expect("simulates");
+            serde_json::to_string(&report).expect("serializes")
+        };
+        assert_eq!(run(false), run(true), "chip without inbound hand-offs");
+        // (c) Round-count clamps: zero rounds (clamped up to one) and
+        // a single round exercise start-up and tear-down with no
+        // steady state in between.
+        for rounds in [0usize, 1] {
+            let run = |sharded: bool| {
+                let report = SystemSimulator::new(ChipSpec::chip_s(), Topology::ring(2))
+                    .with_sharded(sharded)
+                    .run(
+                        &[
+                            ChipLoad::new(compiled.programs()).with_handoff(1, 4096),
+                            ChipLoad::new(compiled.programs()),
+                        ],
+                        rounds,
+                        1,
+                    )
+                    .expect("simulates");
+                serde_json::to_string(&report).expect("serializes")
+            };
+            assert_eq!(run(false), run(true), "round clamp (rounds = {rounds})");
+        }
+    }
+
     #[test]
     fn sharded_runs_are_deterministic_across_seeds() {
         for seed in [11u64, 23] {
