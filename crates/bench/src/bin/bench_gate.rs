@@ -1,7 +1,8 @@
 //! CI perf-trajectory gate.
 //!
 //! Compares a fresh `BENCH_ci.json` (written by `topology_sweep` /
-//! `timing_mode_sweep` / `engine_hotpath` with `--json`) against the
+//! `timing_mode_sweep` / `engine_hotpath` / `serving_sweep` with
+//! `--json`) against the
 //! committed baseline and exits non-zero when any configuration's
 //! simulated cycle count regressed by more than the tolerance
 //! (default 20%). The simulated makespans are deterministic for a
@@ -18,13 +19,37 @@
 //!            [--tolerance 0.2]
 //! ```
 //!
+//! On GitHub runners the full baseline-vs-current delta lands on the
+//! job summary page (`$GITHUB_STEP_SUMMARY`), so a red gate comes
+//! with the numbers attached.
+//!
 //! Baselines are updated deliberately: rerun the sweeps exactly as CI
 //! does — `--quick --json <baseline path>` — and commit the diff
 //! (record names encode the partitioning scheme, so a non-quick regen
 //! adds GA records instead of refreshing the gated greedy ones).
 
-use compass_bench::{arg_value, check_against_baseline, load_records};
+use compass_bench::{arg_value, check_against_baseline, load_records, markdown_delta_table};
+use std::io::Write;
 use std::process::ExitCode;
+
+/// Appends the delta table to `$GITHUB_STEP_SUMMARY` when the runner
+/// provides one (append, not truncate: earlier steps own the top of
+/// the summary page). Outside CI the variable is unset and this is a
+/// no-op.
+fn publish_step_summary(table: &str) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{table}"));
+    if let Err(e) = result {
+        eprintln!("bench_gate: cannot write step summary {path}: {e}");
+    }
+}
 
 fn main() -> ExitCode {
     let current_path = arg_value("--current").unwrap_or_else(|| "BENCH_ci.json".to_string());
@@ -58,6 +83,8 @@ fn main() -> ExitCode {
         baseline.len(),
         100.0 * tolerance
     );
+
+    publish_step_summary(&markdown_delta_table(&current, &baseline, tolerance));
 
     let violations = check_against_baseline(&current, &baseline, tolerance);
     if violations.is_empty() {

@@ -138,7 +138,12 @@ fn main() {
                 TimingMode::Analytic,
                 schedule,
             );
-            records.push(result.record(TimingMode::Analytic));
+            // The topology loop above already recorded the analytic
+            // fc:N layer-pipeline points; re-pushing them here would
+            // trip append_records' duplicate-name check.
+            if system_strategy != SystemStrategy::LayerPipeline {
+                records.push(result.record(TimingMode::Analytic));
+            }
             rows.push(vec![
                 format!("fc:{chips} {system_strategy}"),
                 format!("{:.1}", result.throughput()),

@@ -15,6 +15,8 @@
 //! | `ablation_mutation` | extension: mutation-operator ablation |
 //! | `technology_sweep` | extension: SRAM/ReRAM/MRAM write-cost sweep |
 //! | `timing_mode_sweep` | extension: analytic vs closed-loop DRAM timing |
+//! | `topology_sweep` | extension: multi-chip ring / fully-connected scaling |
+//! | `serving_sweep` | extension: open-loop serving tails (p99, goodput) |
 //!
 //! All binaries run in *fast* GA mode by default so the full suite
 //! completes in minutes; pass `--paper` for the paper's GA
@@ -400,8 +402,21 @@ pub fn load_records(path: &str) -> Vec<BenchRecord> {
 ///
 /// # Panics
 ///
-/// Panics when the file cannot be written.
+/// Panics when the file cannot be written, or when `fresh` itself
+/// carries two records with the same name: that is a bench-binary
+/// bug (two sweep points silently shadowing each other), and keeping
+/// either one would make the trajectory lie. Re-running a sweep and
+/// refreshing an *existing on-disk* record stays a quiet replace.
 pub fn append_records(path: &str, fresh: Vec<BenchRecord>) {
+    for (i, record) in fresh.iter().enumerate() {
+        if let Some(dup) = fresh[..i].iter().find(|r| r.name == record.name) {
+            panic!(
+                "duplicate bench record {:?} in one run (makespans {} and {} ns): \
+                 sweep points must have unique names",
+                dup.name, dup.makespan_ns, record.makespan_ns
+            );
+        }
+    }
     let mut records = load_records(path);
     for record in fresh {
         match records.iter_mut().find(|r| r.name == record.name) {
@@ -486,6 +501,63 @@ pub fn check_against_baseline(
         }
     }
     violations
+}
+
+/// Renders the baseline-vs-current comparison as a GitHub-flavored
+/// markdown table — one row per baseline record plus one per brand-new
+/// current record — for the job-summary page. Columns mirror the gate:
+/// the judged quantity (makespan for ordinary records, throughput for
+/// `hotpath:gate:*` ones), its ratio against the baseline, and whether
+/// the record is actually gated (`hotpath:abs:*` and cross-host
+/// speedup records ride along ungated).
+pub fn markdown_delta_table(
+    current: &[BenchRecord],
+    baseline: &[BenchRecord],
+    tolerance: f64,
+) -> String {
+    let fmt = |v: f64| {
+        if v >= 1000.0 {
+            format!("{v:.0}")
+        } else {
+            format!("{v:.3}")
+        }
+    };
+    let mut out = String::from("### Perf trajectory vs baseline\n\n");
+    out.push_str(&format!("Tolerance: {:.0}%\n\n", 100.0 * tolerance));
+    out.push_str("| Record | Baseline | Current | Ratio | Status |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for base in baseline {
+        let on_throughput = base.name.starts_with(HOTPATH_GATE_PREFIX);
+        let metric = |r: &BenchRecord| if on_throughput { r.throughput_ips } else { r.makespan_ns };
+        let now = current.iter().find(|r| r.name == base.name);
+        let (current_cell, ratio_cell) = match now {
+            Some(r) => (fmt(metric(r)), format!("{:.3}", metric(r) / metric(base))),
+            None => ("—".to_string(), "—".to_string()),
+        };
+        let status = if base.name.starts_with(HOTPATH_ABS_PREFIX) {
+            "ungated"
+        } else if on_throughput && now.is_some_and(|r| r.host_parallelism != base.host_parallelism)
+        {
+            "ungated (host parallelism differs)"
+        } else if now.is_none() {
+            "gated — missing"
+        } else {
+            "gated"
+        };
+        out.push_str(&format!(
+            "| `{}` | {} | {current_cell} | {ratio_cell} | {status} |\n",
+            base.name,
+            fmt(metric(base))
+        ));
+    }
+    for fresh in current.iter().filter(|r| baseline.iter().all(|b| b.name != r.name)) {
+        out.push_str(&format!(
+            "| `{}` | — | {} | — | new (ungated) |\n",
+            fresh.name,
+            fmt(fresh.makespan_ns)
+        ));
+    }
+    out
 }
 
 /// Prints a markdown-style table: headers then rows.
@@ -672,6 +744,60 @@ mod tests {
         let stamped = record("c", 1.0, None).measured_on_this_host();
         let here = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         assert_eq!(stamped.host_parallelism, Some(here));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate bench record")]
+    fn duplicate_names_in_one_run_panic_instead_of_shadowing() {
+        let record = |ns: f64| BenchRecord {
+            name: "serving:same-point".to_string(),
+            makespan_ns: ns,
+            throughput_ips: 1.0,
+            host_parallelism: None,
+        };
+        let path = std::env::temp_dir().join("compass_bench_dup_records_test.json");
+        let path = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+        append_records(&path, vec![record(1.0), record(2.0)]);
+    }
+
+    #[test]
+    fn delta_table_mirrors_the_gate() {
+        let record = |name: &str, ns: f64, ips: f64, threads: Option<usize>| BenchRecord {
+            name: name.to_string(),
+            makespan_ns: ns,
+            throughput_ips: ips,
+            host_parallelism: threads,
+        };
+        let baseline = vec![
+            record("serving:a", 100.0, 1.0, None),
+            record("hotpath:gate:speedup", 1.0, 4.0, Some(8)),
+            record("hotpath:abs:wall", 50.0, 2e6, Some(8)),
+            record("topology:gone", 10.0, 1.0, None),
+        ];
+        let current = vec![
+            record("serving:a", 150.0, 1.0, None),
+            record("hotpath:gate:speedup", 1.0, 2.0, Some(4)),
+            record("serving:brand-new", 7.0, 1.0, None),
+        ];
+        let table = markdown_delta_table(&current, &baseline, 0.2);
+        let row = |name: &str| {
+            table
+                .lines()
+                .find(|l| l.contains(&format!("`{name}`")))
+                .unwrap_or_else(|| panic!("no row for {name} in:\n{table}"))
+                .to_string()
+        };
+        // Ordinary records compare makespans.
+        assert!(row("serving:a").contains("| 100.000 | 150.000 | 1.500 | gated |"));
+        // Hotpath gate records compare throughput — and a host
+        // mismatch disarms the gate, exactly like the checker.
+        assert!(row("hotpath:gate:speedup").contains("| 4.000 | 2.000 | 0.500 |"));
+        assert!(row("hotpath:gate:speedup").contains("ungated (host"));
+        assert!(row("hotpath:abs:wall").contains("| ungated |"));
+        assert!(row("topology:gone").contains("— | gated — missing |"));
+        assert!(row("serving:brand-new").contains("new (ungated)"));
+        assert!(table.contains("Tolerance: 20%"));
     }
 
     #[test]

@@ -129,6 +129,36 @@ impl TaskGraph {
         self.nodes[node].pending_external += count;
     }
 
+    /// Appends a fresh, isolated node to a (possibly running) graph
+    /// and returns its id. Unlike construction-time nodes, pushed
+    /// nodes may be wired with [`Self::add_dep_late`] while earlier
+    /// nodes are already dispatching — this is how an open-loop
+    /// scheduler grows a round graph as requests arrive.
+    pub fn push_node(&mut self) -> usize {
+        self.nodes.push(Node::default());
+        self.nodes.len() - 1
+    }
+
+    /// Adds a precedence edge into a running graph: `after` may not
+    /// start until `before` completes. Unlike [`Self::add_dep`] the
+    /// predecessor may already be running (the edge still blocks
+    /// `after`) or complete (the edge is already satisfied and is
+    /// dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either id is out of range, when the edge is a
+    /// self-loop, or when `after` has already started.
+    pub fn add_dep_late(&mut self, before: usize, after: usize) {
+        assert!(before != after, "self-dependency on node {before}");
+        assert!(!self.nodes[after].started, "node {after} already started");
+        if self.nodes[before].completed {
+            return;
+        }
+        self.nodes[before].dependents.push(after);
+        self.nodes[after].pending_deps += 1;
+    }
+
     /// Clears one external dependency of `node`.
     ///
     /// # Panics
@@ -331,5 +361,58 @@ mod tests {
         assert_eq!(g.take_ready(), vec![0]);
         g.complete(0);
         g.complete(0);
+    }
+
+    #[test]
+    fn pushed_nodes_extend_a_running_graph() {
+        let mut g = TaskGraph::new(2);
+        g.add_dep(0, 1);
+        assert_eq!(g.take_ready(), vec![0]);
+        // Graph is dispatching; classic add_dep would panic now.
+        let n = g.push_node();
+        assert_eq!(n, 2);
+        g.add_dep_late(1, n);
+        g.complete(0);
+        assert_eq!(g.take_ready(), vec![1]);
+        g.complete(1);
+        assert_eq!(g.take_ready(), vec![n]);
+        g.complete(n);
+        assert!(g.all_complete());
+    }
+
+    #[test]
+    fn late_edge_from_completed_predecessor_is_already_satisfied() {
+        let mut g = TaskGraph::new(1);
+        assert_eq!(g.take_ready(), vec![0]);
+        g.complete(0);
+        let n = g.push_node();
+        g.add_dep_late(0, n);
+        assert_eq!(g.take_ready(), vec![n], "completed predecessor must not block");
+    }
+
+    #[test]
+    fn late_edge_from_running_predecessor_still_blocks() {
+        let mut g = TaskGraph::new(1);
+        assert_eq!(g.take_ready(), vec![0]);
+        let n = g.push_node();
+        g.add_dep_late(0, n);
+        assert!(g.take_ready().is_empty(), "running predecessor blocks");
+        g.complete(0);
+        assert_eq!(g.take_ready(), vec![n]);
+    }
+
+    #[test]
+    fn pushed_nodes_accept_claims_and_externals() {
+        let mut g = TaskGraph::new(1);
+        g.claim(0, 3, ClaimKind::Exclusive);
+        assert_eq!(g.take_ready(), vec![0]);
+        let n = g.push_node();
+        g.claim(n, 3, ClaimKind::Exclusive);
+        g.add_external(n, 1);
+        assert!(g.take_ready().is_empty(), "resource held and external pending");
+        g.satisfy_external(n);
+        assert!(g.take_ready().is_empty(), "resource still held");
+        g.complete(0);
+        assert_eq!(g.take_ready(), vec![n]);
     }
 }

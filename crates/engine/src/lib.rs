@@ -58,6 +58,7 @@ mod rng;
 #[cfg(feature = "sharded")]
 mod shard;
 mod time;
+mod traffic;
 
 pub use engine::{Component, Engine, EngineCtx, RemoteEvent};
 pub use graph::{ClaimKind, TaskGraph};
@@ -66,6 +67,7 @@ pub use rng::SimRng;
 #[cfg(feature = "sharded")]
 pub use shard::{run_sharded, Boundary, ShardSession};
 pub use time::SimTime;
+pub use traffic::{ArrivalGen, TrafficModel};
 
 /// The address of a registered [`Component`] within an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

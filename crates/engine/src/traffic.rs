@@ -1,0 +1,239 @@
+//! Open-loop arrival processes for request-driven simulation.
+//!
+//! A serving frontend needs request *arrival times* that are (a)
+//! independent of what the simulated system does with them (open
+//! loop) and (b) byte-reproducible per seed. This module provides the
+//! two classic models over [`SimRng`]:
+//!
+//! * [`TrafficModel::Poisson`] — memoryless arrivals at a constant
+//!   rate: the standard steady-load model.
+//! * [`TrafficModel::Mmpp`] — a two-state Markov-modulated Poisson
+//!   process: exponentially-dwelling *calm* and *burst* phases, each
+//!   with its own Poisson rate. The workhorse bursty-traffic model —
+//!   the mean rate matches a Poisson source of the same average, but
+//!   arrivals clump, which is what stresses queues and tails.
+//!
+//! [`ArrivalGen`] turns a model + seed into a deterministic stream of
+//! inter-arrival gaps. It owns its own [`SimRng`] (rather than
+//! borrowing the engine's) so the arrival sequence is a pure function
+//! of `(model, seed)` — replaying the same traffic against different
+//! system configurations never perturbs it.
+
+use crate::rng::SimRng;
+
+/// An open-loop arrival process (rates in requests per second).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficModel {
+    /// Memoryless arrivals at a constant mean rate.
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_per_s: f64,
+    },
+    /// Two-state Markov-modulated Poisson process: the source dwells
+    /// exponentially in a calm phase, then a burst phase, and emits
+    /// Poisson arrivals at the phase's rate. Starts calm.
+    Mmpp {
+        /// Arrival rate during the calm phase, requests per second.
+        calm_rate_per_s: f64,
+        /// Arrival rate during the burst phase, requests per second.
+        burst_rate_per_s: f64,
+        /// Mean dwell time in the calm phase, seconds.
+        mean_calm_s: f64,
+        /// Mean dwell time in the burst phase, seconds.
+        mean_burst_s: f64,
+    },
+}
+
+impl TrafficModel {
+    /// Long-run mean arrival rate in requests per second (phase-dwell
+    /// weighted for MMPP).
+    pub fn mean_rate_per_s(&self) -> f64 {
+        match *self {
+            TrafficModel::Poisson { rate_per_s } => rate_per_s,
+            TrafficModel::Mmpp { calm_rate_per_s, burst_rate_per_s, mean_calm_s, mean_burst_s } => {
+                let total = mean_calm_s + mean_burst_s;
+                if total > 0.0 {
+                    (calm_rate_per_s * mean_calm_s + burst_rate_per_s * mean_burst_s) / total
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic stream of inter-arrival gaps for a
+/// [`TrafficModel`]. Same `(model, seed)` → same gap sequence,
+/// bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    model: TrafficModel,
+    rng: SimRng,
+    /// MMPP phase: `true` while bursting.
+    burst: bool,
+    /// Seconds left in the current MMPP phase.
+    dwell_s: f64,
+}
+
+impl ArrivalGen {
+    /// Creates a generator for `model` seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative rates or non-positive MMPP dwell means.
+    pub fn new(model: TrafficModel, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let (burst, dwell_s) = match model {
+            TrafficModel::Poisson { rate_per_s } => {
+                assert!(rate_per_s >= 0.0, "negative Poisson rate");
+                (false, f64::INFINITY)
+            }
+            TrafficModel::Mmpp { calm_rate_per_s, burst_rate_per_s, mean_calm_s, mean_burst_s } => {
+                assert!(calm_rate_per_s >= 0.0 && burst_rate_per_s >= 0.0, "negative MMPP rate");
+                assert!(mean_calm_s > 0.0 && mean_burst_s > 0.0, "non-positive MMPP dwell mean");
+                let dwell = exp_sample(&mut rng, 1.0 / mean_calm_s);
+                (false, dwell)
+            }
+        };
+        Self { model, rng, burst, dwell_s }
+    }
+
+    /// The model this stream samples.
+    pub fn model(&self) -> TrafficModel {
+        self.model
+    }
+
+    /// The gap to the next arrival, in nanoseconds. Returns `None`
+    /// when the model can never emit another arrival (zero-rate
+    /// Poisson, or an MMPP with both rates zero).
+    pub fn next_gap_ns(&mut self) -> Option<f64> {
+        match self.model {
+            TrafficModel::Poisson { rate_per_s } => {
+                if rate_per_s <= 0.0 {
+                    return None;
+                }
+                Some(exp_sample(&mut self.rng, rate_per_s) * 1e9)
+            }
+            TrafficModel::Mmpp { calm_rate_per_s, burst_rate_per_s, mean_calm_s, mean_burst_s } => {
+                if calm_rate_per_s <= 0.0 && burst_rate_per_s <= 0.0 {
+                    return None;
+                }
+                let mut gap_s = 0.0;
+                loop {
+                    let rate = if self.burst { burst_rate_per_s } else { calm_rate_per_s };
+                    // Memorylessness lets us sample a fresh candidate
+                    // after each phase switch.
+                    let candidate =
+                        if rate > 0.0 { exp_sample(&mut self.rng, rate) } else { f64::INFINITY };
+                    if candidate <= self.dwell_s {
+                        self.dwell_s -= candidate;
+                        return Some((gap_s + candidate) * 1e9);
+                    }
+                    gap_s += self.dwell_s;
+                    self.burst = !self.burst;
+                    let mean = if self.burst { mean_burst_s } else { mean_calm_s };
+                    self.dwell_s = exp_sample(&mut self.rng, 1.0 / mean);
+                }
+            }
+        }
+    }
+}
+
+/// One draw from Exp(rate) via inversion; `rate > 0`.
+fn exp_sample(rng: &mut SimRng, rate: f64) -> f64 {
+    // next_f64 ∈ [0, 1) keeps the ln argument in (0, 1]: the sample
+    // is finite and non-negative.
+    -(1.0 - rng.next_f64()).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_seed_deterministic() {
+        let model = TrafficModel::Poisson { rate_per_s: 1e6 };
+        let mut a = ArrivalGen::new(model, 7);
+        let mut b = ArrivalGen::new(model, 7);
+        for _ in 0..256 {
+            assert_eq!(a.next_gap_ns(), b.next_gap_ns());
+        }
+        let mut c = ArrivalGen::new(model, 8);
+        assert!((0..8).any(|_| a.next_gap_ns() != c.next_gap_ns()));
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let rate = 1e6; // one request per microsecond
+        let mut g = ArrivalGen::new(TrafficModel::Poisson { rate_per_s: rate }, 11);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| g.next_gap_ns().unwrap()).sum();
+        let mean_ns = total / n as f64;
+        let expect_ns = 1e9 / rate;
+        assert!(
+            (mean_ns - expect_ns).abs() / expect_ns < 0.05,
+            "mean gap {mean_ns} ns vs expected {expect_ns} ns"
+        );
+    }
+
+    #[test]
+    fn mmpp_mean_rate_is_dwell_weighted() {
+        let model = TrafficModel::Mmpp {
+            calm_rate_per_s: 1e5,
+            burst_rate_per_s: 1e6,
+            mean_calm_s: 3e-3,
+            mean_burst_s: 1e-3,
+        };
+        let mean = model.mean_rate_per_s();
+        assert!((mean - 3.25e5).abs() < 1.0);
+        // Empirical mean over many arrivals approaches it.
+        let mut g = ArrivalGen::new(model, 13);
+        let n = 50_000;
+        let total_ns: f64 = (0..n).map(|_| g.next_gap_ns().unwrap()).sum();
+        let empirical = n as f64 / (total_ns * 1e-9);
+        assert!(
+            (empirical - mean).abs() / mean < 0.1,
+            "empirical rate {empirical}/s vs model mean {mean}/s"
+        );
+    }
+
+    #[test]
+    fn mmpp_bursts_clump_arrivals() {
+        // Same mean rate, but the MMPP variance of the gap stream must
+        // exceed the Poisson one (burstiness = overdispersion).
+        let mmpp = TrafficModel::Mmpp {
+            calm_rate_per_s: 2e5,
+            burst_rate_per_s: 2e6,
+            mean_calm_s: 5e-3,
+            mean_burst_s: 1e-3,
+        };
+        let poisson = TrafficModel::Poisson { rate_per_s: mmpp.mean_rate_per_s() };
+        let sq_cv = |model: TrafficModel| {
+            let mut g = ArrivalGen::new(model, 17);
+            let gaps: Vec<f64> = (0..30_000).map(|_| g.next_gap_ns().unwrap()).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let poisson_cv2 = sq_cv(poisson);
+        let mmpp_cv2 = sq_cv(mmpp);
+        assert!((poisson_cv2 - 1.0).abs() < 0.1, "Poisson CV² ≈ 1, got {poisson_cv2}");
+        assert!(mmpp_cv2 > 1.5, "MMPP must be overdispersed, CV² = {mmpp_cv2}");
+    }
+
+    #[test]
+    fn zero_rate_sources_run_dry() {
+        let mut g = ArrivalGen::new(TrafficModel::Poisson { rate_per_s: 0.0 }, 1);
+        assert_eq!(g.next_gap_ns(), None);
+        let mut g = ArrivalGen::new(
+            TrafficModel::Mmpp {
+                calm_rate_per_s: 0.0,
+                burst_rate_per_s: 0.0,
+                mean_calm_s: 1.0,
+                mean_burst_s: 1.0,
+            },
+            1,
+        );
+        assert_eq!(g.next_gap_ns(), None);
+    }
+}

@@ -153,6 +153,31 @@ pub(crate) enum ChipEvent {
         /// same chunking the analytic-mode energy refinement uses).
         chunk: usize,
     },
+    /// The request source's self-tick: one open-loop request arrives
+    /// at the event time (the source forwards it to the buffer and
+    /// schedules its next arrival).
+    Arrival,
+    /// One inference request lands in the request buffer; the event
+    /// time is its arrival instant.
+    NewRequest,
+    /// The request source has emitted its last arrival: the buffer may
+    /// flush partial batches once capacity allows.
+    SourceDrained,
+    /// A batch-formation deadline fired. Stale timers (the batch was
+    /// already cut) carry an old `generation` and are ignored.
+    FlushDeadline {
+        /// The buffer's batch generation the timer was armed for.
+        generation: u64,
+    },
+    /// The dispatcher admitted one more batch: every active sequencer
+    /// appends one round to its live stage graph.
+    AppendRound,
+    /// A sequencer finished the last partition of a round — service
+    /// feedback for the buffer's admission control.
+    RoundDone {
+        /// The reporting chip.
+        chip: usize,
+    },
 }
 
 /// Per-core timing parameters copied out of the [`ChipSpec`].

@@ -29,6 +29,13 @@ pub enum SimError {
         /// Human-readable reason.
         String,
     ),
+    /// The serving configuration cannot drive the system (unsorted or
+    /// negative trace arrivals, no chip with work, zero-capacity
+    /// buffer).
+    InvalidServing(
+        /// Human-readable reason.
+        String,
+    ),
 }
 
 impl fmt::Display for SimError {
@@ -42,6 +49,9 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidTopology(reason) => {
                 write!(f, "invalid system topology: {reason}")
+            }
+            SimError::InvalidServing(reason) => {
+                write!(f, "invalid serving configuration: {reason}")
             }
         }
     }

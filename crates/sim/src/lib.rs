@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod serve;
 pub mod sim;
 pub mod system;
 
@@ -47,5 +48,12 @@ mod stage;
 
 pub use error::SimError;
 pub use report::{ChipSimSummary, EngineMode, LinkStats, PartitionSimReport, SimReport};
+pub use serve::{
+    percentile, BatchPolicy, RequestRecord, RequestTrace, ServingConfig, ServingReport, TrafficSpec,
+};
 pub use sim::ChipSimulator;
 pub use system::{ChipLoad, Handoff, SystemSimulator};
+
+// The arrival models live in the engine crate; re-export them so
+// serving callers need only `pim_sim`.
+pub use pim_engine::{ArrivalGen, TrafficModel};

@@ -175,6 +175,9 @@ pub struct SimReport {
     /// Per-link interconnect counters, present only for multi-chip
     /// topologies.
     pub links: Option<Vec<LinkStats>>,
+    /// Per-request serving section, present only for open-loop
+    /// serving runs ([`crate::SystemSimulator::run_serving`]).
+    pub serving: Option<crate::ServingReport>,
     /// Effective execution mode (run metadata). Excluded from both
     /// serialization and equality: sharded and single-threaded runs
     /// of the same system must stay byte-identical and compare equal,
@@ -198,6 +201,7 @@ impl PartialEq for SimReport {
             && self.dram_channels == other.dram_channels
             && self.chips == other.chips
             && self.links == other.links
+            && self.serving == other.serving
     }
 }
 
@@ -234,6 +238,10 @@ impl Serialize for SimReport {
             out.push_str(",\"links\":");
             links.serialize_json(out);
         }
+        if let Some(serving) = &self.serving {
+            out.push_str(",\"serving\":");
+            serving.serialize_json(out);
+        }
         out.push('}');
     }
 }
@@ -259,6 +267,7 @@ impl Deserialize for SimReport {
             dram_channels: optional(value, "dram_channels")?,
             chips: optional(value, "chips")?,
             links: optional(value, "links")?,
+            serving: optional(value, "serving")?,
             engine: None,
         })
     }
@@ -337,6 +346,7 @@ mod tests {
             dram_channels: None,
             chips: None,
             links: None,
+            serving: None,
             engine: None,
         }
     }
@@ -409,6 +419,37 @@ mod tests {
         assert!(multi.contains("\"links\":["));
         let back: SimReport = serde_json::from_str(&multi).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn serving_section_serializes_only_when_present() {
+        let mut r = report();
+        let batch = serde_json::to_string(&r).unwrap();
+        assert!(!batch.contains("\"serving\""), "batch-mode layout must stay fixture-stable");
+        r.serving = Some(crate::ServingReport {
+            requests: 2,
+            dropped: 1,
+            rounds: 2,
+            p50_ns: 1_000.0,
+            p99_ns: 2_000.0,
+            p999_ns: 2_000.0,
+            mean_queue_ns: 250.0,
+            goodput_rps: 1e6,
+            slo_violations: 0,
+            records: vec![crate::RequestRecord {
+                arrival_ns: 0.0,
+                round: 0,
+                start_ns: 100.0,
+                finish_ns: 1_000.0,
+            }],
+        });
+        let serving = serde_json::to_string(&r).unwrap();
+        assert!(serving.contains("\"serving\":{"));
+        let back: SimReport = serde_json::from_str(&serving).unwrap();
+        assert_eq!(back, r);
+        let mut again = String::new();
+        back.serialize_json(&mut again);
+        assert_eq!(serving, again, "serving reports round-trip byte-identically");
     }
 
     #[test]

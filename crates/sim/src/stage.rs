@@ -82,6 +82,51 @@ impl StageGraph {
         Self { graph, partitions }
     }
 
+    /// Appends one more batch worth of stages to a graph that may
+    /// already be executing — the open-loop serving path, where the
+    /// round count is decided by the request buffer at run time rather
+    /// than fixed up front. The new stages get the same edges, claims
+    /// and external gate [`StageGraph::build`] would have given them;
+    /// edges from already-completed predecessors are dropped as
+    /// trivially satisfied.
+    pub(crate) fn append_round(
+        &mut self,
+        programs: &[ChipProgram],
+        mode: ScheduleMode,
+        upstream: usize,
+    ) {
+        debug_assert_eq!(programs.len(), self.partitions);
+        if self.partitions == 0 {
+            return;
+        }
+        let b = self.graph.len() / self.partitions;
+        for (p, program) in programs.iter().enumerate() {
+            let node = self.graph.push_node();
+            debug_assert_eq!(node, b * self.partitions + p);
+            match mode {
+                ScheduleMode::Barrier => {
+                    if node > 0 {
+                        self.graph.add_dep_late(node - 1, node);
+                    }
+                }
+                ScheduleMode::Interleaved => {
+                    if p > 0 {
+                        self.graph.add_dep_late(node - 1, node);
+                    }
+                    if b > 0 {
+                        self.graph.add_dep_late(node - self.partitions, node);
+                    }
+                    for claim in stage_claims(program) {
+                        self.graph.claim(node, claim.0, claim.1);
+                    }
+                }
+            }
+            if p == 0 {
+                self.graph.add_external(node, upstream);
+            }
+        }
+    }
+
     /// The node id of stage `(batch, partition)`.
     pub(crate) fn node(&self, batch: usize, partition: usize) -> usize {
         batch * self.partitions + partition
@@ -206,6 +251,46 @@ mod tests {
         assert!(g.take_ready().is_empty(), "batch 1 waits for its own hand-off");
         g.satisfy_external(g.node(1, 0));
         assert_eq!(g.take_ready(), vec![g.node(1, 0)]);
+    }
+
+    #[test]
+    fn appended_rounds_chain_behind_running_work() {
+        let programs = [program_on_cores(0..2, 4), program_on_cores(2..4, 4)];
+        // Start with a single round and begin executing it.
+        let mut g = StageGraph::build(&programs, 1, ScheduleMode::Barrier, 0);
+        assert_eq!(g.take_ready(), vec![0]);
+        g.complete(0);
+        assert_eq!(g.take_ready(), vec![1]);
+        // Round 1 arrives while (0, 1) is still in flight: its head must
+        // wait for the running stage, not start alongside it.
+        g.append_round(&programs, ScheduleMode::Barrier, 0);
+        assert!(g.take_ready().is_empty(), "chained behind the live stage");
+        g.complete(1);
+        assert_eq!(g.take_ready(), vec![g.node(1, 0)]);
+        g.complete(g.node(1, 0));
+        assert_eq!(g.take_ready(), vec![g.node(1, 1)]);
+        g.complete(g.node(1, 1));
+        assert!(g.all_complete());
+    }
+
+    #[test]
+    fn appended_rounds_keep_interleaved_claims_and_externals() {
+        let programs = [program_on_cores(0..2, 4), program_on_cores(2..4, 4)];
+        let mut g = StageGraph::build(&programs, 1, ScheduleMode::Interleaved, 1);
+        g.satisfy_external(g.node(0, 0));
+        assert_eq!(g.take_ready(), vec![g.node(0, 0)]);
+        g.complete(g.node(0, 0));
+        assert_eq!(g.take_ready(), vec![g.node(0, 1)]);
+        g.append_round(&programs, ScheduleMode::Interleaved, 1);
+        // The new head is gated on its hand-off even though its cores
+        // are free; once satisfied it overlaps the draining tail.
+        assert!(g.blocked_on_external(g.node(1, 0)));
+        assert!(g.take_ready().is_empty());
+        g.satisfy_external(g.node(1, 0));
+        assert_eq!(g.take_ready(), vec![g.node(1, 0)], "fill overlaps the drain");
+        g.complete(g.node(0, 1));
+        g.complete(g.node(1, 0));
+        assert_eq!(g.take_ready(), vec![g.node(1, 1)]);
     }
 
     #[test]

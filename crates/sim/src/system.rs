@@ -36,6 +36,9 @@ use crate::error::SimError;
 use crate::report::{
     ChipSimSummary, CoreActivity, EngineMode, LinkStats, PartitionSimReport, SimReport,
 };
+use crate::serve::{
+    percentile, RequestBuffer, RequestRecord, RequestSource, ServingConfig, ServingReport,
+};
 use crate::stage::StageGraph;
 use pim_arch::{ChipSpec, EnergyModel, Link, PowerBreakdown, ScheduleMode, TimingMode, Topology};
 use pim_dram::{DramConfig, DramEnergy, TraceStats};
@@ -486,6 +489,7 @@ impl SystemSimulator {
             upstream,
             rounds,
             schedule: self.schedule,
+            notify: None,
             graph,
             running: (0..nodes).map(|_| None).collect(),
             wait_from: vec![None; rounds],
@@ -544,6 +548,173 @@ impl SystemSimulator {
             ic.stats
         });
         let mut report = self.fold_report(loads, rounds, samples_per_round, outcomes, links)?;
+        report.engine = Some(EngineMode::SingleThread);
+        Ok(report)
+    }
+
+    /// Runs an *open-loop serving* workload: instead of a fixed round
+    /// count, a [`crate::TrafficSpec`]-driven request source feeds a
+    /// [`crate::BatchPolicy`]-governed request buffer, and every
+    /// admitted batch appends one pipeline round to the live system.
+    /// The returned report carries the usual sections plus
+    /// [`SimReport::serving`] — per-request timelines, nearest-rank
+    /// p50/p99/p999 latency, queueing delay, goodput and drops — and
+    /// `batch` reflects the requests actually served.
+    ///
+    /// Serving runs are deterministic per traffic seed and always
+    /// execute on the single-threaded engine: rounds materialize at
+    /// run time, which the conservative shard boundary cannot replay
+    /// (a sharding request falls back with a note, exactly like other
+    /// fallbacks).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SystemSimulator::run`] returns, plus
+    /// [`SimError::InvalidServing`] for malformed traces, a zero
+    /// queue capacity or in-flight limit, or a system with no active
+    /// chip to serve on.
+    pub fn run_serving(
+        &self,
+        loads: &[ChipLoad<'_>],
+        serving: &ServingConfig,
+    ) -> Result<SimReport, SimError> {
+        self.validate(loads)?;
+        if serving.queue_capacity == 0 {
+            return Err(SimError::InvalidServing(
+                "queue capacity must admit at least one request".into(),
+            ));
+        }
+        if serving.max_inflight == 0 {
+            return Err(SimError::InvalidServing(
+                "at least one round must be allowed in flight".into(),
+            ));
+        }
+        match serving.policy {
+            crate::BatchPolicy::MaxSize(0) | crate::BatchPolicy::Deadline { max_size: 0, .. } => {
+                return Err(SimError::InvalidServing(
+                    "batches must hold at least one request".into(),
+                ))
+            }
+            _ => {}
+        }
+        let arrivals = serving.traffic.arrivals()?;
+        if loads.iter().all(|l| l.programs.is_empty()) {
+            return Err(SimError::InvalidServing(
+                "every chip is idle; nothing can serve the request stream".into(),
+            ));
+        }
+        #[cfg(feature = "sharded")]
+        if self.sharded {
+            note_shard_fallback(
+                "open-loop serving appends rounds at run time, which the conservative \
+                 shard boundary cannot replay",
+            );
+        }
+
+        let chips = loads.len();
+        let mut engine: Engine<ChipEvent> = Engine::new(0);
+        #[cfg(feature = "reference-queue")]
+        if self.reference_queue {
+            engine.use_reference_queue();
+        }
+        engine.reserve_events(self.event_capacity_for(loads));
+        let parts: Vec<ChipParts> =
+            (0..chips).map(|c| self.register_chip(&mut engine, c)).collect();
+        let interconnect_id = engine.next_component_id();
+        let sequencer_ids: Vec<ComponentId> =
+            (0..chips).map(|c| ComponentId(interconnect_id.0 + 1 + c)).collect();
+        let interconnect =
+            engine.add_component(InterconnectComponent::new(&self.topology, &sequencer_ids));
+        assert_eq!(interconnect, interconnect_id);
+        // The frontend components follow the sequencers: buffer, then
+        // source.
+        let buffer_id = ComponentId(interconnect_id.0 + 1 + chips);
+        let source_id = ComponentId(buffer_id.0 + 1);
+        for c in 0..chips {
+            // Sequencers start with zero rounds; the buffer appends
+            // one per admitted batch.
+            let mut sequencer = self.sequencer_for(c, loads, 0, &parts[c], interconnect_id);
+            if !loads[c].programs.is_empty() {
+                sequencer.notify = Some(buffer_id);
+            }
+            let id = engine.add_component(sequencer);
+            assert_eq!(id, sequencer_ids[c]);
+        }
+        let active: Vec<(usize, ComponentId)> = (0..chips)
+            .filter(|&c| !loads[c].programs.is_empty())
+            .map(|c| (c, sequencer_ids[c]))
+            .collect();
+        let id = engine.add_component(RequestBuffer::new(serving, active));
+        assert_eq!(id, buffer_id);
+        let id = engine.add_component(RequestSource::new(arrivals, buffer_id));
+        assert_eq!(id, source_id);
+        for &id in &sequencer_ids {
+            engine.schedule(SimTime::ZERO, id, ChipEvent::Kick);
+        }
+        engine.schedule(SimTime::ZERO, source_id, ChipEvent::Kick);
+        engine.run_until_idle();
+
+        let buffer: RequestBuffer =
+            engine.extract(buffer_id).expect("request buffer survives the run");
+        let outcomes: Vec<ChipOutcome> = (0..chips)
+            .map(|c| self.chip_outcome(&mut engine, &parts[c], sequencer_ids[c]))
+            .collect();
+        let links = (!self.topology.is_single()).then(|| {
+            let ic: InterconnectComponent =
+                engine.extract(interconnect_id).expect("interconnect survives the run");
+            ic.stats
+        });
+        // Round spans — folded from the stage records *before*
+        // fold_report consumes the outcomes. A round starts when its
+        // first stage starts anywhere and finishes when its last stage
+        // drains on the slowest chip.
+        let mut round_start = vec![f64::INFINITY; buffer.formed];
+        let mut round_finish = vec![0.0f64; buffer.formed];
+        for outcome in &outcomes {
+            for record in &outcome.sequencer.records {
+                round_start[record.round] = round_start[record.round].min(record.start_ns);
+                round_finish[record.round] = round_finish[record.round].max(record.end_ns);
+            }
+        }
+        let mut report = self.fold_report(loads, buffer.formed.max(1), 1, outcomes, links)?;
+
+        let records: Vec<RequestRecord> = buffer
+            .admitted
+            .iter()
+            .map(|&(arrival_ns, round)| RequestRecord {
+                arrival_ns,
+                round,
+                start_ns: round_start[round],
+                finish_ns: round_finish[round],
+            })
+            .collect();
+        let mut latencies: Vec<f64> = records.iter().map(|r| r.latency_ns()).collect();
+        latencies.sort_by(f64::total_cmp);
+        let mean_queue_ns = if records.is_empty() {
+            0.0
+        } else {
+            records.iter().map(|r| r.queue_ns()).sum::<f64>() / records.len() as f64
+        };
+        let slo_violations = match serving.slo_ns {
+            Some(slo) => latencies.iter().filter(|&&l| l > slo).count(),
+            None => 0,
+        };
+        let good = records.len() - slo_violations;
+        let goodput_rps =
+            if report.makespan_ns > 0.0 { good as f64 / (report.makespan_ns * 1e-9) } else { 0.0 };
+        report.batch = records.len().max(1);
+        report.serving = Some(ServingReport {
+            requests: records.len(),
+            dropped: buffer.dropped,
+            rounds: buffer.formed,
+            p50_ns: percentile(&latencies, 0.50),
+            p99_ns: percentile(&latencies, 0.99),
+            p999_ns: percentile(&latencies, 0.999),
+            mean_queue_ns,
+            goodput_rps,
+            slo_violations,
+            records,
+        });
         report.engine = Some(EngineMode::SingleThread);
         Ok(report)
     }
@@ -713,6 +884,8 @@ impl SystemSimulator {
             dram_channels,
             chips: (!self.topology.is_single()).then_some(summaries),
             links,
+            // Serving runs attach their section after the fold.
+            serving: None,
             // The caller stamps the effective mode.
             engine: None,
         })
@@ -1227,6 +1400,10 @@ pub(crate) struct ChipSequencer {
     upstream: Vec<(usize, usize)>,
     rounds: usize,
     schedule: ScheduleMode,
+    /// Serving mode: the request buffer to notify with
+    /// [`ChipEvent::RoundDone`] each time a round fully drains.
+    /// `None` for fixed-round (closed-loop) runs.
+    notify: Option<ComponentId>,
     /// The stage dependency graph driving dispatch.
     pub(crate) graph: StageGraph,
     /// In-flight stages, indexed by graph node.
@@ -1391,6 +1568,9 @@ impl ChipSequencer {
                     },
                 );
             }
+            if let Some(buffer) = self.notify {
+                ctx.schedule(now, buffer, ChipEvent::RoundDone { chip: self.chip_index });
+            }
         }
         if self.schedule == ScheduleMode::Interleaved {
             // The stage's receivers have all completed; drop its
@@ -1431,6 +1611,28 @@ impl Component<ChipEvent> for ChipSequencer {
                     }
                     self.dispatch(event.target, ctx);
                 }
+            }
+            ChipEvent::AppendRound => {
+                // Serving mode only: the request buffer admitted one
+                // more batch. Grow the live stage graph by a round and
+                // credit any hand-offs that were banked before the
+                // round existed (a fast upstream may run ahead of
+                // admission).
+                assert!(!self.programs.is_empty(), "idle chips receive no rounds");
+                let b = self.rounds;
+                self.rounds += 1;
+                self.graph.append_round(&self.programs, self.schedule, self.upstream.len());
+                for _ in 0..self.graph.partitions() {
+                    self.running.push(None);
+                }
+                self.wait_from.push(None);
+                let node = self.graph.node(b, 0);
+                let banked = self.upstream.iter().filter(|&&(_, received)| received > b).count();
+                for _ in 0..banked {
+                    self.graph.satisfy_external(node);
+                }
+                self.dispatch(event.target, ctx);
+                self.refresh_upstream_wait(event.time.as_ns());
             }
             ChipEvent::CoreDone { stage, core_index, activity, replace_done_ns } => {
                 let running = self.running[stage].as_mut().expect("core reports a live stage");

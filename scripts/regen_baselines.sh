@@ -37,6 +37,10 @@ cargo run --release -p compass-bench --bin timing_mode_sweep -- --quick --json "
 # has one hardware thread per chip — a narrow host pins the honest
 # single-core ratio and prints a note instead).
 cargo run --release -p compass-bench --features sharded --bin engine_hotpath -- --quick --json "${BASELINE}" --min-speedup 3.0 --min-shard-speedup 2.0
+# Open-loop serving records (serving:*): p99 latency in the gated
+# makespan slot, SLO goodput in throughput_ips. Seeded synthetic
+# traffic on the simulated clock — byte-deterministic everywhere.
+cargo run --release -p compass-bench --bin serving_sweep -- --quick --json "${BASELINE}"
 
 FRESH_COUNT=$(grep -o '"name":' "${BASELINE}" | wc -l)
 echo "== record count: ${FRESH_COUNT} regenerated vs ${COMMITTED_COUNT} committed at HEAD =="
