@@ -64,8 +64,7 @@ fn bench_fitness_evaluation(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(2);
         b.iter(|| {
             // A fresh context per iteration measures the uncached path.
-            let mut ctx =
-                FitnessContext::new(&net, &seq, &validity, &chip, 8, FitnessKind::Latency);
+            let ctx = FitnessContext::new(&net, &seq, &validity, &chip, 8, FitnessKind::Latency);
             let group = PartitionGroup::random(&mut rng, &validity);
             ctx.evaluate(black_box(&group)).pgf
         })
@@ -79,8 +78,7 @@ fn bench_ga_generation(c: &mut Criterion) {
     let validity = ValidityMap::build(&seq, &chip);
     c.bench_function("ga_run/resnet18-S-8 (pop 12, 3 gens)", |b| {
         b.iter(|| {
-            let mut ctx =
-                FitnessContext::new(&net, &seq, &validity, &chip, 8, FitnessKind::Latency);
+            let ctx = FitnessContext::new(&net, &seq, &validity, &chip, 8, FitnessKind::Latency);
             let params = GaParams {
                 population: 12,
                 generations: 3,
@@ -90,7 +88,7 @@ fn bench_ga_generation(c: &mut Criterion) {
                 ..GaParams::fast()
             };
             let mut rng = StdRng::seed_from_u64(3);
-            ga::run(&mut ctx, &params, &mut rng).0.pgf
+            ga::run(&ctx, &params, &mut rng).0.pgf
         })
     });
 }

@@ -28,7 +28,7 @@ fn run_variant(name: &str, allowed: &[MutationKind], chip: &ChipSpec, params: &G
     let net = network("resnet18");
     let seq = decompose(&net, chip);
     let validity = ValidityMap::build(&seq, chip);
-    let mut ctx = FitnessContext::new(&net, &seq, &validity, chip, 16, FitnessKind::Latency);
+    let ctx = FitnessContext::new(&net, &seq, &validity, chip, 16, FitnessKind::Latency);
     let mut rng = StdRng::seed_from_u64(7);
 
     // Simplified Algorithm 1 with a restricted operator set.

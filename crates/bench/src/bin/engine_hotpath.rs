@@ -164,7 +164,7 @@ fn ga_generation_latency(generations: usize) -> (f64, f64) {
     let net = compass_bench::network("resnet18");
     let seq = decompose(&net, &chip);
     let validity = ValidityMap::build(&seq, &chip);
-    let mut ctx = FitnessContext::new(&net, &seq, &validity, &chip, 8, FitnessKind::Latency);
+    let ctx = FitnessContext::new(&net, &seq, &validity, &chip, 8, FitnessKind::Latency);
     let mut rng = StdRng::seed_from_u64(2025);
     let (population, n_sel, n_mut) = (100usize, 20usize, 80usize);
 

@@ -440,13 +440,37 @@ pub const HOTPATH_GATE_PREFIX: &str = "hotpath:gate:";
 /// skips them entirely (including the missing-record check).
 pub const HOTPATH_ABS_PREFIX: &str = "hotpath:abs:";
 
+/// GA-scaling counterpart of [`HOTPATH_GATE_PREFIX`]: same-process
+/// speedup ratios from `ga_scaling` (parallel-over-serial,
+/// memo-over-recompute), gated on throughput.
+pub const GA_GATE_PREFIX: &str = "ga:gate:";
+
+/// GA-scaling counterpart of [`HOTPATH_ABS_PREFIX`]: absolute
+/// wall-clock generation latencies and evaluation rates, carried for
+/// visibility only.
+pub const GA_ABS_PREFIX: &str = "ga:abs:";
+
+/// `true` for trajectory records judged on **throughput** ratios
+/// (higher is better) instead of makespan: the `hotpath:gate:*` and
+/// `ga:gate:*` same-process speedup families.
+pub fn gates_on_throughput(name: &str) -> bool {
+    name.starts_with(HOTPATH_GATE_PREFIX) || name.starts_with(GA_GATE_PREFIX)
+}
+
+/// `true` for machine-dependent absolute records (`hotpath:abs:*`,
+/// `ga:abs:*`) that ride in the trajectory for visibility and are
+/// never gated — not even for presence.
+pub fn is_ungated_abs(name: &str) -> bool {
+    name.starts_with(HOTPATH_ABS_PREFIX) || name.starts_with(GA_ABS_PREFIX)
+}
+
 /// Compares a current perf trajectory against a committed baseline:
 /// every baseline record must exist in `current` with a makespan no
 /// more than `tolerance` (fractional) above the baseline — except
-/// hot-path records, which are either gated on throughput
-/// ([`HOTPATH_GATE_PREFIX`]: a relative drop beyond `tolerance`
-/// fails) or informational ([`HOTPATH_ABS_PREFIX`]: never gated).
-/// Returns the list of violations (empty on success); new
+/// hot-path and GA-scaling records, which are either gated on
+/// throughput ([`gates_on_throughput`]: a relative drop beyond
+/// `tolerance` fails) or informational ([`is_ungated_abs`]: never
+/// gated). Returns the list of violations (empty on success); new
 /// configurations absent from the baseline are allowed.
 pub fn check_against_baseline(
     current: &[BenchRecord],
@@ -455,12 +479,12 @@ pub fn check_against_baseline(
 ) -> Vec<String> {
     let mut violations = Vec::new();
     for base in baseline {
-        if base.name.starts_with(HOTPATH_ABS_PREFIX) {
+        if is_ungated_abs(&base.name) {
             continue;
         }
         match current.iter().find(|r| r.name == base.name) {
             None => violations.push(format!("{}: missing from current run", base.name)),
-            Some(now) if base.name.starts_with(HOTPATH_GATE_PREFIX) => {
+            Some(now) if gates_on_throughput(&base.name) => {
                 if base.host_parallelism != now.host_parallelism {
                     let show = |p: Option<usize>| match p {
                         Some(threads) => threads.to_string(),
@@ -507,9 +531,9 @@ pub fn check_against_baseline(
 /// markdown table — one row per baseline record plus one per brand-new
 /// current record — for the job-summary page. Columns mirror the gate:
 /// the judged quantity (makespan for ordinary records, throughput for
-/// `hotpath:gate:*` ones), its ratio against the baseline, and whether
-/// the record is actually gated (`hotpath:abs:*` and cross-host
-/// speedup records ride along ungated).
+/// `hotpath:gate:*` / `ga:gate:*` ones), its ratio against the
+/// baseline, and whether the record is actually gated (`*:abs:*` and
+/// cross-host speedup records ride along ungated).
 pub fn markdown_delta_table(
     current: &[BenchRecord],
     baseline: &[BenchRecord],
@@ -527,14 +551,14 @@ pub fn markdown_delta_table(
     out.push_str("| Record | Baseline | Current | Ratio | Status |\n");
     out.push_str("|---|---|---|---|---|\n");
     for base in baseline {
-        let on_throughput = base.name.starts_with(HOTPATH_GATE_PREFIX);
+        let on_throughput = gates_on_throughput(&base.name);
         let metric = |r: &BenchRecord| if on_throughput { r.throughput_ips } else { r.makespan_ns };
         let now = current.iter().find(|r| r.name == base.name);
         let (current_cell, ratio_cell) = match now {
             Some(r) => (fmt(metric(r)), format!("{:.3}", metric(r) / metric(base))),
             None => ("—".to_string(), "—".to_string()),
         };
-        let status = if base.name.starts_with(HOTPATH_ABS_PREFIX) {
+        let status = if is_ungated_abs(&base.name) {
             "ungated"
         } else if on_throughput && now.is_some_and(|r| r.host_parallelism != base.host_parallelism)
         {
@@ -711,6 +735,45 @@ mod tests {
         assert!(check_against_baseline(&gone, &baseline, 0.2)
             .iter()
             .any(|v| v.contains("missing")));
+    }
+
+    #[test]
+    fn ga_records_share_the_hotpath_gate_semantics() {
+        assert!(gates_on_throughput("ga:gate:pop:1000:parallel-speedup"));
+        assert!(gates_on_throughput("hotpath:gate:queue-speedup"));
+        assert!(!gates_on_throughput("ga:abs:pop:100:serial"));
+        assert!(is_ungated_abs("ga:abs:pop:100:serial"));
+        assert!(is_ungated_abs("hotpath:abs:queue:calendar"));
+        assert!(!is_ungated_abs("topology:x"));
+
+        let record = |name: &str, ns: f64, ips: f64, threads: Option<usize>| BenchRecord {
+            name: name.to_string(),
+            makespan_ns: ns,
+            throughput_ips: ips,
+            host_parallelism: threads,
+        };
+        let baseline = vec![
+            record("ga:gate:pop:1000:parallel-speedup", 0.5, 2.0, Some(8)),
+            record("ga:abs:pop:1000:serial", 9.0e6, 1.2e3, Some(8)),
+        ];
+        // Abs record absent and the gate measured on a different host:
+        // nothing to judge.
+        let other_host = vec![record("ga:gate:pop:1000:parallel-speedup", 1.0, 1.0, Some(1))];
+        assert!(check_against_baseline(&other_host, &baseline, 0.2).is_empty());
+        // Same host, speedup collapsed beyond tolerance: gated on
+        // throughput, with makespan ignored.
+        let collapsed = vec![record("ga:gate:pop:1000:parallel-speedup", 0.5, 1.0, Some(8))];
+        let violations = check_against_baseline(&collapsed, &baseline, 0.2);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("throughput"));
+        // A missing ga gate record still fails; the table mirrors it.
+        let gone: Vec<BenchRecord> = Vec::new();
+        assert!(check_against_baseline(&gone, &baseline, 0.2)
+            .iter()
+            .any(|v| v.contains("missing")));
+        let table = markdown_delta_table(&other_host, &baseline, 0.2);
+        assert!(table.contains("ungated (host parallelism differs)"));
+        assert!(table.contains("| `ga:abs:pop:1000:serial` |"));
     }
 
     #[test]

@@ -286,7 +286,7 @@ impl Compiler {
             Strategy::Greedy => (baselines::greedy(&validity), None),
             Strategy::Layerwise => (baselines::layerwise(&seq, &validity), None),
             Strategy::Compass => {
-                let mut ctx = FitnessContext::new(
+                let ctx = FitnessContext::new(
                     network,
                     &seq,
                     &validity,
@@ -298,7 +298,7 @@ impl Compiler {
                 .with_schedule_mode(options.schedule_mode)
                 .with_system_target(options.system.clone());
                 let mut rng = StdRng::seed_from_u64(options.seed);
-                let (best, trace) = ga::run(&mut ctx, &options.ga, &mut rng);
+                let (best, trace) = ga::run(&ctx, &options.ga, &mut rng);
                 (best.group, Some(trace))
             }
         };

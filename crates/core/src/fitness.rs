@@ -18,18 +18,32 @@
 //!   chromosome made of known segments costs per-partition clones and
 //!   the group fold — no planning, packing, or estimation.
 //!
+//! Both memos live behind [`crate::memo::MemoShards`]: lock-per-shard
+//! concurrent maps whose hot read path takes only a shared lock on
+//! one shard, so evaluation is `&self` and a population's worth of
+//! concurrent lookups never contend. Because every memoized value is
+//! a **pure function of its key** (a segment's plan/estimate depends
+//! only on its span; a group's evaluation only on its cut vector —
+//! given the context's fixed knobs), racing writers always carry
+//! interchangeable values and first-writer-wins insertion is sound.
+//! That same purity is what makes the GA's speculative pipeline (see
+//! [`crate::ga::run`]) byte-identical to serial evaluation: a
+//! speculated result is either hit (saving the work) or harmlessly
+//! retained, never *different*.
+//!
 //! Under the `parallel` feature, [`FitnessContext::evaluate_batch`]
-//! fans out only the *true segment misses*, by reference — no
-//! per-candidate cloning before the fan-out.
+//! dedupes in-batch misses first, fans out only the *true segment
+//! misses* by reference, then assembles the miss groups in parallel
+//! from the now-warm segment memo.
 
 use crate::decompose::UnitSequence;
 use crate::estimate::{Estimator, GroupEstimate, PartitionEstimate, SystemScaling};
+use crate::memo::MemoShards;
 use crate::partition::{Partition, PartitionGroup};
 use crate::plan::{GroupPlan, PartitionPlan, SegmentPlanner};
 use crate::replication::optimize_partition;
 use crate::system::SystemTarget;
 use crate::validity::ValidityMap;
-use fxhash::{FxHashMap, FxHashSet};
 use pim_arch::{ChipSpec, ScheduleMode, TimingMode};
 use pim_model::Network;
 use serde::{Deserialize, Serialize};
@@ -161,8 +175,27 @@ pub struct FitnessContext<'a> {
     /// SLO-aware serving objective: score p99-under-load instead of
     /// bare latency.
     serving_slo: Option<ServingSlo>,
-    cache: FxHashMap<Arc<[usize]>, Arc<EvaluatedGroup>>,
-    segments: FxHashMap<(usize, usize), Arc<SegmentEval>>,
+    cache: MemoShards<Arc<[usize]>, Arc<EvaluatedGroup>>,
+    segments: MemoShards<(usize, usize), Arc<SegmentEval>>,
+    /// `false` disables both memos (every evaluation recomputes) —
+    /// the benchmark axis that prices what the memo buys.
+    memo_enabled: bool,
+    /// `false` keeps batch evaluation on the calling thread even in a
+    /// `parallel` build — the benchmark's serial axis. Results are
+    /// identical either way.
+    parallel_eval: bool,
+    /// Opt-in for the GA's speculative generation pipeline.
+    speculation: bool,
+}
+
+// The context is shared by `&self` across the batch fan-out and the
+// speculative pool; everything it holds must be lock-free-shareable
+// (the memos carry their own per-shard locks).
+#[cfg(feature = "parallel")]
+#[allow(dead_code)]
+fn _context_is_sync() {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<FitnessContext<'static>>();
 }
 
 impl<'a> FitnessContext<'a> {
@@ -188,8 +221,11 @@ impl<'a> FitnessContext<'a> {
             system: None,
             system_scaling: None,
             serving_slo: None,
-            cache: FxHashMap::default(),
-            segments: FxHashMap::default(),
+            cache: MemoShards::default(),
+            segments: MemoShards::default(),
+            memo_enabled: true,
+            parallel_eval: true,
+            speculation: false,
         }
     }
 
@@ -199,6 +235,76 @@ impl<'a> FitnessContext<'a> {
     fn clear_caches(&mut self) {
         self.cache.clear();
         self.segments.clear();
+    }
+
+    /// Enables or disables both memo tables. Disabling clears them;
+    /// every later evaluation recomputes from scratch (the benchmark
+    /// axis that prices what the memo buys). Re-enabling keeps the
+    /// tables empty until evaluations refill them.
+    pub fn with_memo(mut self, enabled: bool) -> Self {
+        if !enabled {
+            self.clear_caches();
+        }
+        self.memo_enabled = enabled;
+        self
+    }
+
+    /// Keeps batch evaluation on the calling thread even when the
+    /// `parallel` feature is compiled in (the benchmark's serial
+    /// axis). Scores are identical either way; only the wall clock
+    /// differs. No effect in a serial build.
+    pub fn with_parallel_eval(mut self, enabled: bool) -> Self {
+        self.parallel_eval = enabled;
+        self
+    }
+
+    /// Opts the GA into generation-level speculative evaluation (see
+    /// [`crate::ga::run`]). Inert without the `parallel` feature or
+    /// with the memo disabled — speculation works by prewarming the
+    /// shared memo, so without a memo there is nowhere for
+    /// speculated results to land.
+    pub fn with_speculation(mut self, enabled: bool) -> Self {
+        self.speculation = enabled;
+        self
+    }
+
+    /// Whether the GA should run its speculative pipeline: requires
+    /// the `parallel` feature, the [`Self::with_speculation`] opt-in,
+    /// and an enabled memo.
+    pub fn speculation_enabled(&self) -> bool {
+        cfg!(feature = "parallel") && self.speculation && self.memo_enabled
+    }
+
+    /// Whether batch evaluation fans out across threads.
+    pub fn parallel_eval_enabled(&self) -> bool {
+        cfg!(feature = "parallel") && self.parallel_eval
+    }
+
+    /// Pre-sizes both memos for `population` more chromosomes so
+    /// steady-state generations never rehash mid-batch. The segment
+    /// reservation is capped by the finite `(start, end)` key space.
+    pub fn reserve_for_population(&self, population: usize) {
+        if !self.memo_enabled {
+            return;
+        }
+        self.cache.reserve(population);
+        let units = self.planner.unit_count();
+        let span_space = units * (units + 1) / 2;
+        self.segments.reserve((population * 4).min(span_space));
+    }
+
+    /// Drops the whole-group memo's reference to one chromosome, so a
+    /// caller holding the only other [`Arc`] can unwrap it in place
+    /// instead of deep-cloning plans and estimates. Returns the
+    /// dropped reference (if the chromosome was memoized) purely so
+    /// the caller controls when it dies.
+    pub fn release(&self, cuts: &[usize]) -> Option<Arc<EvaluatedGroup>> {
+        self.cache.remove(cuts)
+    }
+
+    /// Whether a chromosome is currently memoized (diagnostics).
+    pub fn memoized(&self, cuts: &[usize]) -> bool {
+        self.cache.contains(cuts)
     }
 
     /// Scores candidates with the given memory timing mode, so the GA
@@ -291,93 +397,125 @@ impl<'a> FitnessContext<'a> {
         SegmentEval { plan, estimate }
     }
 
-    /// Recalls (or computes and memoizes) one segment.
-    fn segment_eval(&mut self, partition: Partition) -> Arc<SegmentEval> {
+    /// Recalls (or computes and memoizes) one segment. Safe to call
+    /// from many threads: the memo's first-writer-wins insert keeps
+    /// racing computations interchangeable.
+    fn segment_eval(&self, partition: Partition) -> Arc<SegmentEval> {
+        let compute = || {
+            Arc::new(Self::compute_segment(
+                &self.planner,
+                &self.estimator(),
+                self.chip,
+                self.batch,
+                partition,
+            ))
+        };
+        if !self.memo_enabled {
+            return compute();
+        }
         let key = (partition.start, partition.end);
         if let Some(hit) = self.segments.get(&key) {
-            return Arc::clone(hit);
+            return hit;
         }
-        let eval = Arc::new(Self::compute_segment(
-            &self.planner,
-            &self.estimator(),
-            self.chip,
-            self.batch,
-            partition,
-        ));
-        self.segments.insert(key, Arc::clone(&eval));
-        eval
+        self.segments.insert(key, compute())
     }
 
-    /// Evaluates (or recalls) a group. Cache hits are pointer bumps;
-    /// misses assemble the group from memoized segments and compute
-    /// only what no earlier chromosome already paid for.
-    pub fn evaluate(&mut self, group: &PartitionGroup) -> Arc<EvaluatedGroup> {
+    /// Evaluates (or recalls) a group. Cache hits are a shared-lock
+    /// lookup plus a pointer bump; misses assemble the group from
+    /// memoized segments and compute only what no earlier chromosome
+    /// already paid for. `&self`: any number of threads may evaluate
+    /// concurrently.
+    pub fn evaluate(&self, group: &PartitionGroup) -> Arc<EvaluatedGroup> {
+        if !self.memo_enabled {
+            return Arc::new(self.evaluate_uncached(group));
+        }
         if let Some(hit) = self.cache.get(group.cuts()) {
-            return Arc::clone(hit);
+            return hit;
         }
         let eval = Arc::new(self.evaluate_uncached(group));
-        self.cache.insert(group.cuts().into(), Arc::clone(&eval));
-        eval
+        self.cache.insert(group.cuts().into(), eval)
     }
 
     /// Evaluates a whole batch of groups, recalling cached results and
-    /// computing the misses. Under the `parallel` feature the *segment
-    /// misses* — the only real work — fan out across threads, by
-    /// reference.
+    /// computing the misses. Under the `parallel` feature (unless
+    /// [`Self::with_parallel_eval`] opted out) in-batch misses are
+    /// deduped first, the *true segment misses* — the bulk of the
+    /// work — fan out across threads by reference, and the miss
+    /// groups are then assembled in parallel from the warm segment
+    /// memo.
     ///
     /// Results are identical to calling [`Self::evaluate`] in order,
     /// whatever the thread count.
-    pub fn evaluate_batch(&mut self, groups: &[PartitionGroup]) -> Vec<Arc<EvaluatedGroup>> {
+    pub fn evaluate_batch(&self, groups: &[PartitionGroup]) -> Vec<Arc<EvaluatedGroup>> {
+        #[cfg(feature = "parallel")]
+        if self.parallel_eval {
+            if !self.memo_enabled {
+                use rayon::prelude::*;
+                return groups
+                    .par_iter()
+                    .map(|group| Arc::new(self.evaluate_uncached(group)))
+                    .collect();
+            }
+            self.warm_batch_parallel(groups);
+        }
+        groups.iter().map(|group| self.evaluate(group)).collect()
+    }
+
+    /// Parallel warm-up for [`Self::evaluate_batch`]: dedupes the
+    /// batch's cache misses, fans the unique *segment* misses out
+    /// across threads, then assembles the miss groups in parallel.
+    /// Afterwards every group in the batch is a memo hit.
+    #[cfg(feature = "parallel")]
+    fn warm_batch_parallel(&self, groups: &[PartitionGroup]) {
+        use fxhash::FxHashSet;
+        use rayon::prelude::*;
         // Unique cache misses, first-occurrence order.
         let mut misses: Vec<&PartitionGroup> = Vec::new();
         let mut miss_cuts: FxHashSet<&[usize]> = FxHashSet::default();
         for group in groups {
-            if !self.cache.contains_key(group.cuts()) && miss_cuts.insert(group.cuts()) {
+            if !self.cache.contains(group.cuts()) && miss_cuts.insert(group.cuts()) {
                 misses.push(group);
             }
         }
-
-        #[cfg(feature = "parallel")]
-        if !misses.is_empty() {
-            // Unique segment misses, first-occurrence order.
-            let mut seg_misses: Vec<Partition> = Vec::new();
-            let mut seen: FxHashSet<(usize, usize)> = FxHashSet::default();
-            for group in &misses {
-                for part in group.partitions() {
-                    let key = (part.start, part.end);
-                    if !self.segments.contains_key(&key) && seen.insert(key) {
-                        seg_misses.push(part);
-                    }
-                }
-            }
-            if !seg_misses.is_empty() {
-                use rayon::prelude::*;
-                let planner = &self.planner;
-                let estimator = self.estimator();
-                let chip = self.chip;
-                let batch = self.batch;
-                let fresh: Vec<SegmentEval> = seg_misses
-                    .par_iter()
-                    .map(|&part| Self::compute_segment(planner, &estimator, chip, batch, part))
-                    .collect();
-                for (part, eval) in seg_misses.iter().zip(fresh) {
-                    self.segments.insert((part.start, part.end), Arc::new(eval));
+        if misses.is_empty() {
+            return;
+        }
+        // Unique segment misses, first-occurrence order: N children
+        // sharing a span compute it exactly once per generation
+        // instead of racing.
+        let mut seg_misses: Vec<Partition> = Vec::new();
+        let mut seen: FxHashSet<(usize, usize)> = FxHashSet::default();
+        for group in &misses {
+            for part in group.partitions() {
+                let key = (part.start, part.end);
+                if !self.segments.contains(&key) && seen.insert(key) {
+                    seg_misses.push(part);
                 }
             }
         }
-
-        // Assemble the miss groups (every segment is memoized by now
-        // under `parallel`; computed inline otherwise) and recall.
-        for group in misses {
-            let eval = Arc::new(self.evaluate_uncached(group));
-            self.cache.insert(group.cuts().into(), eval);
+        if !seg_misses.is_empty() {
+            let planner = &self.planner;
+            let estimator = self.estimator();
+            let chip = self.chip;
+            let batch = self.batch;
+            let fresh: Vec<SegmentEval> = seg_misses
+                .par_iter()
+                .map(|&part| Self::compute_segment(planner, &estimator, chip, batch, part))
+                .collect();
+            for (part, eval) in seg_misses.iter().zip(fresh) {
+                self.segments.insert((part.start, part.end), Arc::new(eval));
+            }
         }
-        groups.iter().map(|g| Arc::clone(&self.cache[g.cuts()])).collect()
+        // Group assembly (segment recall + the fold) is cheap per
+        // group but a generation has hundreds of them — fan it out
+        // too, inserting straight into the sharded memo.
+        let _warmed: Vec<Arc<EvaluatedGroup>> =
+            misses.par_iter().map(|group| self.evaluate(group)).collect();
     }
 
     /// The evaluation itself: per-segment plan/replicate/estimate
     /// (through the segment memo), then the group fold and score.
-    fn evaluate_uncached(&mut self, group: &PartitionGroup) -> EvaluatedGroup {
+    fn evaluate_uncached(&self, group: &PartitionGroup) -> EvaluatedGroup {
         let parts = group.partitions();
         let mut plans = Vec::with_capacity(parts.len());
         let mut estimates = Vec::with_capacity(parts.len());
@@ -500,7 +638,7 @@ mod tests {
     #[test]
     fn pgf_is_sum_of_partition_fitness() {
         let f = fixture();
-        let mut ctx =
+        let ctx =
             FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let mut rng = StdRng::seed_from_u64(1);
         let group = PartitionGroup::random(&mut rng, &f.validity);
@@ -513,7 +651,7 @@ mod tests {
     #[test]
     fn evaluation_is_memoized() {
         let f = fixture();
-        let mut ctx =
+        let ctx =
             FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let mut rng = StdRng::seed_from_u64(2);
         let group = PartitionGroup::random(&mut rng, &f.validity);
@@ -532,7 +670,7 @@ mod tests {
         // segment: the segment memo must grow by at most the two new
         // spans, and the shared partitions' plans must be reused.
         let f = fixture();
-        let mut ctx =
+        let ctx =
             FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let mut rng = StdRng::seed_from_u64(7);
         let base = PartitionGroup::random(&mut rng, &f.validity);
@@ -573,11 +711,11 @@ mod tests {
         let mut batch_input = groups.clone();
         batch_input.extend(groups.iter().take(3).cloned());
 
-        let mut seq_ctx =
+        let seq_ctx =
             FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let sequential: Vec<f64> = batch_input.iter().map(|g| seq_ctx.evaluate(g).pgf).collect();
 
-        let mut batch_ctx =
+        let batch_ctx =
             FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let batched: Vec<f64> =
             batch_ctx.evaluate_batch(&batch_input).iter().map(|e| e.pgf).collect();
@@ -587,15 +725,77 @@ mod tests {
     }
 
     #[test]
+    fn memo_off_recomputes_but_scores_identically() {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(31);
+        let groups: Vec<PartitionGroup> =
+            (0..6).map(|_| PartitionGroup::random(&mut rng, &f.validity)).collect();
+        let memoized =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
+        let bare =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency)
+                .with_memo(false);
+        let hot: Vec<f64> = memoized.evaluate_batch(&groups).iter().map(|e| e.pgf).collect();
+        let cold: Vec<f64> = bare.evaluate_batch(&groups).iter().map(|e| e.pgf).collect();
+        assert_eq!(hot, cold, "the memo must never change scores");
+        assert_eq!(bare.cache_len(), 0, "disabled memo stores nothing");
+        assert_eq!(bare.segment_cache_len(), 0);
+        assert!(memoized.cache_len() > 0);
+        // Repeat evaluation without the memo still matches.
+        assert_eq!(bare.evaluate(&groups[0]).pgf, hot[0]);
+    }
+
+    #[test]
+    fn release_unshares_a_memoized_winner() {
+        let f = fixture();
+        let ctx =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
+        let mut rng = StdRng::seed_from_u64(37);
+        let group = PartitionGroup::random(&mut rng, &f.validity);
+        let eval = ctx.evaluate(&group);
+        assert!(ctx.memoized(group.cuts()));
+        drop(ctx.release(group.cuts()));
+        assert!(!ctx.memoized(group.cuts()));
+        assert_eq!(ctx.cache_len(), 0);
+        // The caller now holds the only reference and can unwrap in
+        // place — the whole point of releasing before `try_unwrap`.
+        assert!(Arc::try_unwrap(eval).is_ok(), "no hidden owners may remain after release");
+        // Releasing an unknown chromosome is a no-op.
+        assert!(ctx.release(group.cuts()).is_none());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn serial_and_parallel_batches_agree_exactly() {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(41);
+        let groups: Vec<PartitionGroup> =
+            (0..40).map(|_| PartitionGroup::random(&mut rng, &f.validity)).collect();
+        let serial =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency)
+                .with_parallel_eval(false);
+        let parallel =
+            FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
+        assert!(!serial.parallel_eval_enabled());
+        assert!(parallel.parallel_eval_enabled());
+        let a: Vec<u64> = serial.evaluate_batch(&groups).iter().map(|e| e.pgf.to_bits()).collect();
+        let b: Vec<u64> =
+            parallel.evaluate_batch(&groups).iter().map(|e| e.pgf.to_bits()).collect();
+        assert_eq!(a, b, "fan-out must be bit-identical to the serial path");
+        assert_eq!(serial.cache_len(), parallel.cache_len());
+        assert_eq!(serial.segment_cache_len(), parallel.segment_cache_len());
+    }
+
+    #[test]
     fn timing_mode_changes_scores_and_clears_cache() {
         let f = fixture();
         let mut rng = StdRng::seed_from_u64(9);
         let group = PartitionGroup::random(&mut rng, &f.validity);
-        let mut ctx =
+        let ctx =
             FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let analytic = ctx.evaluate(&group);
         assert_eq!(ctx.cache_len(), 1);
-        let mut ctx = ctx.with_timing_mode(pim_arch::TimingMode::ClosedLoop);
+        let ctx = ctx.with_timing_mode(pim_arch::TimingMode::ClosedLoop);
         assert_eq!(ctx.cache_len(), 0, "mode switch must invalidate memoized scores");
         assert_eq!(ctx.segment_cache_len(), 0, "segment scores are mode-specific too");
         let closed = ctx.evaluate(&group);
@@ -609,12 +809,12 @@ mod tests {
         let f = fixture();
         let mut rng = StdRng::seed_from_u64(12);
         let group = PartitionGroup::random(&mut rng, &f.validity);
-        let mut ctx =
+        let ctx =
             FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let single = ctx.evaluate(&group);
         assert_eq!(ctx.cache_len(), 1);
         let target = SystemTarget::new(Topology::ring(2), SystemStrategy::BatchShard);
-        let mut ctx = ctx.with_system_target(Some(target));
+        let ctx = ctx.with_system_target(Some(target));
         assert_eq!(ctx.cache_len(), 0, "target switch must invalidate memoized scores");
         assert_eq!(ctx.segment_cache_len(), 0);
         let sharded = ctx.evaluate(&group);
@@ -626,11 +826,11 @@ mod tests {
         let f = fixture();
         let mut rng = StdRng::seed_from_u64(21);
         let group = PartitionGroup::random(&mut rng, &f.validity);
-        let mut ctx =
+        let ctx =
             FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 8, FitnessKind::Latency);
         let barrier = ctx.evaluate(&group);
         assert_eq!(ctx.cache_len(), 1);
-        let mut ctx = ctx.with_schedule_mode(ScheduleMode::Interleaved);
+        let ctx = ctx.with_schedule_mode(ScheduleMode::Interleaved);
         assert_eq!(ctx.cache_len(), 0, "mode switch must invalidate memoized scores");
         let interleaved = ctx.evaluate(&group);
         // Compiled partitions all pack from core 0, so the occupancy
@@ -675,17 +875,17 @@ mod tests {
         let f = fixture();
         let mut rng = StdRng::seed_from_u64(23);
         let group = PartitionGroup::random(&mut rng, &f.validity);
-        let mut ctx =
+        let ctx =
             FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let plain = ctx.evaluate(&group);
         assert_eq!(ctx.cache_len(), 1);
-        let mut ctx = ctx.with_serving_slo(Some(ServingSlo::new(50.0, 4)));
+        let ctx = ctx.with_serving_slo(Some(ServingSlo::new(50.0, 4)));
         assert_eq!(ctx.cache_len(), 0, "objective switch must invalidate memoized scores");
         assert_eq!(ctx.segment_cache_len(), 0);
         let light = ctx.evaluate(&group);
         assert!(light.pgf > plain.pgf, "any queueing inflates the tail estimate");
         // A hotter arrival stream scores strictly worse.
-        let mut ctx = ctx.with_serving_slo(Some(ServingSlo::new(5_000.0, 4)));
+        let ctx = ctx.with_serving_slo(Some(ServingSlo::new(5_000.0, 4)));
         assert_eq!(ctx.cache_len(), 0);
         let heavy = ctx.evaluate(&group);
         assert!(
@@ -703,7 +903,7 @@ mod tests {
             assert!((h / p - ratio).abs() < 1e-9, "uniform inflation per partition");
         }
         // Dropping the SLO restores the bare-latency objective.
-        let mut ctx = ctx.with_serving_slo(None);
+        let ctx = ctx.with_serving_slo(None);
         assert_eq!(ctx.cache_len(), 0);
         assert_eq!(ctx.evaluate(&group).pgf, plain.pgf);
     }
@@ -713,9 +913,9 @@ mod tests {
         let f = fixture();
         let mut rng = StdRng::seed_from_u64(3);
         let group = PartitionGroup::random(&mut rng, &f.validity);
-        let mut lat =
+        let lat =
             FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
-        let mut edp =
+        let edp =
             FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Edp);
         let a = lat.evaluate(&group);
         let b = edp.evaluate(&group);
@@ -725,7 +925,7 @@ mod tests {
     #[test]
     fn mean_unit_fitness_covers_all_units() {
         let f = fixture();
-        let mut ctx =
+        let ctx =
             FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let mut rng = StdRng::seed_from_u64(4);
         let evals: Vec<Arc<EvaluatedGroup>> = (0..5)
@@ -742,7 +942,7 @@ mod tests {
     #[test]
     fn partition_scores_centre_around_one() {
         let f = fixture();
-        let mut ctx =
+        let ctx =
             FitnessContext::new(&f.network, &f.seq, &f.validity, &f.chip, 4, FitnessKind::Latency);
         let mut rng = StdRng::seed_from_u64(5);
         let evals: Vec<Arc<EvaluatedGroup>> = (0..8)

@@ -52,6 +52,7 @@ pub mod decompose;
 pub mod estimate;
 pub mod fitness;
 pub mod ga;
+pub mod memo;
 pub mod mutation;
 pub mod packing;
 pub mod partition;
@@ -71,6 +72,7 @@ pub use error::CompileError;
 pub use estimate::{GroupEstimate, PartitionEstimate};
 pub use fitness::ServingSlo;
 pub use ga::{GaParams, GaTrace, GenerationRecord};
+pub use memo::MemoShards;
 pub use partition::{Partition, PartitionGroup};
 pub use plan::{GroupPlan, PartitionPlan};
 pub use report::CompileReport;

@@ -176,7 +176,23 @@ pub struct SegmentPlanner<'a> {
     attach_order: Vec<(usize, NodeId)>,
 }
 
+// The planner is shared by `&` across the fitness batch fan-out and
+// the GA's speculative pool; it must stay immutable shared state
+// (references plus owned plain data, no interior mutability).
+#[allow(dead_code)]
+fn _planner_is_sync() {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<SegmentPlanner<'static>>();
+}
+
 impl<'a> SegmentPlanner<'a> {
+    /// Number of partition units in the decomposition — the segment
+    /// key space is `(start, end)` spans over these units, so callers
+    /// sizing memo tables cap reservations at `n·(n+1)/2`.
+    pub fn unit_count(&self) -> usize {
+        self.seq.len()
+    }
+
     /// Precomputes the planning state (one pass over the network).
     pub fn new(network: &'a Network, seq: &'a UnitSequence) -> Self {
         let node_ranges: Vec<(NodeId, usize, usize)> =

@@ -1,0 +1,143 @@
+//! Byte-identity of the GA across evaluation strategies.
+//!
+//! The scaling tentpole (sharded memo + batch fan-out + speculative
+//! generation pipelining) is only allowed to change *wall clock*,
+//! never results: for any seed, serial evaluation, parallel batch
+//! evaluation, and speculative pipelining must produce the same best
+//! chromosome, the same fitness bits, and the same serialized trace.
+//! These tests pin that contract for several seeds under both the
+//! makespan objective and the `ServingSlo` tail objective.
+
+use compass::fitness::{FitnessContext, FitnessKind, ServingSlo};
+use compass::ga::{self, GaParams};
+use compass::{decompose, UnitSequence, ValidityMap};
+use pim_arch::ChipSpec;
+use pim_model::{zoo, Network};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Fixture {
+    net: Network,
+    seq: UnitSequence,
+    validity: ValidityMap,
+    chip: ChipSpec,
+}
+
+fn fixture() -> Fixture {
+    let chip = ChipSpec::chip_s();
+    let net = zoo::resnet18();
+    let seq = decompose(&net, &chip);
+    let validity = ValidityMap::build(&seq, &chip);
+    Fixture { net, seq, validity, chip }
+}
+
+const SEEDS: [u64; 3] = [11, 12, 13];
+
+fn objectives() -> [Option<ServingSlo>; 2] {
+    [None, Some(ServingSlo::new(2_000.0, 8))]
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RunOutput {
+    best_cuts: Vec<usize>,
+    best_pgf_bits: u64,
+    trace_json: String,
+    memoized_groups: usize,
+}
+
+#[derive(Clone, Copy)]
+enum Eval {
+    Serial,
+    Parallel,
+    Speculative,
+}
+
+fn run_one(f: &Fixture, seed: u64, slo: Option<ServingSlo>, eval: Eval) -> RunOutput {
+    let ctx = FitnessContext::new(&f.net, &f.seq, &f.validity, &f.chip, 8, FitnessKind::Latency)
+        .with_serving_slo(slo);
+    let ctx = match eval {
+        Eval::Serial => ctx.with_parallel_eval(false),
+        Eval::Parallel => ctx,
+        Eval::Speculative => ctx.with_speculation(true),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (best, trace) = ga::run(&ctx, &GaParams::fast(), &mut rng);
+    RunOutput {
+        best_cuts: best.group.cuts().to_vec(),
+        best_pgf_bits: best.pgf.to_bits(),
+        trace_json: serde_json::to_string(&trace).expect("trace serializes"),
+        memoized_groups: ctx.cache_len(),
+    }
+}
+
+fn assert_byte_identical(reference: &RunOutput, candidate: &RunOutput, what: &str) {
+    assert_eq!(reference.best_cuts, candidate.best_cuts, "{what}: best chromosome diverged");
+    assert_eq!(
+        reference.best_pgf_bits, candidate.best_pgf_bits,
+        "{what}: best fitness bits diverged"
+    );
+    assert_eq!(reference.trace_json, candidate.trace_json, "{what}: fitness trace diverged");
+}
+
+#[test]
+fn serial_evaluation_is_reproducible() {
+    let f = fixture();
+    for seed in SEEDS {
+        for slo in objectives() {
+            let a = run_one(&f, seed, slo, Eval::Serial);
+            let b = run_one(&f, seed, slo, Eval::Serial);
+            assert_byte_identical(&a, &b, "serial rerun");
+            assert_eq!(a, b, "same seed, same serial run");
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+#[test]
+fn parallel_batches_match_serial_per_seed_and_objective() {
+    let f = fixture();
+    for seed in SEEDS {
+        for slo in objectives() {
+            let serial = run_one(&f, seed, slo, Eval::Serial);
+            let parallel = run_one(&f, seed, slo, Eval::Parallel);
+            assert_byte_identical(&serial, &parallel, "parallel vs serial");
+            // Same deduped miss set → same memo contents.
+            assert_eq!(serial.memoized_groups, parallel.memoized_groups);
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+#[test]
+fn speculative_pipelining_matches_serial_per_seed_and_objective() {
+    let f = fixture();
+    for seed in SEEDS {
+        for slo in objectives() {
+            let serial = run_one(&f, seed, slo, Eval::Serial);
+            let speculative = run_one(&f, seed, slo, Eval::Speculative);
+            assert_byte_identical(&serial, &speculative, "speculative vs serial");
+            // Speculation may only *add* harmless memo entries (its
+            // guesses), never change or lose real ones.
+            assert!(
+                speculative.memoized_groups >= serial.memoized_groups,
+                "speculation lost memo entries: {} < {}",
+                speculative.memoized_groups,
+                serial.memoized_groups
+            );
+        }
+    }
+}
+
+#[cfg(not(feature = "parallel"))]
+#[test]
+fn speculation_is_inert_without_the_parallel_feature() {
+    let f = fixture();
+    let ctx = FitnessContext::new(&f.net, &f.seq, &f.validity, &f.chip, 8, FitnessKind::Latency)
+        .with_speculation(true);
+    assert!(!ctx.speculation_enabled(), "serial builds must not speculate");
+    let plain = run_one(&f, 11, None, Eval::Serial);
+    for requested in [Eval::Parallel, Eval::Speculative] {
+        let out = run_one(&f, 11, None, requested);
+        assert_eq!(plain, out, "every evaluation mode is a no-op in serial builds");
+    }
+}

@@ -1,14 +1,77 @@
 //! Offline polyfill of the `rayon` subset this workspace uses:
 //! `into_par_iter().map(..).collect::<Vec<_>>()` over owned
-//! collections and `par_iter().map(..).collect::<Vec<_>>()` over
-//! slices (borrowed items, no per-item clone before fan-out).
+//! collections, `par_iter().map(..).collect::<Vec<_>>()` over slices
+//! (borrowed items, no per-item clone before fan-out), and
+//! [`scope`]-based task spawning for fire-and-forget work that
+//! overlaps with the caller.
 //!
-//! Scoped `std::thread` workers (bounded by the available
-//! parallelism) pull items one at a time from a shared queue, so an
-//! expensive item never strands the rest of a pre-cut chunk behind
-//! it. Each result is tagged with its input index and the collection
-//! is sorted back to input order, so output ordering matches
-//! sequential execution regardless of which worker ran what.
+//! Scoped `std::thread` workers (bounded by [`current_num_threads`])
+//! pull work in *guided chunks* from a shared queue: each grab takes
+//! `remaining / (workers * 4)` items (clamped to `1..=64`), so large
+//! inputs amortize the queue lock while the tail degrades to
+//! one-at-a-time pulls and an expensive item never strands a pre-cut
+//! chunk behind it. Each result is tagged with its input index and
+//! the collection is sorted back to input order, so output ordering
+//! matches sequential execution regardless of which worker ran what.
+//!
+//! The worker count follows `std::thread::available_parallelism()`
+//! and can be overridden with the `PIM_THREADS` environment variable
+//! (useful for oversubscribing narrow CI hosts or pinning benchmarks);
+//! out-of-range values are clamped with a printed note.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Upper bound accepted from `PIM_THREADS`; beyond this the override
+/// is clamped (std threads are not free, and no fan-out here wins
+/// past a few hundred workers).
+const MAX_THREADS: usize = 256;
+
+/// Guided-chunk ceiling: one grab never takes more than this many
+/// items, whatever the queue length.
+const MAX_CHUNK: usize = 64;
+
+/// The worker-pool width every fan-out in this crate uses:
+/// `std::thread::available_parallelism()`, overridable via the
+/// `PIM_THREADS` environment variable. Resolved once per process; a
+/// clamped or unparsable override prints a one-time note.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let (threads, note) =
+            resolve_threads(std::env::var("PIM_THREADS").ok().as_deref(), available);
+        if let Some(note) = note {
+            eprintln!("{note}");
+        }
+        threads
+    })
+}
+
+/// Pure resolution of the `PIM_THREADS` override against the host's
+/// available parallelism. Returns the worker count plus the note to
+/// print when the override was clamped or ignored.
+fn resolve_threads(raw: Option<&str>, available: usize) -> (usize, Option<String>) {
+    let available = available.max(1);
+    match raw.map(str::trim) {
+        None | Some("") => (available, None),
+        Some(text) => match text.parse::<usize>() {
+            Ok(0) => (1, Some("note: PIM_THREADS=0 clamped to 1 worker thread".to_string())),
+            Ok(n) if n > MAX_THREADS => (
+                MAX_THREADS,
+                Some(format!("note: PIM_THREADS={n} clamped to the {MAX_THREADS}-thread cap")),
+            ),
+            Ok(n) => (n, None),
+            Err(_) => (
+                available,
+                Some(format!(
+                    "note: PIM_THREADS={text:?} is not a thread count; \
+                     using the host's {available}"
+                )),
+            ),
+        },
+    }
+}
 
 /// Converts a collection into a "parallel" iterator.
 pub trait IntoParallelIterator {
@@ -60,19 +123,20 @@ impl<T: Send, F> ParMap<T, F> {
         F: Fn(T) -> U + Sync,
         C: FromIterator<U>,
     {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let threads = current_num_threads();
         let n = self.items.len();
         if threads <= 1 || n <= 1 {
             let f = self.f;
             return self.items.into_iter().map(f).collect();
         }
-        // Dynamic load balancing: workers pull the next item from a
-        // shared queue instead of owning a pre-cut contiguous chunk,
-        // so uneven per-item costs spread across threads. The guard
-        // is dropped before `f` runs — items execute concurrently,
-        // only the hand-off is serialized.
+        // Dynamic load balancing with guided chunking: workers grab a
+        // shrinking chunk of the remaining queue instead of owning a
+        // pre-cut contiguous block, so uneven per-item costs spread
+        // across threads while big inputs pay one lock per chunk, not
+        // per item. The guard is dropped before `f` runs — items
+        // execute concurrently, only the hand-off is serialized.
         let f = &self.f;
-        let queue = std::sync::Mutex::new(self.items.into_iter().enumerate());
+        let queue = Mutex::new(self.items.into_iter().enumerate());
         let workers = threads.min(n);
         let mut tagged: Vec<(usize, U)> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
@@ -81,12 +145,20 @@ impl<T: Send, F> ParMap<T, F> {
                     let queue = &queue;
                     scope.spawn(move || {
                         let mut done = Vec::new();
+                        let mut chunk: Vec<(usize, U)> = Vec::new();
+                        let mut grabbed: Vec<(usize, T)> = Vec::new();
                         loop {
-                            let Some((i, item)) = queue.lock().expect("task queue poisoned").next()
-                            else {
-                                break;
-                            };
-                            done.push((i, f(item)));
+                            {
+                                let mut guard = queue.lock().expect("task queue poisoned");
+                                let remaining = guard.len();
+                                if remaining == 0 {
+                                    break;
+                                }
+                                let take = (remaining / (workers * 4)).clamp(1, MAX_CHUNK);
+                                grabbed.extend(guard.by_ref().take(take));
+                            }
+                            chunk.extend(grabbed.drain(..).map(|(i, item)| (i, f(item))));
+                            done.append(&mut chunk);
                         }
                         done
                     })
@@ -129,6 +201,104 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+type ScopeTask<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
+
+struct ScopeState<'env> {
+    queue: VecDeque<ScopeTask<'env>>,
+    /// Tasks currently executing on a worker (they may still spawn).
+    running: usize,
+    /// Set once the scope closure has returned: no further external
+    /// spawns, workers drain and exit.
+    closed: bool,
+}
+
+/// A task pool whose spawned work may borrow from the enclosing
+/// stack frame, mirroring `rayon::Scope`. Tasks start running as soon
+/// as a worker is free — concurrently with the code still executing
+/// inside the [`scope`] closure — and may themselves spawn more
+/// tasks.
+pub struct Scope<'env> {
+    state: Mutex<ScopeState<'env>>,
+    signal: Condvar,
+}
+
+impl<'env> Scope<'env> {
+    /// Queues `body` for execution on a scope worker. The closure
+    /// receives the scope again so it can spawn follow-up work.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        let mut state = self.state.lock().expect("scope state poisoned");
+        state.queue.push_back(Box::new(body));
+        drop(state);
+        self.signal.notify_one();
+    }
+
+    /// Worker loop: pull tasks until the scope is closed and fully
+    /// drained (a running task may still enqueue more, so "drained"
+    /// requires the queue empty *and* nothing running).
+    fn work(&self) {
+        loop {
+            let task = {
+                let mut state = self.state.lock().expect("scope state poisoned");
+                loop {
+                    if let Some(task) = state.queue.pop_front() {
+                        state.running += 1;
+                        break Some(task);
+                    }
+                    if state.closed && state.running == 0 {
+                        break None;
+                    }
+                    state = self.signal.wait(state).expect("scope state poisoned");
+                }
+            };
+            let Some(task) = task else {
+                // Make termination observable to every sleeping peer.
+                self.signal.notify_all();
+                return;
+            };
+            task(self);
+            let mut state = self.state.lock().expect("scope state poisoned");
+            state.running -= 1;
+            let drained = state.closed && state.running == 0 && state.queue.is_empty();
+            drop(state);
+            if drained {
+                self.signal.notify_all();
+            }
+        }
+    }
+}
+
+/// Runs `f` with a [`Scope`] whose spawned tasks execute on
+/// [`current_num_threads`] worker threads *while `f` is still
+/// running*, and returns `f`'s result once every task (including
+/// transitively spawned ones) has finished. Mirrors `rayon::scope`.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let pool = Scope {
+        state: Mutex::new(ScopeState { queue: VecDeque::new(), running: 0, closed: false }),
+        signal: Condvar::new(),
+    };
+    std::thread::scope(|threads| {
+        let workers: Vec<_> = (0..current_num_threads())
+            .map(|_| {
+                let pool = &pool;
+                threads.spawn(move || pool.work())
+            })
+            .collect();
+        let result = f(&pool);
+        pool.state.lock().expect("scope state poisoned").closed = true;
+        pool.signal.notify_all();
+        for worker in workers {
+            worker.join().expect("scope worker panicked");
+        }
+        result
+    })
+}
+
 /// Glob import target mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
@@ -137,6 +307,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{resolve_threads, MAX_THREADS};
 
     #[test]
     fn preserves_order() {
@@ -168,10 +339,10 @@ mod tests {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let calls = AtomicUsize::new(0);
         // Front-load the expensive items: under static contiguous
-        // chunking they would pile onto the first worker; dynamic
+        // chunking they would pile onto the first worker; guided
         // pulling spreads them. Either way, every item must be mapped
         // exactly once and land at its input position.
-        let out: Vec<usize> = (0..257usize)
+        let out: Vec<usize> = (0..2057usize)
             .collect::<Vec<_>>()
             .into_par_iter()
             .map(|x| {
@@ -182,7 +353,87 @@ mod tests {
                 x * x
             })
             .collect();
-        assert_eq!(calls.load(Ordering::Relaxed), 257);
-        assert_eq!(out, (0..257usize).map(|x| x * x).collect::<Vec<_>>());
+        assert_eq!(calls.load(Ordering::Relaxed), 2057);
+        assert_eq!(out, (0..2057usize).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_runs_every_task() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(Vec::new());
+        super::scope(|s| {
+            for i in 0..100 {
+                let seen = &seen;
+                s.spawn(move |_| seen.lock().unwrap().push(i));
+            }
+        });
+        let mut got = seen.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_tasks_may_spawn_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..10 {
+                let count = &count;
+                s.spawn(move |inner| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..3 {
+                        inner.spawn(move |_| {
+                            count.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10 + 10 * 3);
+    }
+
+    #[test]
+    fn scope_tasks_overlap_with_the_closure_body() {
+        // A spawned task must be able to complete while the scope
+        // closure is still executing — that is the whole point of
+        // speculative pipelining. The channel round-trip would
+        // deadlock if tasks only started after the closure returned.
+        use std::sync::mpsc;
+        let (tx, rx) = mpsc::channel();
+        let answered = super::scope(|s| {
+            s.spawn(move |_| {
+                tx.send(42usize).expect("receiver alive");
+            });
+            rx.recv_timeout(std::time::Duration::from_secs(10)).expect("task ran during closure")
+        });
+        assert_eq!(answered, 42);
+    }
+
+    #[test]
+    fn scope_returns_the_closure_result() {
+        let out = super::scope(|_| "done".to_string());
+        assert_eq!(out, "done");
+    }
+
+    #[test]
+    fn thread_override_resolution() {
+        // No override (or blank): the host's parallelism wins.
+        assert_eq!(resolve_threads(None, 8), (8, None));
+        assert_eq!(resolve_threads(Some(""), 8), (8, None));
+        assert_eq!(resolve_threads(Some("  "), 4), (4, None));
+        // In-range override, including oversubscription, no note.
+        assert_eq!(resolve_threads(Some("16"), 1), (16, None));
+        assert_eq!(resolve_threads(Some(" 2 "), 8), (2, None));
+        // Clamps print a note.
+        let (n, note) = resolve_threads(Some("0"), 8);
+        assert_eq!(n, 1);
+        assert!(note.unwrap().contains("clamped"));
+        let (n, note) = resolve_threads(Some("100000"), 8);
+        assert_eq!(n, MAX_THREADS);
+        assert!(note.unwrap().contains("clamped"));
+        // Garbage falls back to the host with a note.
+        let (n, note) = resolve_threads(Some("lots"), 6);
+        assert_eq!(n, 6);
+        assert!(note.unwrap().contains("not a thread count"));
     }
 }

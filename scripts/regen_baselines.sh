@@ -37,6 +37,13 @@ cargo run --release -p compass-bench --bin timing_mode_sweep -- --quick --json "
 # has one hardware thread per chip — a narrow host pins the honest
 # single-core ratio and prints a note instead).
 cargo run --release -p compass-bench --features sharded --bin engine_hotpath -- --quick --json "${BASELINE}" --min-speedup 3.0 --min-shard-speedup 2.0
+# GA scaling records: ga:abs:* per-generation walls (trajectory-only)
+# and ga:gate:* memo/parallel speedup ratios, all stamped with the
+# regenerating host's parallelism so the gate never compares ratios
+# across differently-sized machines. The --min-speedup floor only
+# applies on multi-core hosts (one hardware thread pins the honest
+# ~1x ratio and prints a note instead).
+cargo run --release -p compass-bench --features parallel --bin ga_scaling -- --quick --json "${BASELINE}" --min-speedup 1.3
 # Open-loop serving records (serving:*): p99 latency in the gated
 # makespan slot, SLO goodput in throughput_ips. Seeded synthetic
 # traffic on the simulated clock — byte-deterministic everywhere.
