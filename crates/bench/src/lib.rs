@@ -450,18 +450,32 @@ pub const GA_GATE_PREFIX: &str = "ga:gate:";
 /// visibility only.
 pub const GA_ABS_PREFIX: &str = "ga:abs:";
 
+/// Serving counterpart of [`HOTPATH_GATE_PREFIX`]: same-process
+/// speedup ratios from `serving_sweep --shard` (sharded-over-single
+/// serving walls), gated on throughput.
+pub const SERVING_GATE_PREFIX: &str = "serving:gate:";
+
+/// Serving counterpart of [`HOTPATH_ABS_PREFIX`]: absolute serving
+/// wall-clock rates (requests/sec per engine, chunked-vs-legacy
+/// arrival pacing), carried for visibility only.
+pub const SERVING_ABS_PREFIX: &str = "serving:abs:";
+
 /// `true` for trajectory records judged on **throughput** ratios
-/// (higher is better) instead of makespan: the `hotpath:gate:*` and
-/// `ga:gate:*` same-process speedup families.
+/// (higher is better) instead of makespan: the `hotpath:gate:*`,
+/// `ga:gate:*` and `serving:gate:*` same-process speedup families.
 pub fn gates_on_throughput(name: &str) -> bool {
-    name.starts_with(HOTPATH_GATE_PREFIX) || name.starts_with(GA_GATE_PREFIX)
+    name.starts_with(HOTPATH_GATE_PREFIX)
+        || name.starts_with(GA_GATE_PREFIX)
+        || name.starts_with(SERVING_GATE_PREFIX)
 }
 
 /// `true` for machine-dependent absolute records (`hotpath:abs:*`,
-/// `ga:abs:*`) that ride in the trajectory for visibility and are
-/// never gated — not even for presence.
+/// `ga:abs:*`, `serving:abs:*`) that ride in the trajectory for
+/// visibility and are never gated — not even for presence.
 pub fn is_ungated_abs(name: &str) -> bool {
-    name.starts_with(HOTPATH_ABS_PREFIX) || name.starts_with(GA_ABS_PREFIX)
+    name.starts_with(HOTPATH_ABS_PREFIX)
+        || name.starts_with(GA_ABS_PREFIX)
+        || name.starts_with(SERVING_ABS_PREFIX)
 }
 
 /// Compares a current perf trajectory against a committed baseline:
@@ -741,10 +755,15 @@ mod tests {
     fn ga_records_share_the_hotpath_gate_semantics() {
         assert!(gates_on_throughput("ga:gate:pop:1000:parallel-speedup"));
         assert!(gates_on_throughput("hotpath:gate:queue-speedup"));
+        assert!(gates_on_throughput("serving:gate:shard:ring2-r250k"));
         assert!(!gates_on_throughput("ga:abs:pop:100:serial"));
         assert!(is_ungated_abs("ga:abs:pop:100:serial"));
         assert!(is_ungated_abs("hotpath:abs:queue:calendar"));
+        assert!(is_ungated_abs("serving:abs:shard:ring2-r250k:single"));
         assert!(!is_ungated_abs("topology:x"));
+        // Plain serving sweep records gate on makespan, as ever.
+        assert!(!gates_on_throughput("serving:mlp-S-ring2-poisson-immediate:greedy"));
+        assert!(!is_ungated_abs("serving:mlp-S-ring2-poisson-immediate:greedy"));
 
         let record = |name: &str, ns: f64, ips: f64, threads: Option<usize>| BenchRecord {
             name: name.to_string(),

@@ -139,6 +139,14 @@ impl TaskGraph {
         self.nodes.len() - 1
     }
 
+    /// Pre-sizes the node table for `additional` more
+    /// [`Self::push_node`] calls, so growing a live graph one round at
+    /// a time (the serving frontend's appended rounds) never
+    /// reallocates mid-append.
+    pub fn reserve_nodes(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
+    }
+
     /// Adds a precedence edge into a running graph: `after` may not
     /// start until `before` completes. Unlike [`Self::add_dep`] the
     /// predecessor may already be running (the edge still blocks

@@ -103,6 +103,23 @@ impl ArrivalGen {
         self.model
     }
 
+    /// Appends up to `count` more *absolute* arrival instants (ns) to
+    /// `out`, continuing from `now_ns`, and returns the instant of the
+    /// last arrival emitted (or `now_ns` untouched when the model runs
+    /// dry immediately). One reservation covers the whole chunk, and
+    /// the draw sequence is exactly `count` [`Self::next_gap_ns`]
+    /// calls — chunked generation is bit-identical to one-at-a-time
+    /// generation, it just amortizes the per-arrival bookkeeping.
+    pub fn fill_arrivals_ns(&mut self, mut now_ns: f64, count: usize, out: &mut Vec<f64>) -> f64 {
+        out.reserve(count);
+        for _ in 0..count {
+            let Some(gap) = self.next_gap_ns() else { break };
+            now_ns += gap;
+            out.push(now_ns);
+        }
+        now_ns
+    }
+
     /// The gap to the next arrival, in nanoseconds. Returns `None`
     /// when the model can never emit another arrival (zero-rate
     /// Poisson, or an MMPP with both rates zero).
@@ -219,6 +236,37 @@ mod tests {
         let mmpp_cv2 = sq_cv(mmpp);
         assert!((poisson_cv2 - 1.0).abs() < 0.1, "Poisson CV² ≈ 1, got {poisson_cv2}");
         assert!(mmpp_cv2 > 1.5, "MMPP must be overdispersed, CV² = {mmpp_cv2}");
+    }
+
+    #[test]
+    fn chunked_fill_matches_one_at_a_time_generation() {
+        let model = TrafficModel::Mmpp {
+            calm_rate_per_s: 1e5,
+            burst_rate_per_s: 1e6,
+            mean_calm_s: 1e-3,
+            mean_burst_s: 1e-4,
+        };
+        let mut slow = ArrivalGen::new(model, 23);
+        let mut expect = Vec::new();
+        let mut now = 0.0;
+        for _ in 0..300 {
+            now += slow.next_gap_ns().unwrap();
+            expect.push(now);
+        }
+        // Uneven chunk sizes must splice into the identical stream.
+        let mut fast = ArrivalGen::new(model, 23);
+        let mut got = Vec::new();
+        let mut tail = 0.0;
+        for chunk in [1, 7, 64, 300 - 1 - 7 - 64] {
+            tail = fast.fill_arrivals_ns(tail, chunk, &mut got);
+        }
+        assert_eq!(got, expect, "chunked fill is bit-identical to per-call draws");
+        assert_eq!(tail, *expect.last().unwrap());
+        // A dry model leaves `out` and the clock untouched.
+        let mut dry = ArrivalGen::new(TrafficModel::Poisson { rate_per_s: 0.0 }, 1);
+        let mut out = Vec::new();
+        assert_eq!(dry.fill_arrivals_ns(5.0, 8, &mut out), 5.0);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -49,7 +49,8 @@ mod stage;
 pub use error::SimError;
 pub use report::{ChipSimSummary, EngineMode, LinkStats, PartitionSimReport, SimReport};
 pub use serve::{
-    percentile, BatchPolicy, RequestRecord, RequestTrace, ServingConfig, ServingReport, TrafficSpec,
+    percentile, percentiles, BatchPolicy, RequestRecord, RequestTrace, ServingConfig,
+    ServingReport, TrafficSpec, ADMISSION_LATENCY_NS,
 };
 pub use sim::ChipSimulator;
 pub use system::{ChipLoad, Handoff, SystemSimulator};

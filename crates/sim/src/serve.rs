@@ -39,13 +39,8 @@ impl RequestTrace {
     /// shorter — possibly empty — trace.
     pub fn synthesize(model: TrafficModel, seed: u64, requests: usize) -> Self {
         let mut arrivals = ArrivalGen::new(model, seed);
-        let mut arrivals_ns = Vec::with_capacity(requests);
-        let mut now_ns = 0.0;
-        for _ in 0..requests {
-            let Some(gap) = arrivals.next_gap_ns() else { break };
-            now_ns += gap;
-            arrivals_ns.push(now_ns);
-        }
+        let mut arrivals_ns = Vec::new();
+        arrivals.fill_arrivals_ns(0.0, requests, &mut arrivals_ns);
         Self { arrivals_ns }
     }
 }
@@ -257,27 +252,103 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-/// The open-loop request source: walks its arrival schedule and
-/// forwards one [`ChipEvent::NewRequest`] per arrival to the buffer,
-/// then a terminal [`ChipEvent::SourceDrained`]. The schedule is fixed
-/// at construction — arrivals never react to the system (open loop).
+/// Exact nearest-rank percentiles of an *unsorted* sample, one value
+/// per entry of `qs`, without the full sort: each quantile is one
+/// quickselect (`select_nth_unstable` under `f64::total_cmp`), and
+/// quantiles are resolved in ascending rank order over the shrinking
+/// unpartitioned tail, so the whole batch is O(n) expected instead of
+/// the O(n log n) sort [`percentile`] needs. The values are identical
+/// to sorting the sample and applying [`percentile`] — the k-th order
+/// statistic does not depend on how it was found. `sample` is
+/// reordered in place; empty samples report 0.0 for every quantile.
+pub fn percentiles(sample: &mut [f64], qs: &[f64]) -> Vec<f64> {
+    let n = sample.len();
+    if n == 0 {
+        return vec![0.0; qs.len()];
+    }
+    let rank = |q: f64| ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+    let mut order: Vec<usize> = (0..qs.len()).collect();
+    order.sort_by_key(|&i| rank(qs[i]));
+    let mut out = vec![0.0; qs.len()];
+    // Everything below `base` is already partitioned to its final
+    // position by an earlier select, so later (larger) ranks only
+    // search the tail.
+    let mut base = 0;
+    let mut prev: Option<usize> = None;
+    for &i in &order {
+        let r = rank(qs[i]);
+        if prev == Some(r) {
+            // `select_nth_unstable` left the value in place.
+            out[i] = sample[r];
+            continue;
+        }
+        let (_, value, _) = sample[base..].select_nth_unstable_by(r - base, |a, b| a.total_cmp(b));
+        out[i] = *value;
+        base = r + 1;
+        prev = Some(r);
+    }
+    out
+}
+
+/// The admission latency of the request buffer, in nanoseconds: a cut
+/// at instant `t` delivers its [`ChipEvent::AppendRound`]s at
+/// `t + ADMISSION_LATENCY_NS`. The value is an exact binary fraction
+/// (2⁻¹², ~0.24 ps) so the addition is lossless against every
+/// realistic simulated timestamp, and it is far below any physical
+/// latency in the model, so it never reorders real work.
+///
+/// The strictly positive delay is load-bearing for sharded serving:
+/// it is what gives the conservative shard protocol a non-zero edge
+/// weight between "the buffer cuts a batch" and "a chip receives the
+/// appended round". With a zero-latency admission, a shard whose next
+/// event is the round it is itself waiting for would need a window
+/// strictly past its own frontier — a zero-weight cycle the lookahead
+/// protocol cannot break. Both engines apply the same delay, so their
+/// reports stay byte-identical.
+pub const ADMISSION_LATENCY_NS: f64 = 1.0 / 4096.0;
+
+/// The default [`RequestSource`] chunk: how many arrivals are
+/// pre-scheduled per self-tick. Large enough that per-request source
+/// overhead vanishes, small enough that the engine queue never holds
+/// more than a bounded slab of far-future arrivals.
+pub(crate) const ARRIVAL_CHUNK: usize = 512;
+
+/// The open-loop request source: pre-schedules its arrival schedule as
+/// [`ChipEvent::NewRequest`]s a chunk at a time (one self-tick per
+/// `chunk` arrivals instead of one per arrival), then a terminal
+/// [`ChipEvent::SourceDrained`] at the last arrival's instant. The
+/// schedule is fixed at construction — arrivals never react to the
+/// system (open loop) — and chunking only batches event scheduling:
+/// every `NewRequest` still fires at its exact arrival instant, in
+/// arrival order.
 pub(crate) struct RequestSource {
     arrivals_ns: Vec<f64>,
     next: usize,
+    chunk: usize,
     buffer: ComponentId,
 }
 
 impl RequestSource {
-    pub(crate) fn new(arrivals_ns: Vec<f64>, buffer: ComponentId) -> Self {
-        Self { arrivals_ns, next: 0, buffer }
+    pub(crate) fn new(arrivals_ns: Vec<f64>, buffer: ComponentId, chunk: usize) -> Self {
+        Self { arrivals_ns, next: 0, chunk: chunk.max(1), buffer }
     }
 
-    /// Schedules the next self-tick, or tells the buffer the stream is
-    /// over.
+    /// Schedules the next chunk of arrivals, then either a resume tick
+    /// at the chunk's last instant (every remaining arrival is at or
+    /// past it, so the next chunk schedules forward from there) or —
+    /// once the schedule is exhausted — the drain marker, after the
+    /// final `NewRequest` at the same instant.
     fn advance(&mut self, me: ComponentId, ctx: &mut EngineCtx<'_, ChipEvent>) {
-        match self.arrivals_ns.get(self.next) {
-            Some(&at) => ctx.schedule(SimTime::from_ns(at), me, ChipEvent::Arrival),
-            None => ctx.schedule(ctx.now(), self.buffer, ChipEvent::SourceDrained),
+        let end = (self.next + self.chunk).min(self.arrivals_ns.len());
+        for &at in &self.arrivals_ns[self.next..end] {
+            ctx.schedule(SimTime::from_ns(at), self.buffer, ChipEvent::NewRequest);
+        }
+        self.next = end;
+        if end == self.arrivals_ns.len() {
+            let at = self.arrivals_ns.last().map_or(ctx.now(), |&ns| SimTime::from_ns(ns));
+            ctx.schedule(at, self.buffer, ChipEvent::SourceDrained);
+        } else {
+            ctx.schedule(SimTime::from_ns(self.arrivals_ns[end - 1]), me, ChipEvent::Arrival);
         }
     }
 }
@@ -285,12 +356,7 @@ impl RequestSource {
 impl Component<ChipEvent> for RequestSource {
     fn on_event(&mut self, event: Event<ChipEvent>, ctx: &mut EngineCtx<'_, ChipEvent>) {
         match event.payload {
-            ChipEvent::Kick => self.advance(event.target, ctx),
-            ChipEvent::Arrival => {
-                ctx.schedule(event.time, self.buffer, ChipEvent::NewRequest);
-                self.next += 1;
-                self.advance(event.target, ctx);
-            }
+            ChipEvent::Kick | ChipEvent::Arrival => self.advance(event.target, ctx),
             other => unreachable!("request source received {other:?}"),
         }
     }
@@ -300,25 +366,44 @@ impl Component<ChipEvent> for RequestSource {
     }
 }
 
-/// The request buffer + dispatcher: queues arrivals under admission
-/// control, cuts batches per the [`BatchPolicy`], and appends one
-/// pipeline round per batch to every active chip's sequencer
-/// ([`ChipEvent::AppendRound`]). Backpressure is the in-flight round
-/// limit: a cut is deferred until the slowest chip's completed-round
-/// count ([`ChipEvent::RoundDone`]) catches up.
-pub(crate) struct RequestBuffer {
+/// Where a [`BufferCore`] transition's side effects land. The core is
+/// a pure state machine shared by both execution engines; the sink is
+/// what differs — the single-threaded engine schedules real events,
+/// the sharded boundary queues admissions for cross-shard release and
+/// arms its own timer heap. Keeping every effect behind this trait is
+/// what makes the two engines' serving reports byte-identical: there
+/// is exactly one copy of the batching logic.
+pub(crate) trait AdmissionSink {
+    /// Deliver one appended round to every active chip. The cut
+    /// happened at `cut_ns`; delivery is at
+    /// `cut_ns + `[`ADMISSION_LATENCY_NS`].
+    fn admit_round(&mut self, cut_ns: f64);
+
+    /// Arm the flush timer for `due_ns`, carrying `generation` so a
+    /// stale timer can be recognized and ignored when it fires.
+    fn arm_deadline(&mut self, due_ns: f64, generation: u64);
+}
+
+/// The engine-independent request-buffer state machine: queues
+/// arrivals under admission control, cuts batches per the
+/// [`BatchPolicy`], and counts per-chip round completions for the
+/// in-flight backpressure limit. Each transition takes the current
+/// instant and an [`AdmissionSink`] for its effects; the transition
+/// order is the caller's responsibility (the single engine's event
+/// queue, or the sharded frontend's merged arrival/timer/completion
+/// stream).
+pub(crate) struct BufferCore {
     policy: BatchPolicy,
     queue_capacity: usize,
     max_inflight: usize,
-    /// Active chips: `(chip index, sequencer address)`.
-    sequencers: Vec<(usize, ComponentId)>,
-    /// Rounds each active chip has completed, parallel to
-    /// `sequencers`.
+    /// Active chip indices, in admission fan-out order.
+    chips: Vec<usize>,
+    /// Rounds each active chip has completed, parallel to `chips`.
     completed: Vec<usize>,
     /// Arrival instants of queued requests, oldest first.
     queue: Vec<f64>,
-    /// Batch generation — stale [`ChipEvent::FlushDeadline`] timers
-    /// carry an older value and are ignored.
+    /// Batch generation — stale flush timers carry an older value and
+    /// are ignored.
     generation: u64,
     /// A deadline fired while backpressured: cut as soon as a round
     /// slot frees, even below `max_size`.
@@ -334,14 +419,14 @@ pub(crate) struct RequestBuffer {
     pub(crate) dropped: usize,
 }
 
-impl RequestBuffer {
-    pub(crate) fn new(config: &ServingConfig, sequencers: Vec<(usize, ComponentId)>) -> Self {
-        let completed = vec![0; sequencers.len()];
+impl BufferCore {
+    pub(crate) fn new(config: &ServingConfig, chips: Vec<usize>) -> Self {
+        let completed = vec![0; chips.len()];
         Self {
             policy: config.policy,
             queue_capacity: config.queue_capacity,
             max_inflight: config.max_inflight,
-            sequencers,
+            chips,
             completed,
             queue: Vec::new(),
             generation: 0,
@@ -372,17 +457,72 @@ impl RequestBuffer {
         }
     }
 
+    /// Whether the next cut is waiting on a round completion: a batch
+    /// is due but every in-flight slot is taken, so the next
+    /// admission will be triggered by a [`Self::on_round_done`]. The
+    /// sharded frontend folds this into its admission horizon — it is
+    /// the only state in which a chip's own progress can move the
+    /// buffer.
+    #[cfg_attr(not(feature = "sharded"), allow(dead_code))]
+    pub(crate) fn awaiting_capacity(&self) -> bool {
+        self.batch_due() && self.inflight() >= self.max_inflight
+    }
+
+    /// A request arrived at `now_ns`.
+    pub(crate) fn on_new_request(&mut self, now_ns: f64, sink: &mut dyn AdmissionSink) {
+        if self.queue.len() >= self.queue_capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.queue.push(now_ns);
+        if self.queue.len() == 1 {
+            self.arm_deadline(now_ns, sink);
+        }
+        self.try_cut(now_ns, sink);
+    }
+
+    /// The source emitted its last arrival (at `now_ns`).
+    pub(crate) fn on_source_drained(&mut self, now_ns: f64, sink: &mut dyn AdmissionSink) {
+        self.drained = true;
+        self.try_cut(now_ns, sink);
+    }
+
+    /// A flush timer fired at `now_ns`; stale generations are ignored.
+    pub(crate) fn on_flush_deadline(
+        &mut self,
+        generation: u64,
+        now_ns: f64,
+        sink: &mut dyn AdmissionSink,
+    ) {
+        if generation != self.generation {
+            return;
+        }
+        self.deadline_due = true;
+        self.try_cut(now_ns, sink);
+    }
+
+    /// Chip `chip` finished one round at `now_ns`.
+    pub(crate) fn on_round_done(&mut self, chip: usize, now_ns: f64, sink: &mut dyn AdmissionSink) {
+        let slot = self
+            .chips
+            .iter()
+            .position(|&c| c == chip)
+            .expect("round reports come from registered sequencers");
+        self.completed[slot] += 1;
+        self.try_cut(now_ns, sink);
+    }
+
     /// Cuts every batch that is due and fits under the in-flight
     /// limit.
-    fn try_cut(&mut self, me: ComponentId, ctx: &mut EngineCtx<'_, ChipEvent>) {
+    fn try_cut(&mut self, now_ns: f64, sink: &mut dyn AdmissionSink) {
         while self.inflight() < self.max_inflight && self.batch_due() {
-            self.cut(me, ctx);
+            self.cut(now_ns, sink);
         }
     }
 
     /// Cuts one batch: admits the oldest queued requests as round
-    /// `formed` and broadcasts the round to every active sequencer.
-    fn cut(&mut self, me: ComponentId, ctx: &mut EngineCtx<'_, ChipEvent>) {
+    /// `formed` and broadcasts the round to every active chip.
+    fn cut(&mut self, now_ns: f64, sink: &mut dyn AdmissionSink) {
         let take = self.queue.len().min(self.policy.max_batch());
         let round = self.formed;
         self.formed += 1;
@@ -391,58 +531,74 @@ impl RequestBuffer {
         }
         self.generation += 1;
         self.deadline_due = false;
-        let now = ctx.now();
-        for &(_, sequencer) in &self.sequencers {
-            ctx.schedule(now, sequencer, ChipEvent::AppendRound);
-        }
-        self.arm_deadline(me, ctx);
+        sink.admit_round(now_ns);
+        self.arm_deadline(now_ns, sink);
     }
 
     /// (Re)arms the flush timer for the oldest queued request, if the
     /// policy has one.
-    fn arm_deadline(&mut self, me: ComponentId, ctx: &mut EngineCtx<'_, ChipEvent>) {
+    fn arm_deadline(&mut self, now_ns: f64, sink: &mut dyn AdmissionSink) {
         let BatchPolicy::Deadline { timeout_ns, .. } = self.policy else { return };
         let Some(&oldest) = self.queue.first() else { return };
-        let due = SimTime::from_ns((oldest + timeout_ns).max(ctx.now().as_ns()));
-        ctx.schedule(due, me, ChipEvent::FlushDeadline { generation: self.generation });
+        sink.arm_deadline((oldest + timeout_ns).max(now_ns), self.generation);
+    }
+}
+
+/// The [`AdmissionSink`] of the single-threaded engine: admissions
+/// become [`ChipEvent::AppendRound`]s scheduled
+/// [`ADMISSION_LATENCY_NS`] after the cut, deadline timers become
+/// [`ChipEvent::FlushDeadline`] self-events.
+struct EngineSink<'a, 'b> {
+    me: ComponentId,
+    sequencers: &'a [ComponentId],
+    ctx: &'a mut EngineCtx<'b, ChipEvent>,
+}
+
+impl AdmissionSink for EngineSink<'_, '_> {
+    fn admit_round(&mut self, cut_ns: f64) {
+        let at = SimTime::from_ns(cut_ns + ADMISSION_LATENCY_NS);
+        for &sequencer in self.sequencers {
+            self.ctx.schedule(at, sequencer, ChipEvent::AppendRound);
+        }
+    }
+
+    fn arm_deadline(&mut self, due_ns: f64, generation: u64) {
+        self.ctx.schedule(
+            SimTime::from_ns(due_ns),
+            self.me,
+            ChipEvent::FlushDeadline { generation },
+        );
+    }
+}
+
+/// The request buffer + dispatcher component of the single-threaded
+/// engine: a [`BufferCore`] wired to real engine events. The sharded
+/// path has no buffer component at all — the boundary holds the same
+/// core and drives it from its merged frontend stream.
+pub(crate) struct RequestBuffer {
+    pub(crate) core: BufferCore,
+    /// Active sequencer addresses, parallel to the core's chip list.
+    sequencers: Vec<ComponentId>,
+}
+
+impl RequestBuffer {
+    pub(crate) fn new(config: &ServingConfig, active: Vec<(usize, ComponentId)>) -> Self {
+        let (chips, sequencers) = active.into_iter().unzip();
+        Self { core: BufferCore::new(config, chips), sequencers }
     }
 }
 
 impl Component<ChipEvent> for RequestBuffer {
     fn on_event(&mut self, event: Event<ChipEvent>, ctx: &mut EngineCtx<'_, ChipEvent>) {
-        let me = event.target;
+        let now_ns = event.time.as_ns();
+        let mut sink = EngineSink { me: event.target, sequencers: &self.sequencers, ctx };
         match event.payload {
-            ChipEvent::NewRequest => {
-                if self.queue.len() >= self.queue_capacity {
-                    self.dropped += 1;
-                    return;
-                }
-                self.queue.push(event.time.as_ns());
-                if self.queue.len() == 1 {
-                    self.arm_deadline(me, ctx);
-                }
-                self.try_cut(me, ctx);
-            }
-            ChipEvent::SourceDrained => {
-                self.drained = true;
-                self.try_cut(me, ctx);
-            }
+            ChipEvent::NewRequest => self.core.on_new_request(now_ns, &mut sink),
+            ChipEvent::SourceDrained => self.core.on_source_drained(now_ns, &mut sink),
             ChipEvent::FlushDeadline { generation } => {
-                if generation != self.generation {
-                    return;
-                }
-                self.deadline_due = true;
-                self.try_cut(me, ctx);
+                self.core.on_flush_deadline(generation, now_ns, &mut sink)
             }
-            ChipEvent::RoundDone { chip } => {
-                let slot = self
-                    .sequencers
-                    .iter()
-                    .position(|&(c, _)| c == chip)
-                    .expect("round reports come from registered sequencers");
-                self.completed[slot] += 1;
-                self.try_cut(me, ctx);
-            }
+            ChipEvent::RoundDone { chip } => self.core.on_round_done(chip, now_ns, &mut sink),
             other => unreachable!("request buffer received {other:?}"),
         }
     }

@@ -99,6 +99,10 @@ impl StageGraph {
         if self.partitions == 0 {
             return;
         }
+        // One reservation for the whole round keeps the node table from
+        // reallocating inside the per-partition push loop — the serving
+        // hot path appends thousands of rounds one at a time.
+        self.graph.reserve_nodes(self.partitions);
         let b = self.graph.len() / self.partitions;
         for (p, program) in programs.iter().enumerate() {
             let node = self.graph.push_node();

@@ -37,8 +37,11 @@ use crate::report::{
     ChipSimSummary, CoreActivity, EngineMode, LinkStats, PartitionSimReport, SimReport,
 };
 use crate::serve::{
-    percentile, RequestBuffer, RequestRecord, RequestSource, ServingConfig, ServingReport,
+    percentiles, BufferCore, RequestBuffer, RequestRecord, RequestSource, ServingConfig,
+    ServingReport, ARRIVAL_CHUNK,
 };
+#[cfg(feature = "sharded")]
+use crate::serve::{AdmissionSink, ADMISSION_LATENCY_NS};
 use crate::stage::StageGraph;
 use pim_arch::{ChipSpec, EnergyModel, Link, PowerBreakdown, ScheduleMode, TimingMode, Topology};
 use pim_dram::{DramConfig, DramEnergy, TraceStats};
@@ -139,6 +142,9 @@ pub struct SystemSimulator {
     /// Explicit event-queue pre-size hint; `None` derives one from the
     /// workload.
     event_capacity: Option<usize>,
+    /// Serving-path arrival pre-generation chunk; `None` uses the
+    /// default [`ARRIVAL_CHUNK`].
+    arrival_chunk: Option<usize>,
     #[cfg(feature = "reference-queue")]
     reference_queue: bool,
     #[cfg(feature = "sharded")]
@@ -160,6 +166,7 @@ impl SystemSimulator {
             interleave_bytes: DEFAULT_INTERLEAVE_BYTES,
             dram_reorder: false,
             event_capacity: None,
+            arrival_chunk: None,
             #[cfg(feature = "reference-queue")]
             reference_queue: false,
             #[cfg(feature = "sharded")]
@@ -250,6 +257,22 @@ impl SystemSimulator {
     pub fn with_event_capacity(mut self, events: usize) -> Self {
         self.event_capacity = Some(events);
         self
+    }
+
+    /// Sets how many arrivals the serving request source pre-schedules
+    /// per engine visit (clamped to at least one). A measurement knob:
+    /// request timing is byte-identical for every chunk size — `1`
+    /// reproduces the legacy one-event-per-arrival pacing, the default
+    /// amortizes the per-arrival scheduling cost — so benchmarks can
+    /// isolate the chunking win honestly.
+    pub fn with_arrival_chunk(mut self, chunk: usize) -> Self {
+        self.arrival_chunk = Some(chunk.max(1));
+        self
+    }
+
+    /// The serving arrival pre-generation chunk in effect.
+    fn arrival_chunk(&self) -> usize {
+        self.arrival_chunk.unwrap_or(ARRIVAL_CHUNK).max(1)
     }
 
     /// The spec chip `c` runs: its slot override, or the system's base
@@ -423,6 +446,21 @@ impl SystemSimulator {
         })
     }
 
+    /// The serving-path pre-size: the steady-state derivation of
+    /// [`Self::event_capacity_for`] plus the frontend's own peak —
+    /// one pre-scheduled chunk of arrivals and the admission fan-out.
+    /// `requests` is the *realized* arrival count, i.e. the traffic
+    /// spec's mean rate × duration already sampled, so short traces
+    /// never over-reserve.
+    fn serving_event_capacity(&self, loads: &[ChipLoad<'_>], requests: usize) -> usize {
+        self.event_capacity.unwrap_or_else(|| {
+            let stage_cores: usize = loads.iter().map(|l| self.stage_cores_of(l)).sum();
+            let steady = (stage_cores + 8 * loads.len()) * 8;
+            let frontend = requests.min(self.arrival_chunk()) + 2 * loads.len();
+            (steady + frontend).clamp(256, 1 << 16)
+        })
+    }
+
     /// One shard's slice of the pre-size: an explicit hint is split
     /// evenly across chips; the derived default counts only the
     /// shard's own stage cores and shared components.
@@ -561,11 +599,17 @@ impl SystemSimulator {
     /// p50/p99/p999 latency, queueing delay, goodput and drops — and
     /// `batch` reflects the requests actually served.
     ///
-    /// Serving runs are deterministic per traffic seed and always
-    /// execute on the single-threaded engine: rounds materialize at
-    /// run time, which the conservative shard boundary cannot replay
-    /// (a sharding request falls back with a note, exactly like other
-    /// fallbacks).
+    /// Serving runs are deterministic per traffic seed on *either*
+    /// engine. When sharding is requested and honoured, the admission
+    /// frontend (source + buffer) moves onto the shard boundary: the
+    /// arrival stream's next-arrival lower bound — advanced by the
+    /// [`crate::ADMISSION_LATENCY_NS`] admission delay — joins the
+    /// in-flight transfer tails as a horizon term, admitted rounds
+    /// ship to the shards as ordered remote events, and the report is
+    /// byte-identical to the single-threaded oracle. The fallback
+    /// reasons (single chip, zero-latency link) are exactly
+    /// [`Self::run`]'s, recorded in [`SimReport::engine`] and noted
+    /// once per process.
     ///
     /// # Errors
     ///
@@ -605,19 +649,30 @@ impl SystemSimulator {
         }
         #[cfg(feature = "sharded")]
         if self.sharded {
-            note_shard_fallback(
-                "open-loop serving appends rounds at run time, which the conservative \
-                 shard boundary cannot replay",
-            );
+            match self.shard_fallback_reason(loads) {
+                None => return self.run_serving_sharded(loads, serving, arrivals),
+                Some(reason) => note_shard_fallback(reason),
+            }
         }
+        self.run_serving_single(loads, serving, arrivals)
+    }
 
+    /// The single-threaded serving path: the whole system plus the
+    /// request source and buffer on one engine — the byte-identity
+    /// oracle the sharded path is tested against.
+    fn run_serving_single(
+        &self,
+        loads: &[ChipLoad<'_>],
+        serving: &ServingConfig,
+        arrivals: Vec<f64>,
+    ) -> Result<SimReport, SimError> {
         let chips = loads.len();
         let mut engine: Engine<ChipEvent> = Engine::new(0);
         #[cfg(feature = "reference-queue")]
         if self.reference_queue {
             engine.use_reference_queue();
         }
-        engine.reserve_events(self.event_capacity_for(loads));
+        engine.reserve_events(self.serving_event_capacity(loads, arrivals.len()));
         let parts: Vec<ChipParts> =
             (0..chips).map(|c| self.register_chip(&mut engine, c)).collect();
         let interconnect_id = engine.next_component_id();
@@ -646,7 +701,8 @@ impl SystemSimulator {
             .collect();
         let id = engine.add_component(RequestBuffer::new(serving, active));
         assert_eq!(id, buffer_id);
-        let id = engine.add_component(RequestSource::new(arrivals, buffer_id));
+        let id =
+            engine.add_component(RequestSource::new(arrivals, buffer_id, self.arrival_chunk()));
         assert_eq!(id, source_id);
         for &id in &sequencer_ids {
             engine.schedule(SimTime::ZERO, id, ChipEvent::Kick);
@@ -664,21 +720,45 @@ impl SystemSimulator {
                 engine.extract(interconnect_id).expect("interconnect survives the run");
             ic.stats
         });
+        self.fold_serving_report(
+            loads,
+            serving,
+            buffer.core,
+            outcomes,
+            links,
+            EngineMode::SingleThread,
+        )
+    }
+
+    /// Folds a finished serving run — the frontend's admission ledger
+    /// plus the per-chip outcomes — into the final report. Shared by
+    /// the single-threaded and sharded paths: identical ledgers and
+    /// outcomes fold to identical bytes, whatever engine produced
+    /// them.
+    fn fold_serving_report(
+        &self,
+        loads: &[ChipLoad<'_>],
+        serving: &ServingConfig,
+        core: BufferCore,
+        outcomes: Vec<ChipOutcome>,
+        links: Option<Vec<LinkStats>>,
+        engine: EngineMode,
+    ) -> Result<SimReport, SimError> {
         // Round spans — folded from the stage records *before*
         // fold_report consumes the outcomes. A round starts when its
         // first stage starts anywhere and finishes when its last stage
         // drains on the slowest chip.
-        let mut round_start = vec![f64::INFINITY; buffer.formed];
-        let mut round_finish = vec![0.0f64; buffer.formed];
+        let mut round_start = vec![f64::INFINITY; core.formed];
+        let mut round_finish = vec![0.0f64; core.formed];
         for outcome in &outcomes {
             for record in &outcome.sequencer.records {
                 round_start[record.round] = round_start[record.round].min(record.start_ns);
                 round_finish[record.round] = round_finish[record.round].max(record.end_ns);
             }
         }
-        let mut report = self.fold_report(loads, buffer.formed.max(1), 1, outcomes, links)?;
+        let mut report = self.fold_report(loads, core.formed.max(1), 1, outcomes, links)?;
 
-        let records: Vec<RequestRecord> = buffer
+        let records: Vec<RequestRecord> = core
             .admitted
             .iter()
             .map(|&(arrival_ns, round)| RequestRecord {
@@ -688,8 +768,11 @@ impl SystemSimulator {
                 finish_ns: round_finish[round],
             })
             .collect();
+        // Quickselect the three requested ranks instead of sorting the
+        // whole sample: same exact nearest-rank values, linear expected
+        // time.
         let mut latencies: Vec<f64> = records.iter().map(|r| r.latency_ns()).collect();
-        latencies.sort_by(f64::total_cmp);
+        let tails = percentiles(&mut latencies, &[0.50, 0.99, 0.999]);
         let mean_queue_ns = if records.is_empty() {
             0.0
         } else {
@@ -705,17 +788,17 @@ impl SystemSimulator {
         report.batch = records.len().max(1);
         report.serving = Some(ServingReport {
             requests: records.len(),
-            dropped: buffer.dropped,
-            rounds: buffer.formed,
-            p50_ns: percentile(&latencies, 0.50),
-            p99_ns: percentile(&latencies, 0.99),
-            p999_ns: percentile(&latencies, 0.999),
+            dropped: core.dropped,
+            rounds: core.formed,
+            p50_ns: tails[0],
+            p99_ns: tails[1],
+            p999_ns: tails[2],
             mean_queue_ns,
             goodput_rps,
             slo_violations,
             records,
         });
-        report.engine = Some(EngineMode::SingleThread);
+        report.engine = Some(engine);
         Ok(report)
     }
 
@@ -986,6 +1069,113 @@ impl SystemSimulator {
         report.engine = Some(EngineMode::Sharded { shards: chips });
         Ok(report)
     }
+
+    /// The sharded serving path: the same per-chip shard layout as
+    /// [`Self::run_sharded`], with the admission frontend lifted onto
+    /// the boundary ([`ServingBoundary`]) instead of living as source
+    /// and buffer components. Each shard pads the buffer and source
+    /// slots, so its sequencer's `RoundDone` reports export to the
+    /// coordinator, and admitted rounds come back as released
+    /// `AppendRound` remote events. Reports are byte-identical to
+    /// [`Self::run_serving_single`].
+    #[cfg(feature = "sharded")]
+    fn run_serving_sharded(
+        &self,
+        loads: &[ChipLoad<'_>],
+        serving: &ServingConfig,
+        arrivals: Vec<f64>,
+    ) -> Result<SimReport, SimError> {
+        let chips = loads.len();
+        let per_chip = 3 + usize::from(match self.mode {
+            TimingMode::Analytic => self.replay_dram,
+            TimingMode::ClosedLoop => true,
+        });
+        let interconnect_id = ComponentId(chips * per_chip);
+        let sequencer_ids: Vec<ComponentId> =
+            (0..chips).map(|c| ComponentId(interconnect_id.0 + 1 + c)).collect();
+        let buffer_id = ComponentId(interconnect_id.0 + 1 + chips);
+        let mut route_bounds = vec![vec![None; chips]; chips];
+        for (src, load) in loads.iter().enumerate() {
+            for handoff in &load.handoffs {
+                route_bounds[src][handoff.dst] =
+                    self.topology.route_transfer_bound_ns(src, handoff.dst, handoff.bytes);
+            }
+        }
+        let link = LinkBoundary::new(
+            InterconnectComponent::new(&self.topology, &sequencer_ids),
+            interconnect_id,
+            chips,
+            route_bounds,
+        );
+        let active: Vec<usize> = (0..chips).filter(|&c| !loads[c].programs.is_empty()).collect();
+        let mut boundary = ServingBoundary::new(
+            link,
+            BufferCore::new(serving, active.clone()),
+            buffer_id,
+            active,
+            arrivals,
+        );
+        let sequencer_ids = &sequencer_ids;
+        let shards: Vec<_> = (0..chips)
+            .map(|c| {
+                move |session: pim_engine::ShardSession<ChipEvent>| -> ChipOutcome {
+                    let mut engine: Engine<ChipEvent> = Engine::new(0);
+                    #[cfg(feature = "reference-queue")]
+                    if self.reference_queue {
+                        engine.use_reference_queue();
+                    }
+                    engine.reserve_events(self.shard_event_capacity(&loads[c], chips));
+                    engine.enable_exports();
+                    let mut parts = None;
+                    for cc in 0..chips {
+                        if cc == c {
+                            parts = Some(self.register_chip(&mut engine, c));
+                        } else {
+                            engine.pad_components(per_chip);
+                        }
+                    }
+                    let parts = parts.expect("own chip registered");
+                    // The interconnect slot: vacant here, so its
+                    // events export to the coordinator's boundary.
+                    engine.pad_components(1);
+                    for cc in 0..chips {
+                        if cc == c {
+                            // Zero rounds up front; released
+                            // admissions append them at run time.
+                            let mut sequencer =
+                                self.sequencer_for(c, loads, 0, &parts, interconnect_id);
+                            if !loads[c].programs.is_empty() {
+                                sequencer.notify = Some(buffer_id);
+                            }
+                            let id = engine.add_component(sequencer);
+                            assert_eq!(id, sequencer_ids[c]);
+                        } else {
+                            engine.pad_components(1);
+                        }
+                    }
+                    // The buffer and source slots: vacant everywhere —
+                    // the boundary plays both roles, and `RoundDone`
+                    // reports addressed at the buffer slot export.
+                    engine.pad_components(2);
+                    engine.schedule(SimTime::ZERO, sequencer_ids[c], ChipEvent::Kick);
+                    session.drive(&mut engine);
+                    self.chip_outcome(&mut engine, &parts, sequencer_ids[c])
+                }
+            })
+            .collect();
+        let outcomes = pim_engine::run_sharded(shards, &mut boundary);
+        let (core, stats) = boundary.into_parts();
+        // Serving sharded runs are multi-chip by construction, so
+        // links always report.
+        self.fold_serving_report(
+            loads,
+            serving,
+            core,
+            outcomes,
+            Some(stats),
+            EngineMode::Sharded { shards: chips },
+        )
+    }
 }
 
 /// Prints a once-per-process note that a sharding request fell back
@@ -1056,6 +1246,12 @@ enum TransferKind {
     Ship { src: usize, dst: usize, bytes: usize, hop: usize },
     /// A terminal delivery to `dst`'s sequencer.
     Arrival { src: usize, dst: usize },
+    /// An admitted serving round bound for `dst`'s sequencer
+    /// ([`ChipEvent::AppendRound`]): cut by the boundary-resident
+    /// request buffer, delivered [`ADMISSION_LATENCY_NS`] later.
+    /// Touches no link state — like an [`TransferKind::Arrival`], its
+    /// delivery time is final at creation.
+    Admission { dst: usize },
 }
 
 /// A pending boundary transfer, ordered exactly as the single engine
@@ -1158,8 +1354,8 @@ struct LinkBoundary {
     /// times are exact, so they release lazily and never bound their
     /// destination's horizon.
     ready: Vec<BinaryHeap<Reverse<PendingTransfer>>>,
-    /// Per-lane emission counters (`chips + 1`: one per shard plus
-    /// the relay lane).
+    /// Per-lane emission counters (`chips + 2`: one per shard, the
+    /// relay lane, and the admission lane of the serving frontend).
     emit: Vec<u64>,
     /// `route_bounds[src][dst]`: minimum delivery delay of the
     /// declared `(src, dst)` hand-off over its route, `None` for
@@ -1181,9 +1377,23 @@ impl LinkBoundary {
             chips,
             pending: BinaryHeap::new(),
             ready: (0..chips).map(|_| BinaryHeap::new()).collect(),
-            emit: vec![0; chips + 1],
+            emit: vec![0; chips + 2],
             route_bounds,
         }
+    }
+
+    /// The admission lane: all serving-frontend admissions share one
+    /// lane past every shard's and the relay lane, so equal-instant
+    /// ties against genuine transfers resolve the same way every run.
+    fn admission_lane(&self) -> usize {
+        self.chips + 1
+    }
+
+    /// Queues one admitted-round delivery for `dst`, cut at
+    /// `scheduled` and delivered at `time`.
+    fn push_admission(&mut self, time: SimTime, scheduled: SimTime, dst: usize) {
+        let lane = self.admission_lane();
+        self.push(time, scheduled, lane, TransferKind::Admission { dst });
     }
 
     /// Queues boundary work scheduled at instant `scheduled` on
@@ -1202,7 +1412,9 @@ impl LinkBoundary {
         self.emit[lane] += 1;
         let entry = PendingTransfer { time, scheduled, lane, emit, kind };
         match entry.kind {
-            TransferKind::Arrival { dst, .. } => self.ready[dst].push(Reverse(entry)),
+            TransferKind::Arrival { dst, .. } | TransferKind::Admission { dst } => {
+                self.ready[dst].push(Reverse(entry))
+            }
             TransferKind::Ship { .. } => self.pending.push(Reverse(entry)),
         }
     }
@@ -1271,58 +1483,39 @@ impl LinkBoundary {
         eff
     }
 
-    /// The accumulated per-link statistics, for the report fold.
-    fn into_stats(self) -> Vec<LinkStats> {
-        self.fabric.stats
-    }
-}
-
-#[cfg(feature = "sharded")]
-impl pim_engine::Boundary<ChipEvent> for LinkBoundary {
-    fn next_time(&self) -> Option<SimTime> {
-        let mut next = self.pending.peek().map(|Reverse(p)| p.time);
-        for queue in &self.ready {
-            if let Some(Reverse(front)) = queue.peek() {
-                tighten(&mut next, front.time);
-            }
+    /// Carries the front pending hop over its next link if no future
+    /// export can precede it — below the minimum effective frontier in
+    /// `eff`, no chip can emit new boundary work, so processing in
+    /// `(time, scheduled, lane, emit)` order reproduces the single
+    /// engine's link arithmetic exactly. Returns whether a hop was
+    /// carried; bounds only grow as hops are carried, so callers
+    /// looping until `false` terminate.
+    fn carry_front_if_safe(&mut self, eff: &[Option<SimTime>]) -> bool {
+        let safe = eff.iter().flatten().min().copied();
+        let Some(Reverse(front)) = self.pending.peek() else { return false };
+        let carriable = match safe {
+            Some(safe) => front.time < safe,
+            None => true,
+        };
+        if !carriable {
+            return false;
         }
-        next
+        let Reverse(entry) = self.pending.pop().expect("peeked entry exists");
+        let TransferKind::Ship { src, dst, bytes, hop } = entry.kind else {
+            unreachable!("pending holds only in-flight hops")
+        };
+        let (time, _target, payload) = self.fabric.relay(self.me, entry.time, src, dst, bytes, hop);
+        let ChipEvent::Ship { src, dst, bytes, hop } = payload else {
+            unreachable!("relay emits the next hop for non-terminal ships")
+        };
+        self.push(time, entry.time, self.chips, TransferKind::Ship { src, dst, bytes, hop });
+        true
     }
 
-    fn advance(&mut self, frontiers: &[Option<SimTime>]) {
-        // Carry every hop that can no longer be preceded by any
-        // future export: below the minimum effective frontier, no
-        // chip can emit new boundary work, so processing in
-        // `(time, scheduled, lane, emit)` order reproduces the single
-        // engine's link arithmetic exactly. Bounds only grow as hops
-        // are carried, so recomputing the frontier each step is
-        // monotone and the loop terminates.
-        loop {
-            let eff = self.effective_frontiers(frontiers);
-            let safe = eff.iter().flatten().min().copied();
-            let Some(Reverse(front)) = self.pending.peek() else { break };
-            let carriable = match safe {
-                Some(safe) => front.time < safe,
-                None => true,
-            };
-            if !carriable {
-                break;
-            }
-            let Reverse(entry) = self.pending.pop().expect("peeked entry exists");
-            let TransferKind::Ship { src, dst, bytes, hop } = entry.kind else {
-                unreachable!("pending holds only in-flight hops")
-            };
-            let (time, _target, payload) =
-                self.fabric.relay(self.me, entry.time, src, dst, bytes, hop);
-            let ChipEvent::Ship { src, dst, bytes, hop } = payload else {
-                unreachable!("relay emits the next hop for non-terminal ships")
-            };
-            self.push(time, entry.time, self.chips, TransferKind::Ship { src, dst, bytes, hop });
-        }
-    }
-
-    fn horizons(&self, frontiers: &[Option<SimTime>]) -> Vec<Option<SimTime>> {
-        let eff = self.effective_frontiers(frontiers);
+    /// Per-destination release horizons for the effective frontiers
+    /// `eff`: the tails of in-flight hops destined there, and every
+    /// declared producer's frontier advanced by its route bound.
+    fn horizons_from(&self, eff: &[Option<SimTime>]) -> Vec<Option<SimTime>> {
         (0..self.chips)
             .map(|dst| {
                 let mut horizon: Option<SimTime> = None;
@@ -1346,6 +1539,42 @@ impl pim_engine::Boundary<ChipEvent> for LinkBoundary {
             .collect()
     }
 
+    /// The accumulated per-link statistics, for the report fold.
+    fn into_stats(self) -> Vec<LinkStats> {
+        self.fabric.stats
+    }
+}
+
+#[cfg(feature = "sharded")]
+impl pim_engine::Boundary<ChipEvent> for LinkBoundary {
+    fn next_time(&self) -> Option<SimTime> {
+        let mut next = self.pending.peek().map(|Reverse(p)| p.time);
+        for queue in &self.ready {
+            if let Some(Reverse(front)) = queue.peek() {
+                tighten(&mut next, front.time);
+            }
+        }
+        next
+    }
+
+    fn advance(&mut self, frontiers: &[Option<SimTime>]) {
+        // Carry every hop that can no longer be preceded by any future
+        // export, recomputing the frontier after each step (bounds
+        // only grow as hops are carried, so the loop is monotone and
+        // terminates).
+        loop {
+            let eff = self.effective_frontiers(frontiers);
+            if !self.carry_front_if_safe(&eff) {
+                break;
+            }
+        }
+    }
+
+    fn horizons(&self, frontiers: &[Option<SimTime>]) -> Vec<Option<SimTime>> {
+        let eff = self.effective_frontiers(frontiers);
+        self.horizons_from(&eff)
+    }
+
     fn release(&mut self, shard: usize, horizon: Option<SimTime>) -> Vec<RemoteEvent<ChipEvent>> {
         let mut inbox = Vec::new();
         while let Some(Reverse(front)) = self.ready[shard].peek() {
@@ -1357,13 +1586,17 @@ impl pim_engine::Boundary<ChipEvent> for LinkBoundary {
                 break;
             }
             let Reverse(entry) = self.ready[shard].pop().expect("peeked entry exists");
-            let TransferKind::Arrival { src, dst } = entry.kind else {
-                unreachable!("ready queues hold only terminal deliveries")
+            let (dst, payload) = match entry.kind {
+                TransferKind::Arrival { src, dst } => (dst, ChipEvent::HandoffIn { src }),
+                TransferKind::Admission { dst } => (dst, ChipEvent::AppendRound),
+                TransferKind::Ship { .. } => {
+                    unreachable!("ready queues hold only terminal deliveries")
+                }
             };
             inbox.push(RemoteEvent {
                 time: entry.time,
                 target: self.fabric.sequencers[dst],
-                payload: ChipEvent::HandoffIn { src },
+                payload,
             });
         }
         inbox
@@ -1379,6 +1612,353 @@ impl pim_engine::Boundary<ChipEvent> for LinkBoundary {
             };
             self.push(event.time, event.time, shard, TransferKind::Ship { src, dst, bytes, hop });
         }
+    }
+}
+
+/// An armed flush timer on the serving boundary, ordered `(due,
+/// emit)` — `emit` is a frontend-wide monotone counter, so equal-due
+/// timers fire in arming order, exactly as the single engine's event
+/// queue orders equal-instant self-events.
+#[cfg(feature = "sharded")]
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct TimerEntry {
+    due: SimTime,
+    emit: u64,
+    generation: u64,
+}
+
+/// An absorbed round-completion report awaiting frontend processing,
+/// ordered `(time, lane, emit)`: equal-instant reports from different
+/// shards order by shard index — the order the single engine's
+/// chip-major component layout dispatches equal-instant `RoundDone`s
+/// in — and reports from one shard keep their export order.
+#[cfg(feature = "sharded")]
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct InboxDone {
+    time: SimTime,
+    lane: usize,
+    emit: u64,
+    chip: usize,
+}
+
+/// The [`AdmissionSink`] of the sharded serving frontend: admissions
+/// become [`TransferKind::Admission`] deliveries on the boundary's
+/// ready queues (released to their shards under the usual horizon
+/// discipline), deadline timers land on the frontend's own timer
+/// heap.
+#[cfg(feature = "sharded")]
+struct FrontendSink<'a> {
+    link: &'a mut LinkBoundary,
+    timers: &'a mut BinaryHeap<Reverse<TimerEntry>>,
+    timer_emit: &'a mut u64,
+    active: &'a [usize],
+}
+
+#[cfg(feature = "sharded")]
+impl AdmissionSink for FrontendSink<'_> {
+    fn admit_round(&mut self, cut_ns: f64) {
+        let time = SimTime::from_ns(cut_ns + ADMISSION_LATENCY_NS);
+        let scheduled = SimTime::from_ns(cut_ns);
+        // Ascending chip order — the order the single engine's buffer
+        // schedules its per-sequencer `AppendRound`s in.
+        for &dst in self.active {
+            self.link.push_admission(time, scheduled, dst);
+        }
+    }
+
+    fn arm_deadline(&mut self, due_ns: f64, generation: u64) {
+        let emit = *self.timer_emit;
+        *self.timer_emit += 1;
+        self.timers.push(Reverse(TimerEntry { due: SimTime::from_ns(due_ns), emit, generation }));
+    }
+}
+
+/// The sharded *serving* boundary: a [`LinkBoundary`] plus the
+/// admission frontend — the request source (as a pre-generated
+/// arrival stream), the [`BufferCore`] state machine, its flush
+/// timers, and the inbox of absorbed round completions. The frontend
+/// replays the exact event interleaving the single engine's buffer
+/// component sees, by merging its three input streams (arrivals,
+/// timers, completions) in time order and only consuming an input
+/// when no shard can still produce an earlier round completion.
+///
+/// Dynamic graph growth is safe because *potential future admissions*
+/// are a horizon term: the earliest instant the buffer could next cut
+/// a batch (next arrival, earliest armed timer, or — when a due batch
+/// waits on capacity — the earliest possible round completion),
+/// advanced by [`ADMISSION_LATENCY_NS`], bounds every active chip's
+/// effective frontier and release horizon exactly like an in-flight
+/// transfer's ship-tail. The admission delay is what keeps the
+/// protocol live: a cut at `t` delivers strictly after `t`, so
+/// granting a shard a window up to the admission bound always lets it
+/// pass the instant that triggers the admission.
+#[cfg(feature = "sharded")]
+struct ServingBoundary {
+    link: LinkBoundary,
+    core: BufferCore,
+    /// The request buffer's global component id: shard exports
+    /// targeting it are frontend input, everything else is fabric
+    /// traffic.
+    buffer_id: ComponentId,
+    /// Active chip indices (non-empty programs), ascending.
+    active: Vec<usize>,
+    /// Pre-generated absolute arrival instants, ns, ascending.
+    arrivals: Vec<f64>,
+    /// Next unconsumed arrival.
+    next_arrival: usize,
+    /// Armed flush timers, stale generations included (they pop as
+    /// no-ops, exactly like the single engine's stale
+    /// `FlushDeadline`s).
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    timer_emit: u64,
+    /// Absorbed round completions not yet fed to the core.
+    inbox: BinaryHeap<Reverse<InboxDone>>,
+    /// Per-shard inbox emission counters.
+    inbox_emit: Vec<u64>,
+}
+
+#[cfg(feature = "sharded")]
+impl ServingBoundary {
+    fn new(
+        link: LinkBoundary,
+        core: BufferCore,
+        buffer_id: ComponentId,
+        active: Vec<usize>,
+        arrivals: Vec<f64>,
+    ) -> Self {
+        let chips = link.chips;
+        let mut this = Self {
+            link,
+            core,
+            buffer_id,
+            active,
+            arrivals,
+            next_arrival: 0,
+            timers: BinaryHeap::new(),
+            timer_emit: 0,
+            inbox: BinaryHeap::new(),
+            inbox_emit: vec![0; chips],
+        };
+        if this.arrivals.is_empty() {
+            // An empty stream drains at t = 0, exactly like the single
+            // engine's source scheduling `SourceDrained` off its Kick.
+            let mut sink = FrontendSink {
+                link: &mut this.link,
+                timers: &mut this.timers,
+                timer_emit: &mut this.timer_emit,
+                active: &this.active,
+            };
+            this.core.on_source_drained(0.0, &mut sink);
+        }
+        this
+    }
+
+    /// The earliest instant the buffer could next cut a batch, given
+    /// that future round completions arrive no earlier than `gate`:
+    /// the next arrival, the earliest armed timer (stale timers
+    /// included — a lower bound may be conservative), and, when a due
+    /// batch is waiting on round capacity, the earliest absorbed or
+    /// future completion. `None` means no future admission is
+    /// possible.
+    fn admission_trigger(&self, gate: Option<SimTime>) -> Option<SimTime> {
+        let mut trigger: Option<SimTime> = None;
+        if let Some(&at) = self.arrivals.get(self.next_arrival) {
+            tighten(&mut trigger, SimTime::from_ns(at));
+        }
+        if let Some(Reverse(front)) = self.timers.peek() {
+            tighten(&mut trigger, front.due);
+        }
+        if self.core.awaiting_capacity() {
+            // Only in this state can a completion move the buffer: a
+            // batch is due and every in-flight slot is taken, so the
+            // next cut fires off a `RoundDone`.
+            if let Some(Reverse(front)) = self.inbox.peek() {
+                tighten(&mut trigger, front.time);
+            }
+            if let Some(gate) = gate {
+                tighten(&mut trigger, gate);
+            }
+        }
+        trigger
+    }
+
+    /// The boundary's frontier view: the link's effective frontiers
+    /// tightened by potential future admissions, plus the *gate* — the
+    /// earliest instant any active chip could still emit a round
+    /// completion (`None` when every active chip is silent forever).
+    /// The gate is computed *before* admission tightening: completions
+    /// of already-admitted rounds are bounded by the pre-admission
+    /// frontiers, and any admission the frontend performs later is
+    /// performed in stream order, so it can only create completions at
+    /// or after the instant being consumed.
+    fn frontier_view(
+        &self,
+        frontiers: &[Option<SimTime>],
+    ) -> (Vec<Option<SimTime>>, Option<SimTime>) {
+        let mut eff = self.link.effective_frontiers(frontiers);
+        let mut gate: Option<SimTime> = None;
+        for &c in &self.active {
+            // `None` frontiers contribute nothing: a permanently
+            // silent chip never reports another round.
+            if let Some(t) = eff[c] {
+                tighten(&mut gate, t);
+            }
+        }
+        if let Some(trigger) = self.admission_trigger(gate) {
+            let adm = trigger.advance(ADMISSION_LATENCY_NS);
+            // One pass suffices: every chip that can ship is active
+            // (idle chips cannot declare hand-offs), so any secondary
+            // influence `adm + route bound` exceeds the `adm` every
+            // active chip is already tightened to.
+            for &c in &self.active {
+                tighten(&mut eff[c], adm);
+            }
+        }
+        (eff, gate)
+    }
+
+    /// Consumes the earliest frontend input strictly below `gate` (a
+    /// `None` gate consumes freely): an absorbed completion, an armed
+    /// timer, or the next arrival — completions before timers before
+    /// arrivals on equal instants, a fixed convention for a tie no
+    /// continuous-time trace produces. Returns whether an input was
+    /// consumed.
+    fn pump_one(&mut self, gate: Option<SimTime>) -> bool {
+        let arrival = self.arrivals.get(self.next_arrival).map(|&ns| SimTime::from_ns(ns));
+        let timer = self.timers.peek().map(|Reverse(t)| t.due);
+        let done = self.inbox.peek().map(|Reverse(d)| d.time);
+        // Class-priority min: inbox (0) < timer (1) < arrival (2).
+        let mut pick: Option<(SimTime, u8)> = None;
+        for (time, class) in
+            [(done, 0u8), (timer, 1), (arrival, 2)].into_iter().filter_map(|(t, c)| Some((t?, c)))
+        {
+            if pick.is_none_or(|best| (time, class) < best) {
+                pick = Some((time, class));
+            }
+        }
+        let Some((time, class)) = pick else { return false };
+        if let Some(gate) = gate {
+            if time >= gate {
+                return false;
+            }
+        }
+        match class {
+            0 => {
+                let Reverse(done) = self.inbox.pop().expect("peeked entry exists");
+                let mut sink = FrontendSink {
+                    link: &mut self.link,
+                    timers: &mut self.timers,
+                    timer_emit: &mut self.timer_emit,
+                    active: &self.active,
+                };
+                self.core.on_round_done(done.chip, done.time.as_ns(), &mut sink);
+            }
+            1 => {
+                let Reverse(timer) = self.timers.pop().expect("peeked entry exists");
+                let mut sink = FrontendSink {
+                    link: &mut self.link,
+                    timers: &mut self.timers,
+                    timer_emit: &mut self.timer_emit,
+                    active: &self.active,
+                };
+                self.core.on_flush_deadline(timer.generation, timer.due.as_ns(), &mut sink);
+            }
+            _ => {
+                let at = self.arrivals[self.next_arrival];
+                self.next_arrival += 1;
+                let last = self.next_arrival == self.arrivals.len();
+                let mut sink = FrontendSink {
+                    link: &mut self.link,
+                    timers: &mut self.timers,
+                    timer_emit: &mut self.timer_emit,
+                    active: &self.active,
+                };
+                self.core.on_new_request(at, &mut sink);
+                if last {
+                    // The single engine schedules `SourceDrained` at
+                    // the last arrival's instant, right behind it.
+                    self.core.on_source_drained(at, &mut sink);
+                }
+            }
+        }
+        true
+    }
+
+    /// Tears the boundary down into the admission ledger and the
+    /// accumulated link statistics, for the report fold.
+    fn into_parts(self) -> (BufferCore, Vec<LinkStats>) {
+        (self.core, self.link.into_stats())
+    }
+}
+
+#[cfg(feature = "sharded")]
+impl pim_engine::Boundary<ChipEvent> for ServingBoundary {
+    fn next_time(&self) -> Option<SimTime> {
+        let mut next = self.link.next_time();
+        if let Some(&ns) = self.arrivals.get(self.next_arrival) {
+            tighten(&mut next, SimTime::from_ns(ns));
+        }
+        if let Some(Reverse(front)) = self.timers.peek() {
+            tighten(&mut next, front.due);
+        }
+        if let Some(Reverse(front)) = self.inbox.peek() {
+            tighten(&mut next, front.time);
+        }
+        next
+    }
+
+    fn advance(&mut self, frontiers: &[Option<SimTime>]) {
+        // Interleave hop-carrying with frontend consumption to a joint
+        // fixpoint: a carried hop can raise the gate (unblocking the
+        // frontend), and a consumed arrival can queue an admission
+        // (tightening the frontiers hop-carrying runs under). Both
+        // steps only consume monotone state, so the loop terminates.
+        loop {
+            let (eff, gate) = self.frontier_view(frontiers);
+            if self.link.carry_front_if_safe(&eff) {
+                continue;
+            }
+            if self.pump_one(gate) {
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn horizons(&self, frontiers: &[Option<SimTime>]) -> Vec<Option<SimTime>> {
+        let (eff, gate) = self.frontier_view(frontiers);
+        let mut horizons = self.link.horizons_from(&eff);
+        // A future admission is delivered to every active chip
+        // directly (no route hops), so it bounds their release
+        // horizons as well as their frontiers.
+        if let Some(trigger) = self.admission_trigger(gate) {
+            let adm = trigger.advance(ADMISSION_LATENCY_NS);
+            for &c in &self.active {
+                tighten(&mut horizons[c], adm);
+            }
+        }
+        horizons
+    }
+
+    fn release(&mut self, shard: usize, horizon: Option<SimTime>) -> Vec<RemoteEvent<ChipEvent>> {
+        self.link.release(shard, horizon)
+    }
+
+    fn absorb(&mut self, shard: usize, exports: Vec<RemoteEvent<ChipEvent>>) {
+        let mut ships = Vec::new();
+        for event in exports {
+            if event.target == self.buffer_id {
+                let ChipEvent::RoundDone { chip } = event.payload else {
+                    unreachable!("request buffer received {:?}", event.payload)
+                };
+                let emit = self.inbox_emit[shard];
+                self.inbox_emit[shard] += 1;
+                self.inbox.push(Reverse(InboxDone { time: event.time, lane: shard, emit, chip }));
+            } else {
+                ships.push(event);
+            }
+        }
+        self.link.absorb(shard, ships);
     }
 }
 
@@ -2247,10 +2827,22 @@ mod tests {
         assert_eq!(report.engine, Some(EngineMode::Sharded { shards: 2 }));
         // And an explicitly unsharded run says so too (explicit,
         // because the PIM_SHARDED env switch may set the default).
-        let report = SystemSimulator::new(chip, Topology::ring(2))
+        let report = SystemSimulator::new(chip.clone(), Topology::ring(2))
             .with_sharded(false)
             .run(&loads, 1, 1)
             .unwrap();
+        assert_eq!(report.engine, Some(EngineMode::SingleThread));
+        // Serving runs honour sharding through the same gate: the old
+        // unconditional dynamic-rounds fallback is gone, and the
+        // remaining fallback reasons apply unchanged.
+        let serving = crate::ServingConfig::new(crate::TrafficSpec::Trace(crate::RequestTrace {
+            arrivals_ns: vec![0.0, 100.0, 250.0],
+        }));
+        let sim = SystemSimulator::new(chip.clone(), Topology::ring(2)).with_sharded(true);
+        let report = sim.run_serving(&loads, &serving).unwrap();
+        assert_eq!(report.engine, Some(EngineMode::Sharded { shards: 2 }));
+        let sim = SystemSimulator::new(chip, zero_latency_ring()).with_sharded(true);
+        let report = sim.run_serving(&loads, &serving).unwrap();
         assert_eq!(report.engine, Some(EngineMode::SingleThread));
     }
 
